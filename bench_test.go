@@ -1,0 +1,368 @@
+// Benchmarks regenerating the paper's tables and figures (DESIGN.md §3 maps
+// each to its experiment). Simulation-backed results run at a reduced,
+// deterministic scale and report their headline metric through
+// b.ReportMetric; cmd/simbench prints the full series, and -full there runs
+// the paper-scale parameters. Real-transport results (Table 3, Figs. 10,
+// 14, 15) measure the actual UDP implementation on loopback.
+//
+// Run a single figure with e.g.:
+//
+//	go test -bench 'Fig2' -benchtime 1x
+package udt_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"udt"
+	"udt/internal/core"
+	"udt/internal/experiments"
+	"udt/internal/losslist"
+	"udt/internal/netsim"
+	"udt/internal/timing"
+)
+
+// newRcvBufferForBench builds a protocol receive buffer for the Fig. 10
+// microbenchmark.
+func newRcvBufferForBench(pkts, payload int) *core.RcvBuffer {
+	return core.NewRcvBuffer(pkts, payload, 0)
+}
+
+// benchScale keeps simulator benches fast enough for -bench=./...
+var benchScale = experiments.Scale{
+	Rate: 50_000_000, Dur: 20 * netsim.Second, Warm: 8, MaxFlows: 8,
+}
+
+func BenchmarkTable1Increase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable2DiskDisk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Table2DiskDisk(benchScale, 11)
+		b.ReportMetric(cells[len(cells)-1].Mbps, "amsterdam-local-Mbps")
+	}
+}
+
+func BenchmarkFig1StreamJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1StreamJoin(benchScale, 1)
+		b.ReportMetric(r.UDTJoinMbps, "udt-join-Mbps")
+		b.ReportMetric(r.TCPJoinMbps, "tcp-join-Mbps")
+	}
+}
+
+func BenchmarkFig2Fairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig2Fairness(benchScale, 2)
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.UDT, "udt-jain")
+		b.ReportMetric(last.TCP, "tcp-jain")
+	}
+}
+
+func BenchmarkFig3Concurrency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig3Concurrency(benchScale, 3)
+		b.ReportMetric(pts[len(pts)-1].StdDevMbps, "stddev-Mbps")
+	}
+}
+
+func BenchmarkFig4Stability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig4Stability(benchScale, 4)
+		last := pts[len(pts)-1]
+		b.ReportMetric(last.UDT, "udt-stability")
+		b.ReportMetric(last.TCP, "tcp-stability")
+	}
+}
+
+func BenchmarkFig5Friendliness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig5Friendliness(benchScale, 5)
+		b.ReportMetric(pts[0].T, "T-at-1ms")
+	}
+}
+
+func BenchmarkFig6RTTFairness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig6RTTFairness(benchScale, 6)
+		b.ReportMetric(pts[len(pts)-1].Ratio, "ratio-at-max-rtt")
+	}
+}
+
+func BenchmarkFig7FlowControl(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7FlowControl(benchScale, 7)
+		b.ReportMetric(float64(r.LossWithFC), "loss-with-fc")
+		b.ReportMetric(float64(r.LossWithoutFC), "loss-without-fc")
+	}
+}
+
+func BenchmarkFig8LossPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sizes := experiments.Fig8LossPattern(benchScale, 8)
+		var max int64
+		for _, n := range sizes {
+			if n > max {
+				max = n
+			}
+		}
+		b.ReportMetric(float64(max), "largest-event-pkts")
+	}
+}
+
+// BenchmarkFig9LossListAccess times the three loss-list operations on a
+// list pre-loaded with a congestion-scale backlog — the paper's claim is
+// ≈1 µs per access independent of backlog (Fig. 9).
+func BenchmarkFig9LossListAccess(b *testing.B) {
+	b.Run("insert", func(b *testing.B) {
+		r := losslist.NewReceiver(1 << 20)
+		seq := int32(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Insert(seq, seq+30)
+			seq += 40
+		}
+	})
+	b.Run("query", func(b *testing.B) {
+		r := losslist.NewReceiver(1 << 20)
+		for s := int32(0); s < 100_000; s += 40 {
+			r.Insert(s, s+30)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Find(int32(i*37) % 100_000)
+		}
+	})
+	b.Run("delete", func(b *testing.B) {
+		r := losslist.NewReceiver(1 << 21)
+		for s := int32(0); s < int32(b.N)*40+40; s += 40 {
+			r.Insert(s, s+30)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.Remove(int32(i * 40))
+		}
+	})
+}
+
+// BenchmarkAblationLossList compares the paper's range list against the
+// strawman bitmap under the operation that hurts the bitmap: reassembling
+// the loss report (§4.2).
+func BenchmarkAblationLossList(b *testing.B) {
+	const window = 1 << 16
+	load := func(ins func(a, c int32)) {
+		for s := int32(0); s < window-40; s += 40 {
+			ins(s, s+30)
+		}
+	}
+	b.Run("rangelist-report", func(b *testing.B) {
+		r := losslist.NewReceiver(window * 2)
+		load(r.Insert)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(r.Ranges()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("bitmap-report", func(b *testing.B) {
+		n := losslist.NewNaive(0, window)
+		load(n.Insert)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(n.Ranges()) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+func BenchmarkFig11SingleFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig11SingleFlow(benchScale, 9)
+		b.ReportMetric(pts[2].UDTMbps, "amsterdam-udt-Mbps")
+		b.ReportMetric(pts[2].TCPMbps, "amsterdam-tcp-Mbps")
+	}
+}
+
+func BenchmarkFig12SharedLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12SharedLink(benchScale, 10)
+		b.ReportMetric(r.UDTMbps[2], "udt-110ms-Mbps")
+		b.ReportMetric(r.TCPMbps[2], "tcp-110ms-Mbps")
+	}
+}
+
+func BenchmarkFig13SmallTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig13SmallTCP(benchScale, 11)
+		b.ReportMetric(pts[0].TCPAggMbps, "tcp-agg-0-udt")
+		b.ReportMetric(pts[len(pts)-1].TCPAggMbps, "tcp-agg-10-udt")
+	}
+}
+
+func BenchmarkAblationSYN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.AblationSYN(benchScale, 12)
+		b.ReportMetric(pts[0].SoloMbps, "solo-at-1ms-syn")
+	}
+}
+
+func BenchmarkAblationMIMD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationMIMD(benchScale, 13)
+		b.ReportMetric(r.AIMDJain, "aimd-jain")
+		b.ReportMetric(r.MIMDJain, "mimd-jain")
+	}
+}
+
+func BenchmarkAblationPacing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPacing(benchScale, 14)
+		b.ReportMetric(r.UDTMeanQueue, "udt-meanq-pkts")
+		b.ReportMetric(r.TCPMeanQueue, "tcp-meanq-pkts")
+	}
+}
+
+func BenchmarkAblationHSTCP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.AblationHighSpeed(benchScale, 15)
+		for _, p := range pts {
+			b.ReportMetric(p.Ratio, p.Protocol+"-rtt-ratio")
+		}
+	}
+}
+
+// ---- real-transport benchmarks (loopback UDP) --------------------------
+
+// loopbackTransfer pushes size bytes through a fresh loopback connection
+// and returns the throughput in Mb/s plus the sender's stats.
+func loopbackTransfer(b *testing.B, cfg *udt.Config, size int) (float64, udt.Stats) {
+	b.Helper()
+	ln, err := udt.Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan int64, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			done <- 0
+			return
+		}
+		defer c.Close()
+		n, _ := io.Copy(io.Discard, c)
+		done <- n
+	}()
+	cli, err := udt.Dial(ln.Addr().String(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	start := time.Now()
+	if _, err := cli.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	for !cli.Drained() {
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	st := cli.Stats()
+	cli.Close()
+	<-done
+	return float64(size*8) / elapsed.Seconds() / 1e6, st
+}
+
+// BenchmarkFig14CPU measures memory-to-memory loopback throughput of the
+// real implementation — the workload behind the paper's Fig. 14 CPU
+// numbers — reporting goodput and protocol overhead.
+func BenchmarkFig14CPU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mbps, st := loopbackTransfer(b, nil, 32<<20)
+		b.ReportMetric(mbps, "Mbps")
+		b.ReportMetric(float64(st.PktsRetrans), "retrans")
+	}
+}
+
+// BenchmarkTable3CPUShares reproduces Table 3's per-function cost
+// breakdown using the compiled-in attribution ledger instead of VTune.
+func BenchmarkTable3CPUShares(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ledger := &timing.Ledger{Enabled: true}
+		cfg := &udt.Config{Ledger: ledger}
+		mbps, _ := loopbackTransfer(b, cfg, 32<<20)
+		b.ReportMetric(mbps, "Mbps")
+		for _, bk := range timing.Buckets() {
+			if share := ledger.Share(bk); share > 0 {
+				b.ReportMetric(share*100, bk.String()+"-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig15PacketSize sweeps the packet size, reproducing the
+// throughput-vs-MSS curve (optimal at the path MTU; Fig. 15).
+func BenchmarkFig15PacketSize(b *testing.B) {
+	for _, mss := range []int{472, 972, 1472, 2972, 8972} {
+		b.Run(fmt.Sprintf("mss%d", mss), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mbps, _ := loopbackTransfer(b, &udt.Config{MSS: mss}, 16<<20)
+				b.ReportMetric(mbps, "Mbps")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10OverlappedIO compares the overlapped receive path (§4.3:
+// packets land directly in the waiting reader's buffer) against the
+// copy-through-protocol-buffer path at the buffer level.
+func BenchmarkFig10OverlappedIO(b *testing.B) {
+	const payload = 1464
+	const pkts = 64
+	src := make([]byte, payload)
+	b.Run("direct", func(b *testing.B) {
+		user := make([]byte, pkts*payload)
+		rb := newRcvBufferForBench(pkts, payload)
+		b.SetBytes(pkts * payload)
+		seq := int32(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rb.AttachUser(user)
+			for k := 0; k < pkts; k++ {
+				rb.Store(seq, src)
+				seq++
+			}
+			if rb.DetachUser() != pkts*payload {
+				b.Fatal("short direct read")
+			}
+		}
+	})
+	b.Run("copied", func(b *testing.B) {
+		user := make([]byte, pkts*payload)
+		rb := newRcvBufferForBench(pkts, payload)
+		b.SetBytes(pkts * payload)
+		seq := int32(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < pkts; k++ {
+				rb.Store(seq, src)
+				seq++
+			}
+			if rb.Read(user) != pkts*payload {
+				b.Fatal("short read")
+			}
+		}
+	})
+}

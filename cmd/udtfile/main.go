@@ -1,0 +1,98 @@
+// Command udtfile transfers files over UDT using the sendfile/recvfile API
+// (paper §4.7).
+//
+// Receive side:  udtfile -recv -addr :9001 -out dir/
+// Send side:     udtfile -send path/to/file -to host:9001
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"udt"
+)
+
+func main() {
+	recv := flag.Bool("recv", false, "receive files")
+	addr := flag.String("addr", ":9001", "receive listen address")
+	out := flag.String("out", ".", "receive output directory")
+	send := flag.String("send", "", "file to send")
+	to := flag.String("to", "", "destination host:port")
+	flag.Parse()
+
+	switch {
+	case *recv:
+		runRecv(*addr, *out)
+	case *send != "" && *to != "":
+		runSend(*send, *to)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runRecv(addr, dir string) {
+	ln, err := udt.Listen(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("udtfile receiving on %s into %s", ln.Addr(), dir)
+	for i := 0; ; i++ {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		name := filepath.Join(dir, time.Now().Format("udtfile-20060102-150405.000"))
+		f, err := os.Create(name)
+		if err != nil {
+			log.Printf("create: %v", err)
+			c.Close()
+			continue
+		}
+		start := time.Now()
+		n, err := c.RecvFile(f)
+		f.Close()
+		c.Close()
+		if err != nil {
+			log.Printf("recv: %v", err)
+			continue
+		}
+		el := time.Since(start)
+		log.Printf("received %s: %.1f MB in %v = %.1f Mb/s",
+			name, float64(n)/1e6, el.Round(time.Millisecond), float64(n*8)/el.Seconds()/1e6)
+	}
+}
+
+func runSend(path, to string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := udt.Dial(to, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	n, err := c.SendFile(f, fi.Size())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for !c.Drained() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	el := time.Since(start)
+	st := c.Stats()
+	log.Printf("sent %s: %.1f MB in %v = %.1f Mb/s (retrans %d, rtt %v)",
+		path, float64(n)/1e6, el.Round(time.Millisecond),
+		float64(n*8)/el.Seconds()/1e6, st.PktsRetrans, st.RTT.Round(10*time.Microsecond))
+}

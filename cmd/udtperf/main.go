@@ -1,0 +1,107 @@
+// Command udtperf is an iperf-style memory-to-memory throughput tool for
+// the UDT library.
+//
+// Server:  udtperf -s [-addr :9000]
+// Client:  udtperf -c host:9000 [-t 10s] [-mss 1472] [-interval 1s]
+//
+// The client streams random data for the duration and prints periodic and
+// final throughput plus protocol statistics (retransmissions, RTT, loss).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"udt"
+)
+
+func main() {
+	server := flag.Bool("s", false, "run as server (sink)")
+	client := flag.String("c", "", "run as client, connecting to host:port")
+	addr := flag.String("addr", ":9000", "server listen address")
+	dur := flag.Duration("t", 10*time.Second, "client transfer duration")
+	mss := flag.Int("mss", 1472, "packet size (UDP payload bytes)")
+	interval := flag.Duration("interval", time.Second, "client report interval")
+	flag.Parse()
+
+	switch {
+	case *server:
+		runServer(*addr, *mss)
+	case *client != "":
+		runClient(*client, *dur, *mss, *interval)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string, mss int) {
+	ln, err := udt.Listen(addr, &udt.Config{MSS: mss})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("udtperf server listening on %s", ln.Addr())
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			start := time.Now()
+			n, _ := io.Copy(io.Discard, c)
+			el := time.Since(start)
+			st := c.Stats()
+			log.Printf("%s: received %.1f MB in %v = %.1f Mb/s (loss events %d, dups %d)",
+				c.RemoteAddr(), float64(n)/1e6, el.Round(time.Millisecond),
+				float64(n*8)/el.Seconds()/1e6, st.LossEvents, st.PktsDup)
+			c.Close()
+		}()
+	}
+}
+
+func runClient(addr string, dur time.Duration, mss int, interval time.Duration) {
+	c, err := udt.Dial(addr, &udt.Config{MSS: mss})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	log.Printf("connected to %s (mss %d)", addr, mss)
+
+	buf := make([]byte, 1<<20)
+	rand.New(rand.NewSource(time.Now().UnixNano())).Read(buf)
+	stop := time.Now().Add(dur)
+	var total int64
+	lastBytes, lastAt := int64(0), time.Now()
+	nextReport := time.Now().Add(interval)
+	for time.Now().Before(stop) {
+		n, err := c.Write(buf)
+		total += int64(n)
+		if err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		if now := time.Now(); now.After(nextReport) {
+			st := c.Stats()
+			fmt.Printf("%6.1fs  %8.1f Mb/s  rtt %8v  retrans %6d  rate %7.1f Mb/s\n",
+				time.Until(stop.Add(-dur)).Abs().Seconds(),
+				float64((total-lastBytes)*8)/now.Sub(lastAt).Seconds()/1e6,
+				st.RTT.Round(10*time.Microsecond), st.PktsRetrans, st.SendRateMbps)
+			lastBytes, lastAt = total, now
+			nextReport = now.Add(interval)
+		}
+	}
+	// Drain before closing.
+	for !c.Drained() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := c.Stats()
+	el := dur.Seconds()
+	fmt.Printf("----\nsent %.1f MB in %.1fs = %.1f Mb/s; pkts %d (+%d retrans), ACKs %d, NAKs %d, freezes %d\n",
+		float64(total)/1e6, el, float64(total*8)/el/1e6,
+		st.PktsSent, st.PktsRetrans, st.ACKsRecv, st.NAKsRecv, st.SndFreezes)
+}

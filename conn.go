@@ -1,0 +1,449 @@
+package udt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"udt/internal/core"
+	"udt/internal/packet"
+	"udt/internal/seqno"
+	"udt/internal/timing"
+)
+
+// Connection errors.
+var (
+	ErrClosed     = errors.New("udt: connection closed")
+	ErrPeerDead   = errors.New("udt: peer stopped responding")
+	ErrTimeout    = errors.New("udt: handshake timeout")
+	errBufferFull = errors.New("udt: receive buffer overrun") // internal
+)
+
+// sockWriter abstracts the UDP socket: a dialed Conn owns its socket; an
+// accepted Conn shares the listener's.
+type sockWriter interface {
+	writeTo(b []byte, addr *net.UDPAddr) (int, error)
+}
+
+// Conn is a UDT connection: a reliable duplex byte stream over UDP.
+// It implements net.Conn semantics for Read/Write/Close (deadlines are not
+// supported; use Close from another goroutine to abort).
+type Conn struct {
+	cfg    Config
+	raddr  *net.UDPAddr
+	laddr  net.Addr
+	sock   sockWriter
+	closer func() // tears down socket/listener registration
+
+	clock  *timing.SysClock
+	pacer  *timing.Pacer
+	ledger *timing.Ledger
+
+	mu       sync.Mutex
+	core     *core.Conn
+	snd      *core.SndBuffer
+	rcv      *core.RcvBuffer
+	rdReady  *sync.Cond // receive buffer has data / state change
+	wrReady  *sync.Cond // send buffer has room / state change
+	sndKick  chan struct{}
+	closed   chan struct{}
+	err      error
+	overlap  bool    // a reader's buffer is attached to the receive buffer
+	sendCost float64 // EWMA of µs per UDP send (§4.4)
+
+	bytesSent int64
+	bytesRecv int64
+
+	wg sync.WaitGroup
+}
+
+// newConn wires an established connection (post-handshake).
+func newConn(cfg Config, sock sockWriter, closer func(), laddr net.Addr, raddr *net.UDPAddr, isn, peerISN int32) *Conn {
+	c := &Conn{
+		cfg:     cfg,
+		raddr:   raddr,
+		laddr:   laddr,
+		sock:    sock,
+		closer:  closer,
+		clock:   timing.NewSysClock(),
+		ledger:  cfg.Ledger,
+		sndKick: make(chan struct{}, 1),
+		closed:  make(chan struct{}),
+	}
+	c.pacer = timing.NewPacer(c.clock)
+	c.core = core.NewConn(cfg.coreConfig(isn), peerISN)
+	payload := cfg.MSS - packet.DataHeaderSize
+	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, isn)
+	c.rcv = core.NewRcvBuffer(cfg.RcvBuf, payload, peerISN)
+	c.core.AvailBuf = c.rcv.Free
+	c.rdReady = sync.NewCond(&c.mu)
+	c.wrReady = sync.NewCond(&c.mu)
+	c.core.Start(c.clock.Now())
+	c.wg.Add(1)
+	go c.senderLoop()
+	return c
+}
+
+// LocalAddr returns the local UDP address.
+func (c *Conn) LocalAddr() net.Addr { return c.laddr }
+
+// RemoteAddr returns the peer's UDP address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
+
+// kickSender wakes the sender loop.
+func (c *Conn) kickSender() {
+	select {
+	case c.sndKick <- struct{}{}:
+	default:
+	}
+}
+
+// fail records a fatal error and wakes everyone. Callers hold mu.
+func (c *Conn) failLocked(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	select {
+	case <-c.closed:
+	default:
+		close(c.closed)
+	}
+	c.rdReady.Broadcast()
+	c.wrReady.Broadcast()
+	c.kickSender()
+}
+
+// Close shuts the connection down, notifying the peer.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	alreadyClosed := c.core.Closed()
+	c.core.Close()
+	out := c.drainOutboxLocked()
+	c.failLocked(ErrClosed)
+	c.mu.Unlock()
+	for _, b := range out {
+		c.sock.writeTo(b, c.raddr) //nolint:errcheck // best-effort shutdown notice
+	}
+	if !alreadyClosed && c.closer != nil {
+		c.closer()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Write queues p on the send buffer, blocking while it is full. It returns
+// len(p) unless the connection dies.
+func (c *Conn) Write(p []byte) (int, error) {
+	written := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for written < len(p) {
+		if c.err != nil && c.core.Closed() {
+			return written, c.err
+		}
+		n := c.snd.Write(p[written:])
+		if n > 0 {
+			written += n
+			c.kickSender()
+			continue
+		}
+		c.wrReady.Wait()
+	}
+	return written, nil
+}
+
+// Read copies received stream bytes into p, blocking until at least one
+// byte is available. When the buffer is empty, p itself is attached to the
+// protocol buffer so arriving packets land in it directly — the overlapped
+// IO of §4.3.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if n := c.rcv.Available(); n > 0 {
+			return c.rcv.Read(p), nil
+		}
+		if c.err != nil || c.core.Closed() {
+			err := c.err
+			if err == nil || err == ErrClosed {
+				err = io.EOF
+			}
+			return 0, err
+		}
+		attached := !c.overlap && c.rcv.AttachUser(p)
+		if attached {
+			c.overlap = true
+		}
+		c.rdReady.Wait()
+		if attached {
+			c.overlap = false
+			direct := c.rcv.DetachUser()
+			if direct > 0 {
+				n := direct
+				if rest := c.rcv.Read(p[direct:]); rest > 0 {
+					n += rest
+				}
+				return n, nil
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of the connection's protocol counters.
+func (c *Conn) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rate := c.core.CC().Rate() * float64(c.cfg.MSS) * 8 / 1e6
+	return Stats{
+		Stats:        c.core.Stats,
+		RTT:          time.Duration(c.core.RTT()) * time.Microsecond,
+		SendRateMbps: rate,
+		BytesSent:    c.bytesSent,
+		BytesRecv:    c.bytesRecv,
+	}
+}
+
+// drainOutboxLocked encodes all queued control emissions. Callers hold mu.
+func (c *Conn) drainOutboxLocked() [][]byte {
+	var out [][]byte
+	now32 := int32(c.clock.Now())
+	for {
+		o, ok := c.core.PopOut()
+		if !ok {
+			return out
+		}
+		buf := make([]byte, packet.CtrlHeaderSize+packet.FullACKBody+8*len(o.Losses))
+		var n int
+		var err error
+		switch o.Kind {
+		case core.OutACK:
+			n, err = packet.EncodeACK(buf, &o.ACK, now32)
+		case core.OutNAK:
+			n, err = packet.EncodeNAK(buf, o.Losses, now32)
+		case core.OutACK2:
+			n, err = packet.EncodeACK2(buf, o.AckID, now32)
+		case core.OutKeepAlive:
+			n, err = packet.EncodeSimple(buf, packet.TypeKeepAlive, now32)
+		case core.OutShutdown:
+			n, err = packet.EncodeSimple(buf, packet.TypeShutdown, now32)
+		}
+		if err == nil && n > 0 {
+			out = append(out, buf[:n])
+		}
+	}
+}
+
+// senderLoop is the sender thread of §4.8: it paces data packets out
+// according to the engine's schedule, retransmits losses first, emits
+// control packets the engine queues, and services the protocol timers.
+func (c *Conn) senderLoop() {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	scratch := make([]byte, c.cfg.MSS)
+	for {
+		c.mu.Lock()
+		now := c.clock.Now()
+		c.core.Advance(now)
+		ctrl := c.drainOutboxLocked()
+		if c.core.Broken() {
+			c.failLocked(ErrPeerDead)
+			c.mu.Unlock()
+			return
+		}
+
+		// Data path: claim at most one packet per iteration so control
+		// packets and timers interleave (even distribution of processing,
+		// §4.1).
+		var dataLen int
+		var haveData bool
+		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
+		seq, decision := c.core.NextSend(now, newAvail)
+		if decision == core.SendData || decision == core.SendRetrans {
+			if pl, ok := c.snd.Packet(seq); ok {
+				c.ledger.Time(timing.BucketPack, func() {
+					n, _ := packet.EncodeData(scratch, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
+					dataLen = n
+				})
+				haveData = true
+			}
+		}
+
+		// Next wakeup while we still hold the state.
+		wake := c.core.NextTimer()
+		switch decision {
+		case core.SendData, core.SendRetrans:
+			wake = now // immediately reconsider after transmitting
+		case core.WaitPacing:
+			if t := c.core.NextSendTime(); t < wake {
+				wake = t
+			}
+		case core.WaitFrozen:
+			if t := c.core.CC().FreezeEnd(); t < wake {
+				wake = t
+			}
+		}
+		closedNow := c.core.Closed() && c.snd.Pending() == 0
+		c.mu.Unlock()
+
+		for _, b := range ctrl {
+			if _, err := c.sockWrite(b); err != nil {
+				c.mu.Lock()
+				c.failLocked(fmt.Errorf("udt: send: %w", err))
+				c.mu.Unlock()
+				return
+			}
+		}
+		if haveData {
+			t0 := time.Now()
+			if _, err := c.sockWrite(scratch[:dataLen]); err != nil {
+				c.mu.Lock()
+				c.failLocked(fmt.Errorf("udt: send: %w", err))
+				c.mu.Unlock()
+				return
+			}
+			cost := float64(time.Since(t0).Microseconds())
+			c.mu.Lock()
+			c.bytesSent += int64(dataLen)
+			// §4.4: never let rate control tune the period below the real
+			// per-packet send time.
+			if c.sendCost == 0 {
+				c.sendCost = cost
+			} else {
+				c.sendCost += (cost - c.sendCost) / 8
+			}
+			c.core.CC().SetMinPeriod(c.sendCost)
+			c.mu.Unlock()
+			continue // look for more work immediately
+		}
+		if closedNow {
+			return
+		}
+
+		// Sleep until the next deadline or a kick. Short pacing waits use
+		// the hybrid spin pacer for microsecond accuracy (§4.5).
+		now = c.clock.Now()
+		delay := wake - now
+		if decision == core.WaitPacing && delay > 0 && delay < 2000 {
+			c.ledger.Time(timing.BucketTiming, func() { c.pacer.WaitUntil(wake) })
+			continue
+		}
+		if delay < 100 {
+			delay = 100
+		}
+		if delay > 100_000 {
+			delay = 100_000
+		}
+		timer.Reset(time.Duration(delay) * time.Microsecond)
+		select {
+		case <-c.sndKick:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-timer.C:
+		case <-c.closed:
+			// Final drain of shutdown notices happens in Close.
+			return
+		}
+	}
+}
+
+func (c *Conn) sockWrite(b []byte) (int, error) {
+	var n int
+	var err error
+	c.ledger.Time(timing.BucketUDPWrite, func() { n, err = c.sock.writeTo(b, c.raddr) })
+	return n, err
+}
+
+// handleDatagram processes one UDP datagram addressed to this connection.
+// It is called by the socket reader goroutine (dialed) or the listener's
+// demultiplexer (accepted).
+func (c *Conn) handleDatagram(raw []byte) {
+	now := c.clock.Now()
+	if !packet.IsControl(raw) {
+		var d packet.Data
+		var err error
+		c.ledger.Time(timing.BucketUnpack, func() { d, err = packet.DecodeData(raw) })
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		// A full receive buffer means flow control was overrun (or the
+		// reader is stuck): treat the packet as lost on the wire; the
+		// protocol will retransmit it once space reopens (§3.2).
+		if c.rcv.Free() == 0 {
+			c.mu.Unlock()
+			return
+		}
+		var fresh bool
+		c.ledger.Time(timing.BucketMeasure, func() { fresh = c.core.HandleData(now, d.Seq) })
+		if fresh {
+			c.rcv.Store(d.Seq, d.Payload)
+			c.bytesRecv += int64(len(raw))
+			if c.rcv.Available() > 0 {
+				c.rdReady.Broadcast()
+			}
+		}
+		out := c.drainOutboxLocked()
+		c.mu.Unlock()
+		for _, b := range out {
+			c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
+		}
+		return
+	}
+
+	ctrl, err := packet.DecodeControl(raw)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.ledger.Time(timing.BucketProcessCtrl, func() {
+		switch ctrl.Type {
+		case packet.TypeACK:
+			if a, err := packet.DecodeACK(ctrl); err == nil {
+				if newly := c.core.HandleACK(now, a); newly > 0 {
+					c.snd.Release(c.core.SndLastAck())
+					c.wrReady.Broadcast()
+				}
+			}
+		case packet.TypeNAK:
+			if nak, err := packet.DecodeNAK(ctrl); err == nil {
+				c.ledger.Time(timing.BucketLossProc, func() { c.core.HandleNAK(now, nak.Losses) })
+			}
+		case packet.TypeACK2:
+			c.core.HandleACK2(now, ctrl.Extra)
+		case packet.TypeKeepAlive:
+			c.core.HandleKeepAlive(now)
+		case packet.TypeShutdown:
+			c.core.HandleShutdown(now)
+			c.failLocked(ErrClosed)
+		case packet.TypeHandshake:
+			// Duplicate handshake response (our ACK of it was lost): ignore;
+			// the listener answers duplicates for accepted conns.
+		}
+	})
+	out := c.drainOutboxLocked()
+	peerClosed := c.core.Closed()
+	c.mu.Unlock()
+	for _, b := range out {
+		c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
+	}
+	if peerClosed && c.closer != nil {
+		c.closer()
+	}
+	c.kickSender()
+}
+
+// Drained reports whether every written byte has been sent and
+// acknowledged — useful before an abrupt Close.
+func (c *Conn) Drained() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snd.Pending() == 0 && c.core.Unacked() == 0
+}

@@ -1,0 +1,74 @@
+// Parallelflows: UDT's headline fairness property (§3.4, Figs. 2 and 6).
+//
+// Ten UDT bulk flows with round-trip times spread from 1 ms to 512 ms share
+// one 1 Gb/s bottleneck on the deterministic simulator. Because UDT's
+// control interval is a constant (SYN = 0.01 s) rather than RTT-based, and
+// the increase parameter comes from packet-pair bandwidth estimation, all
+// ten converge to nearly identical rates — something no TCP variant does.
+// The same run with TCP SACK shows the classic RTT bias for contrast.
+package main
+
+import (
+	"fmt"
+
+	"udt/internal/core"
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/tcpsim"
+	"udt/internal/udtsim"
+)
+
+const (
+	rate = 1_000_000_000
+	dur  = 60 * netsim.Second
+	warm = 20
+)
+
+func main() {
+	rtts := make([]netsim.Time, 10)
+	for i := range rtts {
+		rtts[i] = netsim.Time(1<<i) * netsim.Millisecond // 1, 2, 4, ... 512 ms
+	}
+
+	udtMeans := runUDT(rtts)
+	tcpMeans := runTCP(rtts)
+
+	fmt.Printf("%10s  %12s  %12s\n", "RTT (ms)", "UDT (Mb/s)", "TCP (Mb/s)")
+	for i, rtt := range rtts {
+		fmt.Printf("%10d  %12.1f  %12.1f\n", rtt/netsim.Millisecond, udtMeans[i], tcpMeans[i])
+	}
+	fmt.Printf("\nJain fairness index: UDT %.3f vs TCP %.3f (1.0 = perfectly fair)\n",
+		metrics.JainIndex(udtMeans), metrics.JainIndex(tcpMeans))
+}
+
+func runUDT(rtts []netsim.Time) []float64 {
+	sim := netsim.New(1)
+	d := netsim.NewDumbbell(sim, rate, 4000, rtts)
+	meter := netsim.NewFlowMeter(sim, len(rtts), netsim.Second)
+	for i, rtt := range rtts {
+		cfg := core.Config{MSS: 1500, MaxFlowWindow: 65536}
+		if rtt > 150*netsim.Millisecond {
+			cfg.MinEXP = 2*int64(rtt/netsim.Microsecond) + core.DefaultSYN
+		}
+		f := udtsim.NewFlow(sim, i, cfg, d.SrcOut(i), d.SinkOut(i))
+		d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		f.Start(-1)
+	}
+	sim.Run(dur)
+	return metrics.ColumnMeans(meter.SeriesAfter(warm))
+}
+
+func runTCP(rtts []netsim.Time) []float64 {
+	sim := netsim.New(2)
+	d := netsim.NewDumbbell(sim, rate, 4000, rtts)
+	meter := netsim.NewFlowMeter(sim, len(rtts), netsim.Second)
+	for i := range rtts {
+		f := tcpsim.NewFlow(sim, i, tcpsim.SACK, 1460, 1<<20, d.SrcOut(i), d.SinkOut(i))
+		d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		f.Start(-1)
+	}
+	sim.Run(dur)
+	return metrics.ColumnMeans(meter.SeriesAfter(warm))
+}

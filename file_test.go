@@ -1,0 +1,68 @@
+package udt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSendRecvFile(t *testing.T) {
+	cli, srv, _ := pair(t, nil)
+	data := make([]byte, 3_000_000)
+	rand.New(rand.NewSource(5)).Read(data)
+
+	errc := make(chan error, 1)
+	go func() {
+		n, err := cli.SendFile(bytes.NewReader(data), int64(len(data)))
+		if err == nil && n != int64(len(data)) {
+			t.Errorf("SendFile sent %d", n)
+		}
+		errc <- err
+	}()
+	var got bytes.Buffer
+	n, err := srv.RecvFile(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) || !bytes.Equal(got.Bytes(), data) {
+		t.Fatalf("received %d bytes, equal=%v", n, bytes.Equal(got.Bytes(), data))
+	}
+}
+
+func TestSendRecvMultipleFiles(t *testing.T) {
+	cli, srv, _ := pair(t, nil)
+	files := [][]byte{
+		[]byte("first"),
+		make([]byte, 100_000),
+		{},
+		[]byte("last"),
+	}
+	rand.New(rand.NewSource(6)).Read(files[1])
+	go func() {
+		for _, f := range files {
+			if _, err := cli.SendFile(bytes.NewReader(f), int64(len(f))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i, f := range files {
+		var got bytes.Buffer
+		if _, err := srv.RecvFile(&got); err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Bytes(), f) {
+			t.Fatalf("file %d mismatch: %d vs %d bytes", i, got.Len(), len(f))
+		}
+	}
+}
+
+func TestSendFileNegative(t *testing.T) {
+	cli, _, _ := pair(t, nil)
+	if _, err := cli.SendFile(bytes.NewReader(nil), -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}

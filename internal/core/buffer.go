@@ -1,0 +1,277 @@
+package core
+
+import (
+	"udt/internal/seqno"
+)
+
+// SndBuffer holds written-but-unacknowledged payload, one fixed-size slot
+// per packet sequence number. The transport writes application data in,
+// reads packets out for (re)transmission by sequence number, and releases
+// slots as cumulative acknowledgements arrive.
+//
+// SndBuffer is not safe for concurrent use.
+type SndBuffer struct {
+	payload int
+	data    []byte
+	lens    []int32
+	headSeq int32 // sequence number of the oldest occupied slot
+	headIdx int   // its slot index
+	n       int   // occupied slots
+}
+
+// NewSndBuffer returns a send buffer of capacity packets whose payloads hold
+// up to payload bytes each. firstSeq is the sequence number the first
+// written packet will carry.
+func NewSndBuffer(capacity, payload int, firstSeq int32) *SndBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SndBuffer{
+		payload: payload,
+		data:    make([]byte, capacity*payload),
+		lens:    make([]int32, capacity),
+		headSeq: firstSeq,
+	}
+}
+
+// Cap returns the buffer capacity in packets.
+func (b *SndBuffer) Cap() int { return len(b.lens) }
+
+// Pending returns the number of occupied slots (unacknowledged packets).
+func (b *SndBuffer) Pending() int { return b.n }
+
+// Free returns the number of free slots.
+func (b *SndBuffer) Free() int { return len(b.lens) - b.n }
+
+// NextWriteSeq returns the sequence number the next written packet will get.
+func (b *SndBuffer) NextWriteSeq() int32 { return seqno.Add(b.headSeq, int32(b.n)) }
+
+// Write packs p into as many packets as fit, returning the number of bytes
+// consumed (possibly 0 when full). Each Write chunk ends its final packet
+// early rather than spanning chunks, so message boundaries within a write
+// never straddle a short tail packet — matching UDT's fixed-size packing
+// with a short last packet (§6).
+func (b *SndBuffer) Write(p []byte) int {
+	written := 0
+	for len(p) > 0 && b.n < len(b.lens) {
+		idx := (b.headIdx + b.n) % len(b.lens)
+		n := b.payload
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(b.data[idx*b.payload:], p[:n])
+		b.lens[idx] = int32(n)
+		b.n++
+		p = p[n:]
+		written += n
+	}
+	return written
+}
+
+// Packet returns the payload for seq, or ok=false when seq is not buffered
+// (already acknowledged or never written). The slice aliases the buffer and
+// is valid until the slot is released.
+func (b *SndBuffer) Packet(seq int32) ([]byte, bool) {
+	off := seqno.Off(b.headSeq, seq)
+	if off < 0 || int(off) >= b.n {
+		return nil, false
+	}
+	idx := (b.headIdx + int(off)) % len(b.lens)
+	return b.data[idx*b.payload : idx*b.payload+int(b.lens[idx])], true
+}
+
+// Release frees every slot before seq (exclusive), returning the count.
+func (b *SndBuffer) Release(seq int32) int {
+	off := seqno.Off(b.headSeq, seq)
+	if off <= 0 {
+		return 0
+	}
+	k := int(off)
+	if k > b.n {
+		k = b.n
+	}
+	b.headIdx = (b.headIdx + k) % len(b.lens)
+	b.headSeq = seqno.Add(b.headSeq, int32(k))
+	b.n -= k
+	return k
+}
+
+// RcvBuffer reassembles the incoming packet stream, one fixed-size slot per
+// sequence number, delivering bytes in order.
+//
+// It implements the paper's two receive-path optimizations:
+//
+//   - Speculation of the next packet (§4.6): a packet is placed directly at
+//     the slot derived from its sequence number, so in-order and out-of-order
+//     arrivals alike need no search and no shuffling.
+//   - Overlapped IO (§4.3, Fig. 10): when a reader is waiting with an empty
+//     buffer, its buffer can be attached as a logical extension of the
+//     protocol buffer; arriving full-size packets are then copied straight
+//     into user memory, eliminating the protocol-buffer-to-application copy.
+//
+// RcvBuffer is not safe for concurrent use; the transport serializes access.
+type RcvBuffer struct {
+	payload int
+	data    []byte
+	lens    []int32
+	present []bool
+	inUser  []bool
+	baseSeq int32 // sequence number of the first undelivered packet
+	baseIdx int
+	headOff int32 // bytes of the head packet already consumed by the reader
+	nstored int   // present slots
+
+	user     []byte // attached reader buffer, nil when detached
+	userPkts int32  // how many packet slots fit in user
+
+	// DirectBytes counts bytes placed straight into attached user buffers
+	// (the copies avoided by overlapped IO); CopiedBytes counts bytes that
+	// took the ordinary protocol-buffer path.
+	DirectBytes int64
+	CopiedBytes int64
+}
+
+// NewRcvBuffer returns a receive buffer of capacity packet slots, each up to
+// payload bytes, expecting the first packet to carry sequence firstSeq.
+func NewRcvBuffer(capacity, payload int, firstSeq int32) *RcvBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RcvBuffer{
+		payload: payload,
+		data:    make([]byte, capacity*payload),
+		lens:    make([]int32, capacity),
+		present: make([]bool, capacity),
+		inUser:  make([]bool, capacity),
+		baseSeq: firstSeq,
+	}
+}
+
+// Cap returns the buffer capacity in packets.
+func (b *RcvBuffer) Cap() int { return len(b.lens) }
+
+// Free returns the free slot count — the flow-control advertisement (§3.2).
+func (b *RcvBuffer) Free() int32 { return int32(len(b.lens) - b.nstored) }
+
+func (b *RcvBuffer) slot(off int32) int { return (b.baseIdx + int(off)) % len(b.lens) }
+
+// Store places the payload of packet seq, reporting false when the packet
+// is a duplicate or out of the buffer's window. The payload is copied.
+func (b *RcvBuffer) Store(seq int32, payload []byte) bool {
+	off := seqno.Off(b.baseSeq, seq)
+	if off < 0 || int(off) >= len(b.lens) {
+		return false // already delivered, or beyond the window
+	}
+	idx := b.slot(off)
+	if b.present[idx] {
+		return false // duplicate
+	}
+	n := int32(len(payload))
+	if int(n) > b.payload {
+		n = int32(b.payload)
+	}
+	// Overlapped path: full-size packets mapping inside the attached user
+	// buffer land there directly.
+	if b.user != nil && off < b.userPkts && int(n) == b.payload {
+		copy(b.user[int(off)*b.payload:], payload[:n])
+		b.inUser[idx] = true
+		b.DirectBytes += int64(n)
+	} else {
+		copy(b.data[idx*b.payload:], payload[:n])
+		b.CopiedBytes += int64(n)
+	}
+	b.lens[idx] = n
+	b.present[idx] = true
+	b.nstored++
+	return true
+}
+
+// Available returns the number of in-order bytes ready for the reader.
+func (b *RcvBuffer) Available() int {
+	total := 0
+	for off := int32(0); int(off) < len(b.lens); off++ {
+		idx := b.slot(off)
+		if !b.present[idx] {
+			break
+		}
+		total += int(b.lens[idx])
+	}
+	return total - int(b.headOff)
+}
+
+// AttachUser registers p as a logical extension of the protocol buffer
+// (Fig. 10). It succeeds only when the reader is fully caught up (no stored
+// data), which is exactly the state of a blocked reader. While attached,
+// Store copies eligible packets straight into p.
+func (b *RcvBuffer) AttachUser(p []byte) bool {
+	if b.user != nil || b.nstored != 0 || b.headOff != 0 || len(p) < b.payload {
+		return false
+	}
+	b.user = p
+	b.userPkts = int32(len(p) / b.payload)
+	if int(b.userPkts) > len(b.lens) {
+		b.userPkts = int32(len(b.lens))
+	}
+	return true
+}
+
+// DetachUser ends an overlapped read: it consumes the contiguous run of
+// user-placed packets from the front (those bytes are already in the user
+// buffer, so the reader gets them copy-free) and copies any remaining
+// user-placed islands back into protocol slots — the user buffer must not
+// be referenced after the read returns. It returns the number of bytes the
+// reader received directly.
+func (b *RcvBuffer) DetachUser() int {
+	if b.user == nil {
+		return 0
+	}
+	direct := 0
+	consumed := int32(0)
+	for consumed < b.userPkts {
+		idx := b.slot(consumed)
+		if !b.present[idx] || !b.inUser[idx] {
+			break
+		}
+		direct += int(b.lens[idx])
+		b.present[idx] = false
+		b.inUser[idx] = false
+		b.nstored--
+		consumed++
+	}
+	// Copy back any stranded user-placed packets beyond the hole.
+	for off := consumed; off < b.userPkts; off++ {
+		idx := b.slot(off)
+		if b.present[idx] && b.inUser[idx] {
+			copy(b.data[idx*b.payload:], b.user[int(off)*b.payload:int(off)*b.payload+int(b.lens[idx])])
+			b.inUser[idx] = false
+		}
+	}
+	b.baseIdx = b.slot(consumed)
+	b.baseSeq = seqno.Add(b.baseSeq, consumed)
+	b.user = nil
+	b.userPkts = 0
+	return direct
+}
+
+// Read copies up to len(p) in-order bytes into p, consuming them. It must
+// not be called while a user buffer is attached.
+func (b *RcvBuffer) Read(p []byte) int {
+	read := 0
+	for read < len(p) {
+		idx := b.baseIdx
+		if !b.present[idx] {
+			break
+		}
+		n := copy(p[read:], b.data[idx*b.payload+int(b.headOff):idx*b.payload+int(b.lens[idx])])
+		read += n
+		b.headOff += int32(n)
+		if b.headOff == b.lens[idx] {
+			b.present[idx] = false
+			b.nstored--
+			b.headOff = 0
+			b.baseIdx = b.slot(1)
+			b.baseSeq = seqno.Inc(b.baseSeq)
+		}
+	}
+	return read
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"udt/internal/seqno"
+)
+
+func TestSndBufferWritePacketRelease(t *testing.T) {
+	b := NewSndBuffer(4, 10, 100)
+	if b.Free() != 4 || b.Pending() != 0 {
+		t.Fatal("fresh buffer state wrong")
+	}
+	n := b.Write([]byte("abcdefghijklmno")) // 15 bytes → packets of 10 and 5
+	if n != 15 || b.Pending() != 2 {
+		t.Fatalf("Write = %d, pending = %d", n, b.Pending())
+	}
+	if b.NextWriteSeq() != 102 {
+		t.Fatalf("NextWriteSeq = %d", b.NextWriteSeq())
+	}
+	p, ok := b.Packet(100)
+	if !ok || string(p) != "abcdefghij" {
+		t.Fatalf("Packet(100) = %q,%v", p, ok)
+	}
+	p, ok = b.Packet(101)
+	if !ok || string(p) != "klmno" {
+		t.Fatalf("Packet(101) = %q,%v", p, ok)
+	}
+	if _, ok := b.Packet(102); ok {
+		t.Fatal("unwritten packet returned")
+	}
+	if _, ok := b.Packet(99); ok {
+		t.Fatal("pre-head packet returned")
+	}
+	if k := b.Release(101); k != 1 {
+		t.Fatalf("Release = %d", k)
+	}
+	if _, ok := b.Packet(100); ok {
+		t.Fatal("released packet still accessible")
+	}
+	if b.Release(101) != 0 {
+		t.Fatal("idempotent release broke")
+	}
+}
+
+func TestSndBufferFull(t *testing.T) {
+	b := NewSndBuffer(2, 10, 0)
+	if n := b.Write(make([]byte, 100)); n != 20 {
+		t.Fatalf("Write into full = %d, want 20", n)
+	}
+	if n := b.Write([]byte("x")); n != 0 {
+		t.Fatalf("Write into full buffer = %d", n)
+	}
+	b.Release(1)
+	if n := b.Write([]byte("x")); n != 1 {
+		t.Fatalf("Write after release = %d", n)
+	}
+}
+
+func TestSndBufferShortTailPerWrite(t *testing.T) {
+	b := NewSndBuffer(8, 10, 0)
+	b.Write([]byte("12345"))   // short packet 0
+	b.Write([]byte("abcdefg")) // short packet 1: writes never share packets
+	p0, _ := b.Packet(0)
+	p1, _ := b.Packet(1)
+	if string(p0) != "12345" || string(p1) != "abcdefg" {
+		t.Fatalf("packets: %q %q", p0, p1)
+	}
+}
+
+func TestSndBufferWrapSeq(t *testing.T) {
+	b := NewSndBuffer(4, 2, seqno.Max-1)
+	b.Write([]byte("aabbcc"))
+	if p, ok := b.Packet(seqno.Max); !ok || string(p) != "bb" {
+		t.Fatalf("wrap Packet = %q,%v", p, ok)
+	}
+	if p, ok := b.Packet(0); !ok || string(p) != "cc" {
+		t.Fatalf("wrap Packet(0) = %q,%v", p, ok)
+	}
+	if k := b.Release(0); k != 2 {
+		t.Fatalf("wrap Release = %d", k)
+	}
+}
+
+func TestRcvBufferInOrder(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 10)
+	if !b.Store(10, []byte("abcd")) || !b.Store(11, []byte("ef")) {
+		t.Fatal("Store failed")
+	}
+	if b.Available() != 6 {
+		t.Fatalf("Available = %d", b.Available())
+	}
+	out := make([]byte, 3)
+	if n := b.Read(out); n != 3 || string(out) != "abc" {
+		t.Fatalf("Read = %d %q", n, out)
+	}
+	out = make([]byte, 10)
+	if n := b.Read(out); n != 3 || string(out[:n]) != "def" {
+		t.Fatalf("Read = %d %q", n, out[:n])
+	}
+	if b.Available() != 0 || b.Free() != 8 {
+		t.Fatal("buffer should be drained")
+	}
+}
+
+func TestRcvBufferOutOfOrderAndDup(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 0)
+	if !b.Store(2, []byte("cccc")) {
+		t.Fatal("out-of-order Store failed")
+	}
+	if b.Available() != 0 {
+		t.Fatal("hole must block availability")
+	}
+	if b.Store(2, []byte("cccc")) {
+		t.Fatal("duplicate accepted")
+	}
+	b.Store(0, []byte("aaaa"))
+	b.Store(1, []byte("bbbb"))
+	if b.Available() != 12 {
+		t.Fatalf("Available = %d", b.Available())
+	}
+	out := make([]byte, 12)
+	b.Read(out)
+	if string(out) != "aaaabbbbcccc" {
+		t.Fatalf("Read %q", out)
+	}
+	if b.Store(1, []byte("bbbb")) {
+		t.Fatal("pre-base duplicate accepted")
+	}
+}
+
+func TestRcvBufferWindowBound(t *testing.T) {
+	b := NewRcvBuffer(4, 4, 0)
+	if b.Store(4, []byte("xxxx")) {
+		t.Fatal("store beyond window accepted")
+	}
+	for i := int32(0); i < 4; i++ {
+		b.Store(i, []byte("aaaa"))
+	}
+	if b.Free() != 0 {
+		t.Fatalf("Free = %d", b.Free())
+	}
+}
+
+func TestRcvBufferOverlappedDirect(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 0)
+	user := make([]byte, 12) // 3 packets
+	if !b.AttachUser(user) {
+		t.Fatal("AttachUser failed on drained buffer")
+	}
+	if b.AttachUser(user) {
+		t.Fatal("double attach accepted")
+	}
+	b.Store(0, []byte("aaaa"))
+	b.Store(1, []byte("bbbb"))
+	direct := b.DetachUser()
+	if direct != 8 {
+		t.Fatalf("direct bytes = %d, want 8", direct)
+	}
+	if string(user[:8]) != "aaaabbbb" {
+		t.Fatalf("user buffer = %q", user[:8])
+	}
+	if b.DirectBytes != 8 || b.CopiedBytes != 0 {
+		t.Fatalf("counters: direct=%d copied=%d", b.DirectBytes, b.CopiedBytes)
+	}
+	if b.Available() != 0 {
+		t.Fatal("consumed data still available")
+	}
+	// Buffer continues to work for the next packets.
+	b.Store(2, []byte("cccc"))
+	out := make([]byte, 4)
+	if b.Read(out); string(out) != "cccc" {
+		t.Fatalf("post-detach Read = %q", out)
+	}
+}
+
+func TestRcvBufferOverlappedHoleCopyBack(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 0)
+	user := make([]byte, 16)
+	b.AttachUser(user)
+	b.Store(0, []byte("aaaa"))
+	b.Store(2, []byte("cccc")) // hole at 1: packet 2 is stranded in user memory
+	direct := b.DetachUser()
+	if direct != 4 {
+		t.Fatalf("direct = %d, want 4 (only the contiguous head)", direct)
+	}
+	// Clobber the user buffer: packet 2 must have been copied back.
+	for i := range user {
+		user[i] = 'X'
+	}
+	b.Store(1, []byte("bbbb"))
+	out := make([]byte, 8)
+	if n := b.Read(out); n != 8 || string(out) != "bbbbcccc" {
+		t.Fatalf("after copy-back Read = %q", out[:n])
+	}
+}
+
+func TestRcvBufferOverlappedShortPacketFallsBack(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 0)
+	user := make([]byte, 16)
+	b.AttachUser(user)
+	b.Store(0, []byte("ab")) // short packet: slot path
+	if b.DirectBytes != 0 || b.CopiedBytes != 2 {
+		t.Fatalf("short packet placement: direct=%d copied=%d", b.DirectBytes, b.CopiedBytes)
+	}
+	if d := b.DetachUser(); d != 0 {
+		t.Fatalf("direct = %d, want 0", d)
+	}
+	out := make([]byte, 2)
+	b.Read(out)
+	if string(out) != "ab" {
+		t.Fatalf("Read = %q", out)
+	}
+}
+
+func TestRcvBufferAttachRules(t *testing.T) {
+	b := NewRcvBuffer(8, 4, 0)
+	if b.AttachUser(make([]byte, 3)) {
+		t.Fatal("attach of sub-packet buffer accepted")
+	}
+	b.Store(0, []byte("aaaa"))
+	if b.AttachUser(make([]byte, 8)) {
+		t.Fatal("attach with stored data accepted")
+	}
+	if b.DetachUser() != 0 {
+		t.Fatal("detach without attach should be 0")
+	}
+}
+
+// TestPropRcvBufferRandomOrder delivers a random permutation with duplicates
+// and checks the reader sees the exact original stream.
+func TestPropRcvBufferRandomOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const pkts, payload = 64, 8
+		base := int32(rng.Intn(1 << 20))
+		want := make([]byte, pkts*payload)
+		rng.Read(want)
+		b := NewRcvBuffer(pkts, payload, base)
+		order := rng.Perm(pkts)
+		for _, i := range order {
+			pl := want[i*payload : (i+1)*payload]
+			if !b.Store(seqno.Add(base, int32(i)), pl) {
+				return false
+			}
+			if rng.Intn(4) == 0 { // duplicate must be rejected
+				if b.Store(seqno.Add(base, int32(i)), pl) {
+					return false
+				}
+			}
+		}
+		got := make([]byte, pkts*payload)
+		if n := b.Read(got); n != len(got) {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSndRcvPipe pushes a random stream through SndBuffer → RcvBuffer
+// with random chunk sizes and verifies byte-exact delivery.
+func TestPropSndRcvPipe(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const payload = 16
+		want := make([]byte, 1+rng.Intn(2000))
+		rng.Read(want)
+		snd := NewSndBuffer(256, payload, 0)
+		rcv := NewRcvBuffer(256, payload, 0)
+		var got []byte
+		src := want
+		seq := int32(0)
+		for len(src) > 0 || snd.Pending() > 0 {
+			if len(src) > 0 {
+				n := snd.Write(src[:min(len(src), 1+rng.Intn(50))])
+				src = src[n:]
+			}
+			for snd.Pending() > 0 {
+				p, ok := snd.Packet(seq)
+				if !ok {
+					return false
+				}
+				if !rcv.Store(seq, p) {
+					return false
+				}
+				snd.Release(seqno.Inc(seq))
+				seq = seqno.Inc(seq)
+			}
+			buf := make([]byte, 64)
+			for {
+				n := rcv.Read(buf)
+				if n == 0 {
+					break
+				}
+				got = append(got, buf[:n]...)
+			}
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

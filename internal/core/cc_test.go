@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIncreaseTable1 checks formula (1) against the paper's Table 1
+// (MSS = 1500 bytes).
+func TestIncreaseTable1(t *testing.T) {
+	cases := []struct {
+		bitsPerSec float64
+		want       float64
+	}{
+		{9e9, 10},         // B > 1 Gb/s
+		{1.5e9, 10},       // (1, 10] Gb/s decade
+		{1e9, 1},          // exactly 1 Gb/s: ceil(9) = 9 → 10^0
+		{5e8, 1},          // (100 Mb/s, 1 Gb/s]
+		{1.00001e8, 1},    // just above 100 Mb/s
+		{1e8, 0.1},        // exactly 100 Mb/s
+		{5e7, 0.1},        // (10, 100] Mb/s
+		{5e6, 0.01},       // (1, 10] Mb/s
+		{5e5, 0.001},      // (0.1, 1] Mb/s
+		{5e4, 1.0 / 1500}, // below 0.1 Mb/s: the 1/1500 floor (≈0.00067)
+		{0, 1.0 / 1500},
+		{-5, 1.0 / 1500},
+	}
+	for _, c := range cases {
+		got := Increase(c.bitsPerSec, 1500)
+		if math.Abs(got-c.want)/c.want > 1e-9 {
+			t.Errorf("Increase(%g) = %g, want %g", c.bitsPerSec, got, c.want)
+		}
+	}
+}
+
+func TestIncreaseMSSScaling(t *testing.T) {
+	// inc scales by 1500/MSS: a 500-byte MSS triples the packet count.
+	a := Increase(5e8, 1500)
+	b := Increase(5e8, 500)
+	if math.Abs(b-3*a) > 1e-9 {
+		t.Fatalf("MSS scaling: %g vs %g", b, 3*a)
+	}
+}
+
+func newTestCC() *CC {
+	cc := NewCC(DefaultSYN, 1500, 25600)
+	cc.SetPeriod(1e6) // 1 packet/s, out of slow start
+	return cc
+}
+
+// feed simulates the per-SYN loop with ACKs arriving and a fixed capacity
+// estimate, returning the number of ticks until the rate reaches target
+// packets/s (or -1 if maxTicks elapses first).
+func ticksToRate(cc *CC, capacity int32, target float64, maxTicks int) int {
+	for i := 0; i < maxTicks; i++ {
+		cc.OnACK(1, 0, capacity, 100_000)
+		cc.OnRateTick()
+		if cc.Rate() >= target {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// TestRecoveryTime reproduces §3.3's closed-form check: on a 1 Gb/s link
+// (83,333 packets/s at 1500 B), recovering to 90% of the bandwidth takes
+// about 750 SYN intervals = 7.5 s, because the increase parameter stays at
+// 1 packet/SYN throughout the climb.
+func TestRecoveryTime(t *testing.T) {
+	const capacity = 83333 // pkts/s ≈ 1 Gb/s
+	cc := newTestCC()
+	got := ticksToRate(cc, capacity, 0.9*capacity, 2000)
+	if got < 700 || got > 800 {
+		t.Fatalf("90%% recovery took %d SYN, want ≈750", got)
+	}
+}
+
+// TestRecoveryTime100M is the same check one decade down: 100 Mb/s recovers
+// to 90% in ≈750 SYN too, because inc scales with the bandwidth decade.
+func TestRecoveryTime100M(t *testing.T) {
+	const capacity = 8333 // pkts/s ≈ 100 Mb/s
+	cc := newTestCC()
+	got := ticksToRate(cc, capacity, 0.9*capacity, 2000)
+	if got < 650 || got > 850 {
+		t.Fatalf("90%% recovery took %d SYN, want ≈750", got)
+	}
+}
+
+func TestDecreaseOnNAK(t *testing.T) {
+	cc := newTestCC()
+	cc.SetPeriod(100) // 10,000 pkts/s
+	cc.OnNAK(1_000_000, 500, 600)
+	if p := cc.Period(); math.Abs(p-112.5) > 1e-9 {
+		t.Fatalf("period after NAK = %v, want 112.5", p)
+	}
+	if !cc.Frozen(1_000_000 + 5000) {
+		t.Fatal("sender must freeze for one SYN after a fresh loss event")
+	}
+	if cc.Frozen(1_000_000 + DefaultSYN + 1) {
+		t.Fatal("freeze must end after one SYN")
+	}
+}
+
+func TestEpochDecreaseBounded(t *testing.T) {
+	// Within one congestion event, re-reported NAKs may trigger at most
+	// decLimit decreases in total (the released implementation's
+	// refinement); a fresh loss event starts a new epoch.
+	cc := newTestCC()
+	cc.SetPeriod(100)
+	cc.OnNAK(0, 500, 600) // fresh: decrease #1; lastDecSeq = 600
+	for i := 0; i < 100; i++ {
+		cc.OnNAK(int64(i+1), 550, 600) // stale re-reports
+	}
+	maxP := 100 * math.Pow(1.125, decLimit)
+	if cc.Period() > maxP+1e-9 {
+		t.Fatalf("stale NAKs decreased beyond the epoch limit: %v > %v", cc.Period(), maxP)
+	}
+	if cc.Period() <= 100*1.125 {
+		t.Fatalf("sustained stale NAKs should add decreases: %v", cc.Period())
+	}
+	// A fresh event beyond lastDecSeq decreases again and resets the epoch.
+	p := cc.Period()
+	cc.OnNAK(200, 650, 800)
+	if math.Abs(cc.Period()-p*1.125) > 1e-9 {
+		t.Fatalf("fresh-loss NAK: period %v, want %v", cc.Period(), p*1.125)
+	}
+}
+
+func TestRateTickRequiresACKWithoutNAK(t *testing.T) {
+	cc := newTestCC()
+	cc.SetPeriod(1000)
+	cc.OnRateTick() // no ACK since last tick: no increase
+	if cc.Period() != 1000 {
+		t.Fatalf("period changed without ACKs: %v", cc.Period())
+	}
+	cc.OnACK(1, 0, 83333, 100_000)
+	cc.OnNAK(0, 5, 10)
+	cc.OnRateTick() // NAK seen: no increase
+	p := cc.Period()
+	cc.OnACK(1, 0, 83333, 100_000)
+	cc.OnRateTick() // clean SYN with ACK: increase
+	if cc.Period() >= p {
+		t.Fatalf("period did not decrease (rate increase): %v → %v", p, cc.Period())
+	}
+}
+
+// TestAvailableBandwidthSelection verifies the §3.4 rule: before recovering
+// past the pre-decrease rate, the estimate is min(L/9, L−C); afterwards L−C.
+func TestAvailableBandwidthSelection(t *testing.T) {
+	cc := newTestCC()
+	cc.capacity = 90000
+	cc.SetPeriod(1e6 / 80000.0) // C = 80,000 pkts/s
+	cc.OnNAK(0, 5, 10)          // decrease: rateLastDec = 80,000, C → 71,111
+	b := cc.availableBandwidth()
+	want := 90000.0 / 9 // L/9 = 10,000 < L−C = 18,889
+	if math.Abs(b-want) > 1 {
+		t.Fatalf("post-decrease estimate = %v, want %v", b, want)
+	}
+	// Force C above rateLastDec: switch to L − C.
+	cc.SetPeriod(1e6 / 85000.0)
+	b = cc.availableBandwidth()
+	if math.Abs(b-(90000-85000)) > 1 {
+		t.Fatalf("recovered estimate = %v, want 5000", b)
+	}
+}
+
+func TestSlowStart(t *testing.T) {
+	cc := NewCC(DefaultSYN, 1500, 1000)
+	if !cc.SlowStart() {
+		t.Fatal("must start in slow start")
+	}
+	if cc.Window() != slowStartCwnd {
+		t.Fatalf("initial window = %v", cc.Window())
+	}
+	cc.OnACK(100, 50000, 83333, 100_000)
+	if cc.Window() != slowStartCwnd+100 {
+		t.Fatalf("window after 100 acked = %v", cc.Window())
+	}
+	// Reaching max window exits slow start with a period from the recv rate.
+	cc.OnACK(2000, 50000, 83333, 100_000)
+	if cc.SlowStart() {
+		t.Fatal("slow start must end at max window")
+	}
+	if r := cc.Rate(); r < 40000 || r > 60000 {
+		t.Fatalf("post-slow-start rate = %v, want ≈recv rate 50000", r)
+	}
+}
+
+func TestSlowStartEndsOnNAK(t *testing.T) {
+	cc := NewCC(DefaultSYN, 1500, 25600)
+	cc.OnACK(50, 20000, 0, 100_000)
+	cc.OnNAK(0, 5, 60)
+	if cc.SlowStart() {
+		t.Fatal("slow start must end on first NAK")
+	}
+	if cc.Rate() <= 0 {
+		t.Fatal("rate must be set on slow-start exit")
+	}
+}
+
+func TestOnTimeoutDecreases(t *testing.T) {
+	cc := newTestCC()
+	cc.SetPeriod(100)
+	cc.OnTimeout(50, 99)
+	if math.Abs(cc.Period()-112.5) > 1e-9 {
+		t.Fatalf("period after timeout = %v", cc.Period())
+	}
+	if !cc.Frozen(50 + 100) {
+		t.Fatal("timeout must freeze sending")
+	}
+}
+
+func TestMinPeriodClamp(t *testing.T) {
+	cc := newTestCC()
+	cc.SetPeriod(5)
+	cc.SetMinPeriod(12) // real send cost 12 µs (§4.4)
+	cc.OnACK(1, 0, 1<<30, 100_000)
+	cc.OnRateTick()
+	if cc.Period() < 12 {
+		t.Fatalf("period %v below the real send cost clamp", cc.Period())
+	}
+}
+
+func TestPeriodFloorAndCeiling(t *testing.T) {
+	cc := newTestCC()
+	cc.SetPeriod(2)
+	for i := 0; i < 100; i++ {
+		cc.OnNAK(int64(i)*100_000, int32(i*1000+999), int32(i*1000+1000))
+	}
+	if cc.Period() > 1e6 {
+		t.Fatalf("period exceeded 1s ceiling: %v", cc.Period())
+	}
+	cc2 := newTestCC()
+	cc2.SetPeriod(0.5)
+	cc2.OnACK(1, 0, 1<<30, 100_000)
+	cc2.OnRateTick()
+	if cc2.Period() < 1 {
+		t.Fatalf("period below 1 µs floor: %v", cc2.Period())
+	}
+}
+
+func TestCapacityAndRateSmoothing(t *testing.T) {
+	cc := newTestCC()
+	cc.OnACK(1, 1000, 2000, 100_000)
+	if cc.recvRate != 1000 || cc.capacity != 2000 {
+		t.Fatalf("first samples not adopted: %v %v", cc.recvRate, cc.capacity)
+	}
+	for i := 0; i < 200; i++ {
+		cc.OnACK(1, 3000, 6000, 100_000)
+	}
+	if math.Abs(cc.recvRate-3000) > 10 || math.Abs(cc.capacity-6000) > 10 {
+		t.Fatalf("EWMA did not converge: %v %v", cc.recvRate, cc.capacity)
+	}
+	// Zero-valued feedback (unknown) must not disturb the estimates.
+	cc.OnACK(1, 0, 0, 0)
+	if math.Abs(cc.recvRate-3000) > 10 || math.Abs(cc.capacity-6000) > 10 {
+		t.Fatal("zero feedback disturbed estimates")
+	}
+}

@@ -1,0 +1,519 @@
+package experiments
+
+import (
+	"udt/internal/core"
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/tcpsim"
+	"udt/internal/udtsim"
+)
+
+// Table1Row is one row of Table 1: the increase parameter chosen by
+// formula (1) for an estimated available bandwidth.
+type Table1Row struct {
+	BandwidthMbps float64
+	IncPackets    float64
+}
+
+// Table1 reproduces Table 1 (MSS = 1500): representative bandwidths from
+// each decade and the resulting per-SYN increase.
+func Table1() []Table1Row {
+	bands := []float64{10_000, 5_000, 1_000, 500, 100, 50, 10, 5, 1, 0.5, 0.1, 0.05}
+	out := make([]Table1Row, len(bands))
+	for i, mb := range bands {
+		out[i] = Table1Row{
+			BandwidthMbps: mb,
+			IncPackets:    core.Increase(mb*1e6, mss),
+		}
+	}
+	return out
+}
+
+// IndexPoint is one RTT point of an index-vs-RTT figure.
+type IndexPoint struct {
+	RTTms float64
+	UDT   float64
+	TCP   float64
+}
+
+// figRTTs returns the RTT sweep for Figs. 2, 4 and 5.
+func figRTTs(s Scale) []netsim.Time {
+	if s.Dur >= Full.Dur {
+		return []netsim.Time{
+			1 * netsim.Millisecond, 3 * netsim.Millisecond, 10 * netsim.Millisecond,
+			30 * netsim.Millisecond, 100 * netsim.Millisecond, 300 * netsim.Millisecond,
+			1000 * netsim.Millisecond,
+		}
+	}
+	return []netsim.Time{
+		1 * netsim.Millisecond, 10 * netsim.Millisecond,
+		100 * netsim.Millisecond, 300 * netsim.Millisecond,
+	}
+}
+
+// Fig2Fairness reproduces Fig. 2: Jain's fairness index of 10 concurrent
+// UDT flows vs 10 concurrent TCP flows as the common RTT sweeps 1→1000 ms.
+// Paper shape: UDT ≈ 1 everywhere; TCP degrades as RTT grows.
+func Fig2Fairness(s Scale, seed int64) []IndexPoint {
+	var out []IndexPoint
+	for _, rtt := range figRTTs(s) {
+		q := queueFor(s.Rate, rtt)
+		u := runMix(seed, s.Rate, q, repeatRTT(10, rtt), nil, s.Dur)
+		t := runMix(seed+1, s.Rate, q, nil, repeatRTT(10, rtt), s.Dur)
+		out = append(out, IndexPoint{
+			RTTms: float64(rtt) / float64(netsim.Millisecond),
+			UDT:   metrics.JainIndex(u.meansAfterWarm(s.Warm)),
+			TCP:   metrics.JainIndex(t.meansAfterWarm(s.Warm)),
+		})
+	}
+	return out
+}
+
+// Fig4Stability reproduces Fig. 4: the stability index (mean coefficient of
+// variation of 1 s throughput samples) of the same 10-flow runs. Paper
+// shape: UDT is more stable than TCP except around RTT 10–100 ms where the
+// BDP-sized queue is optimal for TCP.
+func Fig4Stability(s Scale, seed int64) []IndexPoint {
+	var out []IndexPoint
+	for _, rtt := range figRTTs(s) {
+		q := queueFor(s.Rate, rtt)
+		u := runMix(seed, s.Rate, q, repeatRTT(10, rtt), nil, s.Dur)
+		t := runMix(seed+1, s.Rate, q, nil, repeatRTT(10, rtt), s.Dur)
+		out = append(out, IndexPoint{
+			RTTms: float64(rtt) / float64(netsim.Millisecond),
+			UDT:   metrics.StabilityIndex(u.Meter.SeriesAfter(s.Warm)),
+			TCP:   metrics.StabilityIndex(t.Meter.SeriesAfter(s.Warm)),
+		})
+	}
+	return out
+}
+
+// ConcurrencyPoint is one point of Fig. 3: N parallel UDT flows at a given
+// RTT; the figure plots the standard deviation of per-flow throughput and
+// the aggregate utilization.
+type ConcurrencyPoint struct {
+	Flows      int
+	RTTms      float64
+	StdDevMbps float64
+	UtilPct    float64
+}
+
+// Fig3Concurrency reproduces Fig. 3: per-flow throughput spread as the
+// number of parallel UDT flows grows, for RTT ∈ {1, 10, 100} ms. Paper
+// shape: oscillations (stddev) grow with concurrency; utilization stays
+// high.
+func Fig3Concurrency(s Scale, seed int64) []ConcurrencyPoint {
+	counts := []int{2, 4, 8, 16, 32, 64, 100, 200, 400}
+	var out []ConcurrencyPoint
+	for _, rtt := range []netsim.Time{1 * netsim.Millisecond, 10 * netsim.Millisecond, 100 * netsim.Millisecond} {
+		for _, n := range counts {
+			if n > s.MaxFlows {
+				continue
+			}
+			q := queueFor(s.Rate, rtt)
+			r := runMix(seed, s.Rate, q, repeatRTT(n, rtt), nil, s.Dur)
+			means := r.meansAfterWarm(s.Warm)
+			var agg float64
+			for _, m := range means {
+				agg += m
+			}
+			out = append(out, ConcurrencyPoint{
+				Flows:      n,
+				RTTms:      float64(rtt) / float64(netsim.Millisecond),
+				StdDevMbps: metrics.StdDev(means),
+				UtilPct:    agg / (float64(s.Rate) / 1e6) * 100,
+			})
+		}
+	}
+	return out
+}
+
+// FriendlinessPoint is one RTT point of Fig. 5.
+type FriendlinessPoint struct {
+	RTTms       float64
+	T           float64 // the paper's TCP-friendliness index
+	TCPWithMbps float64 // mean TCP throughput against UDT
+	FairMbps    float64 // fair share from the TCP-only run
+}
+
+// Fig5Friendliness reproduces Fig. 5: 5 UDT + 10 TCP flows vs 15 TCP flows
+// alone; T = mean TCP throughput over its fair share. Paper shape: T is
+// high (≈1) at sub-10 ms RTTs where TCP is aggressive, and declines with
+// RTT while staying above ≈0.2 even at 100 ms.
+func Fig5Friendliness(s Scale, seed int64) []FriendlinessPoint {
+	var out []FriendlinessPoint
+	for _, rtt := range figRTTs(s) {
+		q := queueFor(s.Rate, rtt)
+		with := runMix(seed, s.Rate, q, repeatRTT(5, rtt), repeatRTT(10, rtt), s.Dur)
+		alone := runMix(seed+1, s.Rate, q, nil, repeatRTT(15, rtt), s.Dur)
+		wm := with.meansAfterWarm(s.Warm)[5:] // TCP flows only
+		am := alone.meansAfterWarm(s.Warm)
+		out = append(out, FriendlinessPoint{
+			RTTms:       float64(rtt) / float64(netsim.Millisecond),
+			T:           metrics.FriendlinessIndex(wm, am),
+			TCPWithMbps: metrics.Mean(wm),
+			FairMbps:    metrics.Mean(am),
+		})
+	}
+	return out
+}
+
+// RTTFairnessPoint is one point of Fig. 6: two concurrent UDT flows, one at
+// 100 ms RTT and one at RTT2; Ratio is flow2's throughput over flow1's.
+type RTTFairnessPoint struct {
+	RTT2ms float64
+	Ratio  float64
+}
+
+// Fig6RTTFairness reproduces Fig. 6: UDT's RTT independence. Paper shape:
+// the ratio stays within ≈10% of 1 as RTT2 sweeps 1 ms → 1000 ms.
+func Fig6RTTFairness(s Scale, seed int64) []RTTFairnessPoint {
+	rtt1 := 100 * netsim.Millisecond
+	var rtt2s []netsim.Time
+	if s.Dur >= Full.Dur {
+		rtt2s = []netsim.Time{1, 3, 10, 30, 100, 300, 1000}
+	} else {
+		rtt2s = []netsim.Time{1, 10, 100, 300}
+	}
+	var out []RTTFairnessPoint
+	for _, ms := range rtt2s {
+		rtt2 := ms * netsim.Millisecond
+		q := queueFor(s.Rate, maxTime([]netsim.Time{rtt1, rtt2}))
+		r := runMix(seed, s.Rate, q, []netsim.Time{rtt1, rtt2}, nil, s.Dur)
+		means := r.meansAfterWarm(s.Warm)
+		ratio := 0.0
+		if means[0] > 0 {
+			ratio = means[1] / means[0]
+		}
+		out = append(out, RTTFairnessPoint{RTT2ms: float64(ms), Ratio: ratio})
+	}
+	return out
+}
+
+// Fig7Result holds the flow-control ablation: 1 s throughput series with
+// and without the dynamic window, plus loss totals.
+type Fig7Result struct {
+	WithFC, WithoutFC []float64 // Mb/s per second
+	LossWithFC        int64
+	LossWithoutFC     int64
+}
+
+// Fig7FlowControl reproduces Fig. 7 (NS-2, 1 Gb/s — scaled by s.Rate —
+// 100 ms RTT, queue = BDP): UDT with flow control holds steady throughput;
+// without it, rate overshoot floods the queue, causing deep loss and
+// oscillation.
+func Fig7FlowControl(s Scale, seed int64) Fig7Result {
+	rtt := 100 * netsim.Millisecond
+	run := func(noFC bool) ([]float64, int64) {
+		sim := netsim.New(seed)
+		q := bdpPkts(s.Rate, rtt)
+		d := netsim.NewDumbbell(sim, s.Rate, q, []netsim.Time{rtt})
+		meter := netsim.NewFlowMeter(sim, 1, netsim.Second)
+		cfg := udtConfig(s.Rate, rtt)
+		f := udtsim.NewFlow(sim, 0, cfg, d.SrcOut(0), d.SinkOut(0))
+		d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		if noFC {
+			f.ForceWindow(cfg.MaxFlowWindow)
+		}
+		f.Start(-1)
+		sim.Run(s.Dur)
+		series := make([]float64, len(meter.Samples))
+		for i, row := range meter.Samples {
+			series[i] = row[0]
+		}
+		return series, f.Dst.Conn().Stats.LossDetected
+	}
+	withFC, lossWith := run(false)
+	withoutFC, lossWithout := run(true)
+	return Fig7Result{WithFC: withFC, WithoutFC: withoutFC, LossWithFC: lossWith, LossWithoutFC: lossWithout}
+}
+
+// SYNPoint is one point of the SYN-interval ablation (§3.7): the
+// efficiency/friendliness trade-off as the rate-control interval changes.
+type SYNPoint struct {
+	SYNms        float64
+	SoloMbps     float64 // single-flow utilization
+	Friendliness float64 // T with 2 UDT + 4 TCP
+}
+
+// AblationSYN sweeps the SYN interval: smaller SYN → more efficiency, less
+// TCP friendliness; larger SYN → the reverse (§3.7).
+func AblationSYN(s Scale, seed int64) []SYNPoint {
+	rtt := 100 * netsim.Millisecond
+	var out []SYNPoint
+	for _, synUs := range []int64{1_000, 10_000, 100_000} {
+		q := queueFor(s.Rate, rtt)
+		// Solo efficiency.
+		sim := netsim.New(seed)
+		d := netsim.NewDumbbell(sim, s.Rate, q, []netsim.Time{rtt})
+		meter := netsim.NewFlowMeter(sim, 1, netsim.Second)
+		cfg := udtConfig(s.Rate, rtt)
+		cfg.SYN = synUs
+		f := udtsim.NewFlow(sim, 0, cfg, d.SrcOut(0), d.SinkOut(0))
+		d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		f.Start(-1)
+		sim.Run(s.Dur)
+		solo := metrics.Mean(metrics.ColumnMeans(meter.SeriesAfter(s.Warm)))
+
+		// Friendliness at this SYN.
+		with := runMixSYN(seed+1, s.Rate, q, repeatRTT(2, rtt), repeatRTT(4, rtt), s.Dur, synUs)
+		alone := runMix(seed+2, s.Rate, q, nil, repeatRTT(6, rtt), s.Dur)
+		T := metrics.FriendlinessIndex(with.meansAfterWarm(s.Warm)[2:], alone.meansAfterWarm(s.Warm))
+		out = append(out, SYNPoint{SYNms: float64(synUs) / 1000, SoloMbps: solo, Friendliness: T})
+	}
+	return out
+}
+
+// runMixSYN is runMix with a custom SYN for the UDT flows.
+func runMixSYN(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, dur netsim.Time, synUs int64) mixResult {
+	sim := netsim.New(seed)
+	all := append(append([]netsim.Time{}, udtRTTs...), tcpRTTs...)
+	d := netsim.NewDumbbell(sim, rate, queue, all)
+	meter := netsim.NewFlowMeter(sim, len(all), netsim.Second)
+	res := mixResult{Sim: sim, Meter: meter, Bottleneck: d.Bottleneck}
+	for i, rtt := range udtRTTs {
+		cfg := udtConfig(rate, rtt)
+		cfg.SYN = synUs
+		f := udtsim.NewFlow(sim, i, cfg, d.SrcOut(i), d.SinkOut(i))
+		d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		res.UDT = append(res.UDT, f)
+		ff := f
+		sim.At(netsim.Time(i)*10*netsim.Millisecond, func() { ff.Start(-1) })
+	}
+	for j, rtt := range tcpRTTs {
+		id := len(udtRTTs) + j
+		f := tcpsim.NewFlow(sim, id, tcpsim.SACK, mss-40, float64(4*bdpPkts(rate, rtt)+1024), d.SrcOut(id), d.SinkOut(id))
+		d.Bind(id, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		res.TCP = append(res.TCP, f)
+		ff := f
+		sim.At(netsim.Time(id)*10*netsim.Millisecond, func() { ff.Start(-1) })
+	}
+	sim.Run(dur)
+	return res
+}
+
+// MIMDResult compares UDT's AIMD against SABUL's MIMD (§2.3): two flows,
+// one started late; fairness of the final split.
+type MIMDResult struct {
+	AIMDJain float64
+	MIMDJain float64
+}
+
+// AblationMIMD shows why UDT abandoned SABUL's MIMD: with a late-starting
+// second flow, MIMD converges slowly (or not at all) to a fair share, while
+// UDT's bandwidth-estimated AIMD equalizes.
+func AblationMIMD(s Scale, seed int64) MIMDResult {
+	rtt := 50 * netsim.Millisecond
+	run := func(mimd bool) float64 {
+		sim := netsim.New(seed)
+		q := queueFor(s.Rate, rtt)
+		d := netsim.NewDumbbell(sim, s.Rate, q, repeatRTT(2, rtt))
+		meter := netsim.NewFlowMeter(sim, 2, netsim.Second)
+		for i := 0; i < 2; i++ {
+			f := udtsim.NewFlow(sim, i, udtConfig(s.Rate, rtt), d.SrcOut(i), d.SinkOut(i))
+			d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			if mimd {
+				f.Src.Conn().CC().SetMIMD(0.02)
+			}
+			ff := f
+			start := netsim.Time(i) * (s.Dur / 4) // second flow starts late
+			sim.At(start, func() { ff.Start(-1) })
+		}
+		sim.Run(s.Dur)
+		// Fairness over the last quarter.
+		rows := meter.SeriesAfter(len(meter.Samples) * 3 / 4)
+		return metrics.JainIndex(metrics.ColumnMeans(rows))
+	}
+	return MIMDResult{AIMDJain: run(false), MIMDJain: run(true)}
+}
+
+// PacingResult compares queue pressure of rate-paced UDT against
+// window-burst TCP at similar throughput (§3.2). Queue occupancy is the
+// mean of 100 ms samples taken after warm-up, so the slow-start transient
+// (which fills the queue for both protocols) does not mask the steady
+// state.
+type PacingResult struct {
+	UDTMeanQueue float64
+	TCPMeanQueue float64
+	UDTMbps      float64
+	TCPMbps      float64
+	UDTDropPct   float64 // bottleneck drops per packet offered
+	TCPDropPct   float64
+}
+
+// AblationPacing measures steady-state bottleneck queue occupancy under a
+// single UDT flow vs a single TCP flow: rate-based pacing holds a shallow
+// queue, while window control keeps the buffer standing-full between
+// sawtooth cuts.
+func AblationPacing(s Scale, seed int64) PacingResult {
+	rtt := 50 * netsim.Millisecond
+	q := queueFor(s.Rate, rtt)
+	run := func(seed int64, udt bool) (float64, float64, float64) {
+		sim := netsim.New(seed)
+		var udtR, tcpR []netsim.Time
+		if udt {
+			udtR = []netsim.Time{rtt}
+		} else {
+			tcpR = []netsim.Time{rtt}
+		}
+		all := append(append([]netsim.Time{}, udtR...), tcpR...)
+		d := netsim.NewDumbbell(sim, s.Rate, q, all)
+		meter := netsim.NewFlowMeter(sim, 1, netsim.Second)
+		if udt {
+			f := udtsim.NewFlow(sim, 0, udtConfig(s.Rate, rtt), d.SrcOut(0), d.SinkOut(0))
+			d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			f.Start(-1)
+		} else {
+			f := tcpsim.NewFlow(sim, 0, tcpsim.SACK, mss-40, float64(4*bdpPkts(s.Rate, rtt)+1024), d.SrcOut(0), d.SinkOut(0))
+			d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			f.Start(-1)
+		}
+		var sum float64
+		var n int
+		warmup := netsim.Time(s.Warm) * netsim.Second
+		var tick func()
+		tick = func() {
+			if sim.Now() >= warmup {
+				sum += float64(d.Bottleneck.QueueLen())
+				n++
+			}
+			sim.After(100*netsim.Millisecond, tick)
+		}
+		sim.After(100*netsim.Millisecond, tick)
+		sim.Run(s.Dur)
+		meanQ := 0.0
+		if n > 0 {
+			meanQ = sum / float64(n)
+		}
+		dropPct := 0.0
+		if st := d.Bottleneck.Stats; st.Sent > 0 {
+			dropPct = float64(st.Dropped) / float64(st.Sent) * 100
+		}
+		return meanQ, metrics.Mean(metrics.ColumnMeans(meter.SeriesAfter(s.Warm))), dropPct
+	}
+	uq, um, ud := run(seed, true)
+	tq, tm, td := run(seed+1, false)
+	return PacingResult{
+		UDTMeanQueue: uq, TCPMeanQueue: tq,
+		UDTMbps: um, TCPMbps: tm,
+		UDTDropPct: ud, TCPDropPct: td,
+	}
+}
+
+// HighSpeedPoint compares RTT bias of TCP variants vs UDT (§5.2): two
+// flows of the same protocol with RTTs 20 ms and 200 ms; Ratio is
+// long-RTT over short-RTT throughput (1 = unbiased).
+type HighSpeedPoint struct {
+	Protocol string
+	Ratio    float64
+}
+
+// AblationHighSpeed reproduces the §5.2 discussion: Scalable and HighSpeed
+// TCP inherit (or worsen) TCP's RTT bias, while UDT's constant-interval
+// control is RTT-independent.
+func AblationHighSpeed(s Scale, seed int64) []HighSpeedPoint {
+	rtts := []netsim.Time{20 * netsim.Millisecond, 200 * netsim.Millisecond}
+	q := queueFor(s.Rate, rtts[1])
+	var out []HighSpeedPoint
+
+	u := runMix(seed, s.Rate, q, rtts, nil, s.Dur)
+	um := u.meansAfterWarm(s.Warm)
+	out = append(out, HighSpeedPoint{Protocol: "udt", Ratio: safeRatio(um[1], um[0])})
+
+	for _, v := range []tcpsim.Variant{tcpsim.SACK, tcpsim.ScalableTCP, tcpsim.HighSpeedTCP, tcpsim.BicTCP} {
+		sim := netsim.New(seed + 1)
+		d := netsim.NewDumbbell(sim, s.Rate, q, rtts)
+		meter := netsim.NewFlowMeter(sim, 2, netsim.Second)
+		for i, rtt := range rtts {
+			f := tcpsim.NewFlow(sim, i, v, mss-40, float64(4*bdpPkts(s.Rate, rtt)+1024), d.SrcOut(i), d.SinkOut(i))
+			d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			f.Start(-1)
+		}
+		sim.Run(s.Dur)
+		m := metrics.ColumnMeans(meter.SeriesAfter(s.Warm))
+		out = append(out, HighSpeedPoint{Protocol: v.String(), Ratio: safeRatio(m[1], m[0])})
+	}
+	return out
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// MultiBottleneckResult is the paper's footnote-3 check: on a parking-lot
+// topology, a UDT flow crossing two bottlenecks should reach at least half
+// of its max-min fair share.
+type MultiBottleneckResult struct {
+	LongFlowMbps float64 // the two-hop flow
+	MaxMinMbps   float64 // its max-min fair share (C/2 here)
+	CrossAMbps   float64 // single-hop flow on link 1
+	CrossBMbps   float64 // single-hop flow on link 2
+}
+
+// MultiBottleneck runs a two-link parking lot: flow L traverses link1 then
+// link2; flow A shares only link1; flow B shares only link2. All links have
+// the scale's capacity, so L's max-min fair share is half the link.
+func MultiBottleneck(s Scale, seed int64) MultiBottleneckResult {
+	sim := netsim.New(seed)
+	rtt := 20 * netsim.Millisecond
+	q := queueFor(s.Rate, rtt)
+	meter := netsim.NewFlowMeter(sim, 3, netsim.Second)
+
+	// link2 feeds the sinks of flows L (0) and B (2); link1 feeds link2
+	// for flow L and the sink of flow A (1).
+	var fL, fA, fB *udtsim.Flow
+	link2 := netsim.NewLink(sim, s.Rate, rtt/4, q, func(p *netsim.Packet) {
+		switch p.Flow {
+		case 0:
+			fL.Dst.Deliver(p)
+		case 2:
+			fB.Dst.Deliver(p)
+		}
+	})
+	link1 := netsim.NewLink(sim, s.Rate, rtt/4, q, func(p *netsim.Packet) {
+		switch p.Flow {
+		case 0:
+			link2.Send(p)
+		case 1:
+			fA.Dst.Deliver(p)
+		}
+	})
+	// Access links at 2× capacity (host NICs), reverse paths uncongested
+	// with anti-phase jitter, as in the dumbbell.
+	access := func(flow int, first *netsim.Link) netsim.Deliver {
+		l := netsim.NewLink(sim, 2*s.Rate, rtt/4, 1<<20, first.Send)
+		return l.Send
+	}
+	reverse := func(to func(p *netsim.Packet)) netsim.Deliver {
+		l := netsim.NewLink(sim, 0, rtt/2, 1<<20, to)
+		l.JitterMax = 500 * netsim.Microsecond
+		return l.Send
+	}
+	cfg := udtConfig(s.Rate, rtt)
+	fL = udtsim.NewFlow(sim, 0, cfg, access(0, link1), reverse(func(p *netsim.Packet) { fL.Src.Deliver(p) }))
+	fA = udtsim.NewFlow(sim, 1, cfg, access(1, link1), reverse(func(p *netsim.Packet) { fA.Src.Deliver(p) }))
+	fB = udtsim.NewFlow(sim, 2, cfg, access(2, link2), reverse(func(p *netsim.Packet) { fB.Src.Deliver(p) }))
+	for _, f := range []*udtsim.Flow{fL, fA, fB} {
+		f.SetMeter(meter)
+		f.Start(-1)
+	}
+	sim.Run(s.Dur)
+	m := metrics.ColumnMeans(meter.SeriesAfter(s.Warm))
+	return MultiBottleneckResult{
+		LongFlowMbps: m[0],
+		MaxMinMbps:   float64(s.Rate) / 2 / 1e6,
+		CrossAMbps:   m[1],
+		CrossBMbps:   m[2],
+	}
+}

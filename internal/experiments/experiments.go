@@ -1,0 +1,155 @@
+// Package experiments implements every table and figure of the paper's
+// evaluation as a deterministic, parameterized function. The simbench
+// command prints them in paper-style rows; the repository's benchmarks run
+// the same functions under testing.B. EXPERIMENTS.md records paper-vs-
+// measured values.
+//
+// Scale selects magnitude: Full reproduces the paper's parameters (1 Gb/s
+// bottlenecks, 100 s runs, up to 400 concurrent flows); Quick shrinks rate,
+// duration and flow counts roughly tenfold so the whole suite runs in
+// seconds on a laptop. The control laws are rate-free (constant SYN,
+// bandwidth-decade increase), so the *shape* of every result — who wins,
+// crossover locations, index values — is preserved; absolute Mb/s scale
+// with the link.
+package experiments
+
+import (
+	"udt/internal/core"
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/tcpsim"
+	"udt/internal/udtsim"
+)
+
+// Scale selects simulation magnitude.
+type Scale struct {
+	Rate     int64       // bottleneck capacity, bits/s
+	Dur      netsim.Time // measured duration per run
+	Warm     int         // 1 s samples discarded as warm-up
+	MaxFlows int         // cap for flow-count sweeps (Fig. 3)
+}
+
+// Quick is the CI/benchmark scale; Full is the paper's.
+var (
+	Quick = Scale{Rate: 100_000_000, Dur: 30 * netsim.Second, Warm: 10, MaxFlows: 48}
+	Full  = Scale{Rate: 1_000_000_000, Dur: 100 * netsim.Second, Warm: 20, MaxFlows: 400}
+)
+
+// MSS used throughout the evaluation (path MTU, §6).
+const mss = 1500
+
+// bdpPkts returns the bandwidth-delay product in packets.
+func bdpPkts(rate int64, rtt netsim.Time) int {
+	return int(rate / 8 * int64(rtt) / int64(netsim.Second) / mss)
+}
+
+// queueFor implements the figure captions' "DropTail queue sized
+// max(100, BDP)".
+func queueFor(rate int64, rtt netsim.Time) int {
+	q := bdpPkts(rate, rtt)
+	if q < 100 {
+		q = 100
+	}
+	return q
+}
+
+// udtConfig builds the simulated UDT configuration for a given path.
+func udtConfig(rate int64, rtt netsim.Time) core.Config {
+	w := 4 * bdpPkts(rate, rtt)
+	if w < 1024 {
+		w = 1024
+	}
+	minEXP := int64(0) // default 300 ms
+	if rttUs := int64(rtt / netsim.Microsecond); rttUs > 150_000 {
+		minEXP = 2*rttUs + core.DefaultSYN
+	}
+	return core.Config{MSS: mss, MaxFlowWindow: int32(w), MinEXP: minEXP}
+}
+
+// mix runs nUDT UDT flows and nTCP TCP flows (bulk, simultaneous starts
+// staggered by 10 ms) over one dumbbell for dur, sampling goodput at 1 s.
+type mixResult struct {
+	Sim        *netsim.Sim
+	Meter      *netsim.FlowMeter
+	UDT        []*udtsim.Flow
+	TCP        []*tcpsim.Flow
+	Bottleneck *netsim.Link
+}
+
+// runMix builds and runs the standard experiment: flows i<len(udtRTTs) are
+// UDT, the rest TCP, each with its own RTT, all sharing a DropTail
+// bottleneck of the given rate and queue.
+func runMix(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, dur netsim.Time) mixResult {
+	return runMixLoss(seed, rate, queue, udtRTTs, tcpRTTs, dur, -1, 0)
+}
+
+// runMixLoss is runMix with uniform random forward-path loss applied to
+// flows with index >= lossFrom (lossFrom < 0 disables).
+func runMixLoss(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, dur netsim.Time, lossFrom int, lossRate float64) mixResult {
+	sim := netsim.New(seed)
+	all := append(append([]netsim.Time{}, udtRTTs...), tcpRTTs...)
+	d := netsim.NewDumbbell(sim, rate, queue, all)
+	meter := netsim.NewFlowMeter(sim, len(all), netsim.Second)
+	res := mixResult{Sim: sim, Meter: meter, Bottleneck: d.Bottleneck}
+	lossy := func(idx int, to netsim.Deliver) netsim.Deliver {
+		if lossFrom < 0 || idx < lossFrom || lossRate <= 0 {
+			return to
+		}
+		return func(p *netsim.Packet) {
+			if sim.Rand.Float64() < lossRate {
+				return
+			}
+			to(p)
+		}
+	}
+	for i, rtt := range udtRTTs {
+		f := udtsim.NewFlow(sim, i, udtConfig(rate, rtt), d.SrcOut(i), d.SinkOut(i))
+		d.Bind(i, lossy(i, f.Dst.Deliver), f.Src.Deliver)
+		f.SetMeter(meter)
+		res.UDT = append(res.UDT, f)
+		stagger := netsim.Time(i) * 10 * netsim.Millisecond
+		ff := f
+		sim.At(stagger, func() { ff.Start(-1) })
+	}
+	for j, rtt := range tcpRTTs {
+		id := len(udtRTTs) + j
+		f := tcpsim.NewFlow(sim, id, tcpsim.SACK, mss-40, float64(4*bdpPkts(rate, rtt)+1024), d.SrcOut(id), d.SinkOut(id))
+		d.Bind(id, lossy(id-len(udtRTTs), f.Dst.Deliver), f.Src.Deliver)
+		f.SetMeter(meter)
+		res.TCP = append(res.TCP, f)
+		stagger := netsim.Time(id) * 10 * netsim.Millisecond
+		ff := f
+		sim.At(stagger, func() { ff.Start(-1) })
+	}
+	sim.Run(dur)
+	return res
+}
+
+// meansAfterWarm returns per-flow mean goodput (Mb/s) skipping warm samples.
+func (r mixResult) meansAfterWarm(warm int) []float64 {
+	rows := r.Meter.SeriesAfter(warm)
+	if rows == nil {
+		rows = r.Meter.Samples
+	}
+	return metrics.ColumnMeans(rows)
+}
+
+// maxTime returns the larger RTT list entry.
+func maxTime(ts []netsim.Time) netsim.Time {
+	var m netsim.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// repeatRTT builds n copies of one RTT.
+func repeatRTT(n int, rtt netsim.Time) []netsim.Time {
+	out := make([]netsim.Time, n)
+	for i := range out {
+		out[i] = rtt
+	}
+	return out
+}

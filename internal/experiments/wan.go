@@ -1,0 +1,366 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"udt/internal/losslist"
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/tcpsim"
+	"udt/internal/udtsim"
+	"udt/internal/workload"
+)
+
+// Fig1Result is the §2.1/§5.3 streaming-join experiment: streams from A
+// (100 ms RTT) and B (1 ms RTT) joined at C behind a shared 1 Gb/s
+// bottleneck. The join throughput is twice the slower stream.
+type Fig1Result struct {
+	TCPStreamMbps [2]float64 // [A (100 ms), B (1 ms)]
+	UDTStreamMbps [2]float64
+	TCPJoinMbps   float64
+	UDTJoinMbps   float64
+}
+
+// Fig1StreamJoin runs the streaming-join motivation experiment with TCP
+// (paper: join limited to ≈160-170 Mb/s of 1 Gb/s because the 100 ms TCP
+// stream starves) and with UDT (§5.3: 600-800 Mb/s).
+func Fig1StreamJoin(s Scale, seed int64) Fig1Result {
+	rtts := []netsim.Time{100 * netsim.Millisecond, 1 * netsim.Millisecond}
+	q := queueFor(s.Rate, rtts[0])
+	var res Fig1Result
+
+	join := func(means []float64) float64 {
+		slow := means[0]
+		if means[1] < slow {
+			slow = means[1]
+		}
+		return 2 * slow
+	}
+
+	t := runMix(seed, s.Rate, q, nil, rtts, s.Dur)
+	tm := t.meansAfterWarm(s.Warm)
+	res.TCPStreamMbps = [2]float64{tm[0], tm[1]}
+	res.TCPJoinMbps = join(tm)
+
+	u := runMix(seed+1, s.Rate, q, rtts, nil, s.Dur)
+	um := u.meansAfterWarm(s.Warm)
+	res.UDTStreamMbps = [2]float64{um[0], um[1]}
+	res.UDTJoinMbps = join(um)
+	return res
+}
+
+// Fig8LossPattern reproduces Fig. 8: the sizes of the receiver's loss
+// events while a bursting UDP flow congests the path (1 Gb/s — scaled —
+// 100 ms RTT). Paper shape: loss is heavily bursty, with events up to
+// thousands of packets.
+func Fig8LossPattern(s Scale, seed int64) []int64 {
+	rtt := 100 * netsim.Millisecond
+	sim := netsim.New(seed)
+	q := queueFor(s.Rate, rtt)
+	d := netsim.NewDumbbell(sim, s.Rate, q, []netsim.Time{rtt})
+	f := udtsim.NewFlow(sim, 0, udtConfig(s.Rate, rtt), d.SrcOut(0), d.SinkOut(0))
+	d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+	f.Dst.CollectLossEvents = true
+	f.Start(-1)
+	// Bursting cross traffic: full-rate CBR toggling 300 ms on / 700 ms off.
+	cross := netsim.NewCBRSource(sim, d.InjectCross(1000), s.Rate, mss, 1000)
+	var toggle func()
+	on := false
+	toggle = func() {
+		if on {
+			cross.Stop()
+			on = false
+			sim.After(700*netsim.Millisecond, toggle)
+		} else {
+			cross.Start()
+			on = true
+			sim.After(300*netsim.Millisecond, toggle)
+		}
+	}
+	sim.After(2*netsim.Second, toggle)
+	sim.Run(s.Dur)
+	cross.Shutdown()
+	return f.Dst.LossEventSizes
+}
+
+// Fig9Stats summarizes loss-list access times measured while replaying a
+// loss trace (Fig. 9: most accesses finish within ≈1 µs, independent of
+// the number of losses in the list).
+type Fig9Stats struct {
+	Ops      int
+	MedianNs float64
+	P99Ns    float64
+	MaxNs    float64
+}
+
+// Fig9LossListAccess replays a Fig. 8-style loss-event trace through the
+// receiver loss list, timing every insert, query and delete.
+func Fig9LossListAccess(events []int64) Fig9Stats {
+	if len(events) == 0 {
+		events = []int64{1, 3000, 40, 1, 800, 2, 2, 1500, 90, 5}
+	}
+	r := losslist.NewReceiver(1 << 16)
+	var samples []float64
+	seq := int32(0)
+	timed := func(f func()) {
+		t0 := time.Now()
+		f()
+		samples = append(samples, float64(time.Since(t0).Nanoseconds()))
+	}
+	for _, n := range events {
+		if n < 1 {
+			n = 1
+		}
+		start, end := seq+10, seq+10+int32(n)-1
+		timed(func() { r.Insert(start, end) })
+		timed(func() { r.Find(start + int32(n)/2) })
+		// Repair half the event (retransmissions arriving).
+		for k := int32(0); k < int32(n); k += 2 {
+			kk := start + k
+			timed(func() { r.Remove(kk) })
+		}
+		seq = end
+	}
+	sort.Float64s(samples)
+	st := Fig9Stats{Ops: len(samples)}
+	st.MedianNs = samples[len(samples)/2]
+	st.P99Ns = samples[len(samples)*99/100]
+	st.MaxNs = samples[len(samples)-1]
+	return st
+}
+
+// WanPath describes one of the paper's three testbed paths (§5).
+type WanPath struct {
+	Name     string
+	RateBps  int64
+	RTT      netsim.Time
+	LossRate float64 // residual random loss of the real path (link errors)
+	PaperUDT float64 // Mb/s reported in Fig. 11
+	PaperTCP float64 // Mb/s reported in §5.1 (Chicago→Amsterdam only)
+}
+
+// WanPaths returns the testbed paths of §5: Chicago local (1 Gb/s,
+// 0.04 ms), Chicago→Ottawa (OC-12 622 Mb/s, 16 ms), Chicago→Amsterdam
+// (1 Gb/s, 110 ms). The long-haul paths carry a ~1e-6 residual random
+// packet loss — the real-world impairment that caps TCP at ≈130 Mb/s on
+// the Amsterdam path (the Mathis bound) while barely affecting UDT; a
+// clean simulated path would let TCP eventually fill the pipe, which the
+// real testbed never does.
+func WanPaths() []WanPath {
+	return []WanPath{
+		{Name: "Chicago-local", RateBps: 1_000_000_000, RTT: 40 * netsim.Microsecond, PaperUDT: 940},
+		{Name: "Chicago-Ottawa", RateBps: 622_000_000, RTT: 16 * netsim.Millisecond, LossRate: 1e-6, PaperUDT: 580},
+		{Name: "Chicago-Amsterdam", RateBps: 1_000_000_000, RTT: 110 * netsim.Millisecond, LossRate: 1e-6, PaperUDT: 940, PaperTCP: 128},
+	}
+}
+
+// WanPoint is one path's result for Fig. 11.
+type WanPoint struct {
+	Path    WanPath
+	UDTMbps float64
+	TCPMbps float64
+	Series  []float64 // UDT 1 s samples
+}
+
+// PaperScaled returns the paper's UDT number adjusted to the experiment
+// scale (quick runs shrink rates tenfold).
+func (p WanPoint) PaperScaled(s Scale) float64 {
+	if s.Rate < Full.Rate {
+		return p.Path.PaperUDT / 10
+	}
+	return p.Path.PaperUDT
+}
+
+// Fig11SingleFlow reproduces Fig. 11: a single UDT flow on each testbed
+// path (plus the TCP comparison the text gives for the 110 ms path). The
+// three runs are independent, as in the paper.
+func Fig11SingleFlow(s Scale, seed int64) []WanPoint {
+	var out []WanPoint
+	for _, p := range WanPaths() {
+		rate := p.RateBps
+		if s.Rate < Full.Rate { // quick scale: shrink tenfold
+			rate = p.RateBps / 10
+		}
+		q := queueFor(rate, p.RTT)
+		u := runMixLoss(seed, rate, q, []netsim.Time{p.RTT}, nil, s.Dur, 0, p.LossRate)
+		t := runMixLoss(seed+1, rate, q, nil, []netsim.Time{p.RTT}, s.Dur, 0, p.LossRate)
+		series := make([]float64, len(u.Meter.Samples))
+		for i, row := range u.Meter.Samples {
+			series[i] = row[0]
+		}
+		out = append(out, WanPoint{
+			Path:    p,
+			UDTMbps: metrics.Mean(u.meansAfterWarm(s.Warm)),
+			TCPMbps: metrics.Mean(t.meansAfterWarm(s.Warm)),
+			Series:  series,
+		})
+	}
+	return out
+}
+
+// SharedLinkResult is Fig. 12: three flows from one site, to sinks at
+// 0.04 ms, 16 ms and 110 ms, sharing the same 1 Gb/s egress link. The
+// paper's UDT splits ≈325 Mb/s each; TCP splits 754/150/27.
+type SharedLinkResult struct {
+	UDTMbps []float64
+	TCPMbps []float64
+}
+
+// Fig12SharedLink reproduces Fig. 12.
+func Fig12SharedLink(s Scale, seed int64) SharedLinkResult {
+	rtts := []netsim.Time{40 * netsim.Microsecond, 16 * netsim.Millisecond, 110 * netsim.Millisecond}
+	q := queueFor(s.Rate, 110*netsim.Millisecond)
+	// The two long-haul sinks sit behind paths with residual random loss,
+	// as in Fig. 11.
+	u := runMixLoss(seed, s.Rate, q, rtts, nil, s.Dur, 1, 1e-6)
+	t := runMixLoss(seed+1, s.Rate, q, nil, rtts, s.Dur, 1, 1e-6)
+	return SharedLinkResult{
+		UDTMbps: u.meansAfterWarm(s.Warm),
+		TCPMbps: t.meansAfterWarm(s.Warm),
+	}
+}
+
+// Fig13Point is one x-axis point of Fig. 13: aggregate throughput of the
+// small TCP transfers with n background UDT flows.
+type Fig13Point struct {
+	UDTFlows   int
+	TCPAggMbps float64
+}
+
+// Fig13SmallTCP reproduces Fig. 13: many short TCP transfers (10 MB each,
+// paper: 500 of them Chicago→Amsterdam) against 0→10 bulk UDT flows.
+// Paper shape: aggregate TCP throughput declines gently, ≈690→480 Mb/s.
+// The quick scale runs 50 transfers on the scaled link.
+func Fig13SmallTCP(s Scale, seed int64) []Fig13Point {
+	rtt := 110 * netsim.Millisecond
+	nTCP := 500
+	xferBytes := int64(10 * 1000 * 1000)
+	if s.Rate < Full.Rate {
+		nTCP = 50 // scaled workload
+		xferBytes /= 10
+	}
+	pkts := xferBytes / int64(mss-40)
+	var out []Fig13Point
+	for _, nUDT := range []int{0, 1, 2, 4, 6, 8, 10} {
+		sim := netsim.New(seed)
+		q := queueFor(s.Rate, rtt)
+		rtts := append(repeatRTT(nUDT, rtt), repeatRTT(nTCP, rtt)...)
+		d := netsim.NewDumbbell(sim, s.Rate, q, rtts)
+		meter := netsim.NewFlowMeter(sim, nUDT+nTCP, netsim.Second)
+		for i := 0; i < nUDT; i++ {
+			f := udtsim.NewFlow(sim, i, udtConfig(s.Rate, rtt), d.SrcOut(i), d.SinkOut(i))
+			d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+			f.Start(-1)
+		}
+		tcps := make([]*tcpsim.Flow, nTCP)
+		remaining := nTCP
+		var lastDone netsim.Time
+		for j := 0; j < nTCP; j++ {
+			id := nUDT + j
+			f := tcpsim.NewFlow(sim, id, tcpsim.SACK, mss-40, float64(4*bdpPkts(s.Rate, rtt)), d.SrcOut(id), d.SinkOut(id))
+			d.Bind(id, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			tcps[j] = f
+			ff := f
+			f.Src.OnDone = func() {
+				remaining--
+				if sim.Now() > lastDone {
+					lastDone = sim.Now()
+				}
+			}
+			// Stagger starts across the first second like a workload burst.
+			sim.At(netsim.Time(j)*20*netsim.Millisecond, func() { ff.Start(pkts) })
+		}
+		sim.Run(s.Dur * 4)
+		// Aggregate throughput: delivered TCP bytes over the span in which
+		// TCP was actively delivering (a straggler's multi-second RTO tail
+		// would otherwise dilute the figure).
+		var delivered int64
+		for _, f := range tcps {
+			delivered += f.Dst.Delivered * int64(mss-40)
+		}
+		span := netsim.Time(0)
+		for k, row := range meter.Samples {
+			active := false
+			for f := nUDT; f < nUDT+nTCP; f++ {
+				if row[f] > 0 {
+					active = true
+					break
+				}
+			}
+			if active {
+				span = netsim.Time(k+1) * netsim.Second
+			}
+		}
+		if remaining == 0 && lastDone > 0 && lastDone < span {
+			span = lastDone
+		}
+		agg := 0.0
+		if span > 0 {
+			agg = float64(delivered*8) / float64(span) * float64(netsim.Second) / 1e6
+		}
+		out = append(out, Fig13Point{UDTFlows: nUDT, TCPAggMbps: agg})
+	}
+	return out
+}
+
+// Table2Cell is one cell of the disk-to-disk transfer matrix.
+type Table2Cell struct {
+	From, To  string
+	Mbps      float64
+	DiskLimit float64 // min(read at source, write at sink), Mb/s
+}
+
+// Table2DiskDisk reproduces Table 2: disk-to-disk UDT transfers between the
+// three sites, each limited by the slower of source disk read, network, and
+// sink disk write. Paper shape: throughput ≈ the disk IO bottleneck.
+func Table2DiskDisk(s Scale, seed int64) []Table2Cell {
+	sites := workload.Table2Sites()
+	var out []Table2Cell
+	for _, from := range sites {
+		for _, to := range sites {
+			// Network path: the paper routes Ottawa↔Amsterdam via Chicago;
+			// capacity is the min of the two hops, RTT the sum.
+			rate := int64(from.NetCapacityMbps * 1e6)
+			if r := int64(to.NetCapacityMbps * 1e6); r < rate {
+				rate = r
+			}
+			rttMs := from.NetRTTMs + to.NetRTTMs
+			if from.Name == to.Name {
+				rttMs = from.NetRTTMs
+			}
+			rtt := netsim.Time(rttMs * float64(netsim.Millisecond))
+			if s.Rate < Full.Rate {
+				rate /= 10
+			}
+			sim := netsim.New(seed)
+			q := queueFor(rate, rtt)
+			d := netsim.NewDumbbell(sim, rate, q, []netsim.Time{rtt})
+			meter := netsim.NewFlowMeter(sim, 1, netsim.Second)
+			f := udtsim.NewFlow(sim, 0, udtConfig(rate, rtt), d.SrcOut(0), d.SinkOut(0))
+			d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+			f.SetMeter(meter)
+			read, write := from.ReadMbps*1e6, to.WriteMbps*1e6
+			if s.Rate < Full.Rate {
+				read /= 10
+				write /= 10
+			}
+			f.PaceApp(int64(read))
+			f.PaceDrain(int64(write), int32(queueFor(rate, rtt)))
+			f.Start(0)
+			sim.Run(s.Dur)
+			lim := read
+			if write < lim {
+				lim = write
+			}
+			out = append(out, Table2Cell{
+				From:      from.Name,
+				To:        to.Name,
+				Mbps:      metrics.Mean(metrics.ColumnMeans(meter.SeriesAfter(s.Warm))),
+				DiskLimit: lim / 1e6,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+// Package flow implements UDT's receiver-side measurement machinery (paper
+// §3.2 and §3.4): the packet-arrival-speed estimator that drives the dynamic
+// flow window W = AS·(SYN+RTT), the receiver-based packet-pair (RBPP) link
+// capacity estimator that drives the rate-control increase parameter, the
+// ACK history window used to measure RTT from ACK/ACK2 exchanges, and the
+// exponentially smoothed RTT estimator.
+//
+// All times are int64 microseconds on a monotonic clock.
+package flow
+
+import "sort"
+
+// ArrivalWindow estimates the packet arrival speed through a median filter
+// on the most recent packet arrival intervals. A mean over a fixed period
+// would be wrong because data sending may pause (paper §3.2); the median
+// filter drops intervals that are far from the median (idle gaps and
+// back-to-back bursts) before averaging the rest.
+type ArrivalWindow struct {
+	intervals []int64 // ring buffer of inter-arrival gaps, µs
+	pos       int
+	filled    int
+	last      int64 // previous arrival time
+	seen      bool
+}
+
+// DefaultArrivalWindow is the history size used by UDT (16 packets).
+const DefaultArrivalWindow = 16
+
+// NewArrivalWindow returns an arrival-speed estimator over the last n
+// inter-arrival intervals.
+func NewArrivalWindow(n int) *ArrivalWindow {
+	if n < 2 {
+		n = 2
+	}
+	return &ArrivalWindow{intervals: make([]int64, n)}
+}
+
+// OnArrival records a data packet arrival at time now.
+func (w *ArrivalWindow) OnArrival(now int64) {
+	if !w.seen {
+		w.seen = true
+		w.last = now
+		return
+	}
+	gap := now - w.last
+	w.last = now
+	if gap <= 0 {
+		gap = 1
+	}
+	w.intervals[w.pos] = gap
+	w.pos = (w.pos + 1) % len(w.intervals)
+	if w.filled < len(w.intervals) {
+		w.filled++
+	}
+}
+
+// medianFiltered returns the average of the samples within (median/8,
+// median×8), and the number of samples kept. This is the paper's median
+// filter; it needs at least half the window accepted to produce an estimate.
+func medianFiltered(samples []int64) (avg int64, kept int) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	tmp := make([]int64, len(samples))
+	copy(tmp, samples)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	median := tmp[len(tmp)/2]
+	var sum int64
+	for _, v := range tmp {
+		if v < median<<3 && v > median>>3 {
+			sum += v
+			kept++
+		}
+	}
+	if kept == 0 {
+		return 0, 0
+	}
+	return sum / int64(kept), kept
+}
+
+// Rate returns the estimated packet arrival speed in packets per second, or
+// 0 when there is not yet enough accepted history.
+func (w *ArrivalWindow) Rate() int32 {
+	if w.filled < len(w.intervals) {
+		return 0
+	}
+	avg, kept := medianFiltered(w.intervals[:w.filled])
+	if kept <= w.filled/2 || avg <= 0 {
+		return 0
+	}
+	return int32(1e6 / avg)
+}
+
+// ProbeWindow estimates end-to-end link capacity from packet-pair probes
+// (paper §3.4). Every 16th data packet is sent back-to-back with its
+// successor; the receiver records the pair's arrival spacing, and the
+// median-filtered average spacing is the per-packet service time of the
+// bottleneck link.
+type ProbeWindow struct {
+	intervals []int64
+	pos       int
+	filled    int
+}
+
+// DefaultProbeWindow is the history size used by UDT (64 pairs).
+const DefaultProbeWindow = 64
+
+// ProbeInterval is the packet-pair probing period in packets: a data packet
+// whose sequence number satisfies seq % ProbeInterval == 0 is followed
+// immediately (no pacing delay) by the next packet.
+const ProbeInterval = 16
+
+// NewProbeWindow returns a capacity estimator over the last n pair spacings.
+func NewProbeWindow(n int) *ProbeWindow {
+	if n < 2 {
+		n = 2
+	}
+	return &ProbeWindow{intervals: make([]int64, n)}
+}
+
+// OnPair records the arrival spacing (µs) of a packet pair.
+func (w *ProbeWindow) OnPair(gap int64) {
+	if gap <= 0 {
+		gap = 1
+	}
+	w.intervals[w.pos] = gap
+	w.pos = (w.pos + 1) % len(w.intervals)
+	if w.filled < len(w.intervals) {
+		w.filled++
+	}
+}
+
+// Capacity returns the estimated link capacity in packets per second, or 0
+// when there is not enough history yet.
+func (w *ProbeWindow) Capacity() int32 {
+	if w.filled == 0 {
+		return 0
+	}
+	avg, kept := medianFiltered(w.intervals[:w.filled])
+	if kept == 0 || avg <= 0 {
+		return 0
+	}
+	return int32(1e6 / avg)
+}
+
+// AckWindow remembers recently sent ACKs so that the matching ACK2 yields an
+// RTT sample and identifies the acknowledged sequence number.
+type AckWindow struct {
+	ids  []int32
+	seqs []int32
+	ts   []int64
+	pos  int
+	size int
+}
+
+// NewAckWindow returns an ACK history of n entries (UDT uses 1024).
+func NewAckWindow(n int) *AckWindow {
+	if n < 1 {
+		n = 1
+	}
+	return &AckWindow{
+		ids:  make([]int32, n),
+		seqs: make([]int32, n),
+		ts:   make([]int64, n),
+	}
+}
+
+// Store records that an ACK with identifier ackID acknowledging seq was sent
+// at time now.
+func (w *AckWindow) Store(ackID, seq int32, now int64) {
+	w.ids[w.pos] = ackID
+	w.seqs[w.pos] = seq
+	w.ts[w.pos] = now
+	w.pos = (w.pos + 1) % len(w.ids)
+	if w.size < len(w.ids) {
+		w.size++
+	}
+}
+
+// Acknowledge matches an incoming ACK2 with identifier ackID at time now,
+// returning the acknowledged sequence number and the measured RTT. ok is
+// false when the ACK has already been rotated out of the history or never
+// existed (duplicate or stray ACK2).
+func (w *AckWindow) Acknowledge(ackID int32, now int64) (seq int32, rtt int64, ok bool) {
+	for i := 0; i < w.size; i++ {
+		p := w.pos - 1 - i
+		if p < 0 {
+			p += len(w.ids)
+		}
+		if w.ids[p] == ackID {
+			rtt = now - w.ts[p]
+			if rtt < 1 {
+				rtt = 1
+			}
+			seq = w.seqs[p]
+			// Invalidate this and older entries cheaply by shrinking size.
+			w.size = i
+			if w.size < 0 {
+				w.size = 0
+			}
+			return seq, rtt, true
+		}
+	}
+	return 0, 0, false
+}
+
+// RTT smooths round-trip time samples the way UDT (and TCP) do:
+// srtt += (sample − srtt)/8, rttvar += (|sample − srtt| − rttvar)/4.
+type RTT struct {
+	srtt int64
+	rvar int64
+	init bool
+}
+
+// NewRTT returns an estimator seeded with an initial guess (µs). UDT seeds
+// 100 ms with 50 ms variance before the first sample.
+func NewRTT(initial int64) *RTT {
+	return &RTT{srtt: initial, rvar: initial / 2}
+}
+
+// Update folds in a new RTT sample (µs).
+func (r *RTT) Update(sample int64) {
+	if sample <= 0 {
+		return
+	}
+	if !r.init {
+		r.srtt = sample
+		r.rvar = sample / 2
+		r.init = true
+		return
+	}
+	diff := sample - r.srtt
+	if diff < 0 {
+		diff = -diff
+	}
+	r.rvar += (diff - r.rvar) / 4
+	r.srtt += (sample - r.srtt) / 8
+}
+
+// Smoothed returns the smoothed RTT in µs.
+func (r *RTT) Smoothed() int64 { return r.srtt }
+
+// Var returns the smoothed RTT variance in µs.
+func (r *RTT) Var() int64 { return r.rvar }
+
+// RTO returns the retransmission-timeout style expiry interval
+// srtt + 4·rttvar used by UDT's EXP timer arithmetic.
+func (r *RTT) RTO() int64 { return r.srtt + 4*r.rvar }

@@ -1,0 +1,116 @@
+package losslist
+
+import (
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// Naive is the strawman loss store the paper argues against (§4.2): holes in
+// a sliding window represented by a per-packet bit map. Every query and every
+// NAK encoding scans the window, so access cost grows with the BDP rather
+// than with the number of loss events. It exists only for the ablation
+// benchmark comparing it against the range-based lists; it is not used by
+// the protocol.
+type Naive struct {
+	bits   []uint64
+	base   int32 // sequence number of bit 0
+	window int32
+	length int
+}
+
+// NewNaive returns a bitmap loss store covering a window of `window` packets
+// starting at sequence number base.
+func NewNaive(base int32, window int) *Naive {
+	return &Naive{
+		bits:   make([]uint64, (window+63)/64),
+		base:   base,
+		window: int32(window),
+	}
+}
+
+func (n *Naive) idx(seq int32) (int32, bool) {
+	off := seqno.Off(n.base, seq)
+	if off < 0 || off >= n.window {
+		return 0, false
+	}
+	return off, true
+}
+
+// Len returns the number of lost packets recorded.
+func (n *Naive) Len() int { return n.length }
+
+// Insert marks the inclusive range [s1, s2] as lost.
+func (n *Naive) Insert(s1, s2 int32) {
+	for s := s1; ; s = seqno.Inc(s) {
+		if i, ok := n.idx(s); ok {
+			w, b := i/64, uint(i%64)
+			if n.bits[w]&(1<<b) == 0 {
+				n.bits[w] |= 1 << b
+				n.length++
+			}
+		}
+		if s == s2 {
+			return
+		}
+	}
+}
+
+// Remove clears seq, reporting whether it was set.
+func (n *Naive) Remove(seq int32) bool {
+	i, ok := n.idx(seq)
+	if !ok {
+		return false
+	}
+	w, b := i/64, uint(i%64)
+	if n.bits[w]&(1<<b) == 0 {
+		return false
+	}
+	n.bits[w] &^= 1 << b
+	n.length--
+	return true
+}
+
+// Find reports whether seq is recorded as lost. This is the O(1) part; the
+// expensive operations are First and Ranges, which must scan.
+func (n *Naive) Find(seq int32) bool {
+	i, ok := n.idx(seq)
+	if !ok {
+		return false
+	}
+	return n.bits[i/64]&(1<<uint(i%64)) != 0
+}
+
+// First scans for the smallest recorded loss.
+func (n *Naive) First() (int32, bool) {
+	for w, word := range n.bits {
+		if word == 0 {
+			continue
+		}
+		for b := 0; b < 64; b++ {
+			if word&(1<<uint(b)) != 0 {
+				return seqno.Add(n.base, int32(w*64+b)), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Ranges scans the whole window and reassembles loss ranges — the operation
+// whose cost the paper's range list avoids.
+func (n *Naive) Ranges() []packet.Range {
+	var out []packet.Range
+	var cur *packet.Range
+	for i := int32(0); i < n.window; i++ {
+		set := n.bits[i/64]&(1<<uint(i%64)) != 0
+		switch {
+		case set && cur == nil:
+			out = append(out, packet.Range{Start: seqno.Add(n.base, i), End: seqno.Add(n.base, i)})
+			cur = &out[len(out)-1]
+		case set:
+			cur.End = seqno.Add(n.base, i)
+		default:
+			cur = nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package losslist
+
+import (
+	"sort"
+
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// Sender is the sender-side loss list: the retransmission queue filled by
+// incoming NAKs and drained one sequence number at a time (lost packets are
+// always sent with higher priority than new data, §4.8). Unlike the receiver
+// list, NAK ranges can arrive out of order and overlap — duplicates from the
+// receiver's increasing-interval re-reports — so Sender keeps a sorted,
+// coalesced range set.
+//
+// Sender is not safe for concurrent use.
+type Sender struct {
+	ranges []packet.Range // sorted by Start, disjoint, non-adjacent
+	length int            // total packets covered
+}
+
+// NewSender returns an empty sender loss list.
+func NewSender() *Sender { return &Sender{} }
+
+// Len returns the number of lost packets queued for retransmission.
+func (s *Sender) Len() int { return s.length }
+
+// Events returns the number of distinct ranges queued.
+func (s *Sender) Events() int { return len(s.ranges) }
+
+// recount recomputes length after structural changes.
+func (s *Sender) recount() {
+	n := 0
+	for _, r := range s.ranges {
+		n += int(seqno.Len(r.Start, r.End))
+	}
+	s.length = n
+}
+
+// Insert adds the inclusive range [s1, s2], merging with any overlapping or
+// adjacent ranges, and returns the number of sequence numbers that were not
+// already present. Duplicate NAKs therefore insert nothing.
+func (s *Sender) Insert(s1, s2 int32) int {
+	if seqno.Cmp(s1, s2) > 0 {
+		s1, s2 = s2, s1
+	}
+	before := s.length
+	// Find the first range whose end is >= s1-1 (candidate for merge).
+	lo := sort.Search(len(s.ranges), func(i int) bool {
+		return seqno.Cmp(s.ranges[i].End, seqno.Dec(s1)) >= 0
+	})
+	// Collect the span of ranges [lo, hi) that merge with [s1, s2].
+	hi := lo
+	for hi < len(s.ranges) && seqno.Cmp(s.ranges[hi].Start, seqno.Inc(s2)) <= 0 {
+		hi++
+	}
+	if lo == hi {
+		// No overlap: plain insertion.
+		s.ranges = append(s.ranges, packet.Range{})
+		copy(s.ranges[lo+1:], s.ranges[lo:])
+		s.ranges[lo] = packet.Range{Start: s1, End: s2}
+		s.length += int(seqno.Len(s1, s2))
+		return s.length - before
+	}
+	ns, ne := s1, s2
+	if seqno.Cmp(s.ranges[lo].Start, ns) < 0 {
+		ns = s.ranges[lo].Start
+	}
+	if seqno.Cmp(s.ranges[hi-1].End, ne) > 0 {
+		ne = s.ranges[hi-1].End
+	}
+	s.ranges[lo] = packet.Range{Start: ns, End: ne}
+	s.ranges = append(s.ranges[:lo+1], s.ranges[hi:]...)
+	s.recount()
+	return s.length - before
+}
+
+// PopFirst removes and returns the smallest queued sequence number. Lost
+// packets are retransmitted lowest-first.
+func (s *Sender) PopFirst() (int32, bool) {
+	if len(s.ranges) == 0 {
+		return 0, false
+	}
+	r := &s.ranges[0]
+	seq := r.Start
+	if r.Start == r.End {
+		s.ranges = s.ranges[1:]
+	} else {
+		r.Start = seqno.Inc(r.Start)
+	}
+	s.length--
+	return seq, true
+}
+
+// First returns the smallest queued sequence number without removing it.
+func (s *Sender) First() (int32, bool) {
+	if len(s.ranges) == 0 {
+		return 0, false
+	}
+	return s.ranges[0].Start, true
+}
+
+// Remove deletes a single sequence number, reporting whether it was present.
+func (s *Sender) Remove(seq int32) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool {
+		return seqno.Cmp(s.ranges[i].End, seq) >= 0
+	})
+	if i == len(s.ranges) || seqno.Cmp(s.ranges[i].Start, seq) > 0 {
+		return false
+	}
+	r := s.ranges[i]
+	switch {
+	case r.Start == r.End:
+		s.ranges = append(s.ranges[:i], s.ranges[i+1:]...)
+	case seq == r.Start:
+		s.ranges[i].Start = seqno.Inc(seq)
+	case seq == r.End:
+		s.ranges[i].End = seqno.Dec(seq)
+	default:
+		s.ranges = append(s.ranges, packet.Range{})
+		copy(s.ranges[i+2:], s.ranges[i+1:])
+		s.ranges[i] = packet.Range{Start: r.Start, End: seqno.Dec(seq)}
+		s.ranges[i+1] = packet.Range{Start: seqno.Inc(seq), End: r.End}
+	}
+	s.length--
+	return true
+}
+
+// RemoveUpTo drops every queued sequence number strictly before seq (they
+// were cumulatively acknowledged) and returns how many were dropped.
+func (s *Sender) RemoveUpTo(seq int32) int {
+	removed := 0
+	for len(s.ranges) > 0 {
+		r := &s.ranges[0]
+		if seqno.Cmp(r.End, seq) < 0 {
+			removed += int(seqno.Len(r.Start, r.End))
+			s.ranges = s.ranges[1:]
+			continue
+		}
+		if seqno.Cmp(r.Start, seq) < 0 {
+			removed += int(seqno.Off(r.Start, seq))
+			r.Start = seq
+		}
+		break
+	}
+	s.length -= removed
+	return removed
+}
+
+// Find reports whether seq is queued for retransmission.
+func (s *Sender) Find(seq int32) bool {
+	i := sort.Search(len(s.ranges), func(i int) bool {
+		return seqno.Cmp(s.ranges[i].End, seq) >= 0
+	})
+	return i < len(s.ranges) && seqno.Cmp(s.ranges[i].Start, seq) <= 0
+}
+
+// Ranges returns the queued ranges in increasing order.
+func (s *Sender) Ranges() []packet.Range {
+	out := make([]packet.Range, len(s.ranges))
+	copy(out, s.ranges)
+	return out
+}

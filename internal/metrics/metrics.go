@@ -1,0 +1,129 @@
+// Package metrics implements the evaluation indices the paper plots:
+// Jain's fairness index (Fig. 2), the stability index of FAST TCP's
+// methodology (Fig. 4), the paper's TCP-friendliness index (Fig. 5), and
+// the usual mean/stddev helpers behind Fig. 3.
+package metrics
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// JainIndex computes Jain's fairness index over per-flow throughputs:
+//
+//	J = (Σ x_i)² / (n · Σ x_i²)
+//
+// J = 1 is perfect fairness; 1/n is maximal unfairness (Fig. 2).
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, v := range x {
+		sum += v
+		sq += v * v
+	}
+	if sq == 0 {
+		return 1 // all-zero allocations are (vacuously) fair
+	}
+	return sum * sum / (float64(len(x)) * sq)
+}
+
+// StabilityIndex computes the paper's §3.6 index over per-flow throughput
+// sample series (samples[k][i] = flow i's throughput in interval k):
+//
+//	S = (1/n) Σ_i (1/x̄_i) · sqrt( (1/(m-1)) Σ_k (x_i(k) − x̄_i)² )
+//
+// i.e. the mean across flows of each flow's coefficient of variation.
+// Smaller is more stable; 0 is ideal (Fig. 4).
+func StabilityIndex(samples [][]float64) float64 {
+	if len(samples) < 2 || len(samples[0]) == 0 {
+		return 0
+	}
+	n := len(samples[0])
+	m := len(samples)
+	total := 0.0
+	counted := 0
+	for i := 0; i < n; i++ {
+		mean := 0.0
+		for k := 0; k < m; k++ {
+			mean += samples[k][i]
+		}
+		mean /= float64(m)
+		if mean == 0 {
+			continue
+		}
+		v := 0.0
+		for k := 0; k < m; k++ {
+			d := samples[k][i] - mean
+			v += d * d
+		}
+		v /= float64(m - 1)
+		total += math.Sqrt(v) / mean
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// FriendlinessIndex computes the paper's §3.7 TCP-friendliness index for an
+// experiment with m UDT and n TCP flows. tcpWith holds the average
+// throughput of each of the n TCP flows run against the m UDT flows;
+// tcpAlone holds the averages of m+n TCP flows run alone under the same
+// configuration (their mean is the fair share).
+//
+//	T = (1/n · Σ x_i) / (1/(m+n) · Σ y_i)
+//
+// T = 1 is ideal; T > 1 means the new protocol is overly friendly; T < 1
+// means it overruns TCP.
+func FriendlinessIndex(tcpWith, tcpAlone []float64) float64 {
+	fair := Mean(tcpAlone)
+	if fair == 0 {
+		return 0
+	}
+	return Mean(tcpWith) / fair
+}
+
+// ColumnMeans returns the per-flow mean of a sample matrix
+// (samples[k][i] → mean over k for each i).
+func ColumnMeans(samples [][]float64) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	n := len(samples[0])
+	out := make([]float64, n)
+	for _, row := range samples {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(samples))
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+	if !almostEq(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev single")
+	}
+	if !almostEq(StdDev([]float64{2, 2, 2, 2}), 0) {
+		t.Fatal("StdDev const")
+	}
+	got := StdDev([]float64{1, 3})
+	if !almostEq(got, 1) {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{10, 10, 10}); !almostEq(got, 1) {
+		t.Fatalf("equal allocation J = %v", got)
+	}
+	// One flow hogs everything: J = 1/n.
+	if got := JainIndex([]float64{30, 0, 0}); !almostEq(got, 1.0/3) {
+		t.Fatalf("hog J = %v", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("empty J = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Fatalf("all-zero J = %v", got)
+	}
+}
+
+func TestPropJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		j := JainIndex(xs)
+		return j >= 1/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStabilityIndex(t *testing.T) {
+	// Constant throughput: perfectly stable.
+	samples := [][]float64{{10, 20}, {10, 20}, {10, 20}, {10, 20}}
+	if got := StabilityIndex(samples); !almostEq(got, 0) {
+		t.Fatalf("constant series S = %v", got)
+	}
+	// Oscillating flow has higher index than a steady one.
+	osc := [][]float64{{5}, {15}, {5}, {15}}
+	steady := [][]float64{{9}, {11}, {9}, {11}}
+	if StabilityIndex(osc) <= StabilityIndex(steady) {
+		t.Fatal("oscillation must raise the index")
+	}
+	// Degenerate inputs.
+	if StabilityIndex(nil) != 0 || StabilityIndex([][]float64{{1}}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+	// All-zero flows are skipped, not NaN.
+	if got := StabilityIndex([][]float64{{0}, {0}}); got != 0 || math.IsNaN(got) {
+		t.Fatalf("zero flows S = %v", got)
+	}
+}
+
+func TestStabilityIndexMatchesFormula(t *testing.T) {
+	// Hand-computed: one flow with samples 8, 12 → mean 10,
+	// var = ((8-10)²+(12-10)²)/(m-1) = 8, sd = 2.828…, S = sd/mean.
+	got := StabilityIndex([][]float64{{8}, {12}})
+	want := math.Sqrt(8) / 10
+	if !almostEq(got, want) {
+		t.Fatalf("S = %v, want %v", got, want)
+	}
+}
+
+func TestFriendlinessIndex(t *testing.T) {
+	// TCP flows get exactly their fair share → T = 1.
+	with := []float64{10, 10}
+	alone := []float64{10, 10, 10, 10}
+	if got := FriendlinessIndex(with, alone); !almostEq(got, 1) {
+		t.Fatalf("T = %v", got)
+	}
+	// TCP crushed to half its share → T = 0.5.
+	if got := FriendlinessIndex([]float64{5, 5}, alone); !almostEq(got, 0.5) {
+		t.Fatalf("T = %v", got)
+	}
+	if got := FriendlinessIndex(with, []float64{0, 0}); got != 0 {
+		t.Fatalf("degenerate T = %v", got)
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	got := ColumnMeans([][]float64{{1, 10}, {3, 30}})
+	if len(got) != 2 || !almostEq(got[0], 2) || !almostEq(got[1], 20) {
+		t.Fatalf("ColumnMeans = %v", got)
+	}
+	if ColumnMeans(nil) != nil {
+		t.Fatal("empty input")
+	}
+}

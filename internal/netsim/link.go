@@ -1,0 +1,161 @@
+package netsim
+
+// QueueKind selects the queueing discipline of a link's egress buffer.
+type QueueKind int
+
+// Queue disciplines. The paper's experiments all use DropTail; RED exists
+// for sensitivity studies.
+const (
+	DropTail QueueKind = iota
+	RED
+)
+
+// LinkStats counts a link's lifetime activity.
+type LinkStats struct {
+	Sent      int64 // packets handed to Send
+	Delivered int64
+	Dropped   int64
+	Bytes     int64 // bytes delivered
+	MaxQueue  int   // high-water mark of the queue, packets
+}
+
+// Link is a unidirectional store-and-forward link: an egress queue feeding
+// a transmitter of fixed rate, followed by a fixed propagation delay.
+// Bidirectional paths are built from two Links.
+type Link struct {
+	sim   *Sim
+	rate  int64 // bits per second; 0 means infinitely fast
+	delay Time
+	qcap  int // queue capacity in packets (excluding the one in service)
+	kind  QueueKind
+	dst   Deliver
+
+	// JitterMax, when positive, adds a uniform random extra delay in
+	// [0, JitterMax) to each delivery. It models host processing
+	// variability and, on ACK paths, breaks the deterministic phase
+	// effects that plague DropTail simulations (Floyd & Jacobson 1992).
+	JitterMax Time
+
+	queue    []*Packet
+	busy     bool
+	lastDlvr Time // FIFO guard: jitter never reorders deliveries
+	Stats    LinkStats
+	redAvg   float64 // RED: EWMA of queue length
+	redMin   int
+	redMax   int
+	redPmax  float64
+}
+
+// NewLink creates a link delivering to dst. rateBps is the capacity in bits
+// per second (0 = infinite), delay the one-way propagation delay, queuePkts
+// the DropTail queue size in packets.
+func NewLink(sim *Sim, rateBps int64, delay Time, queuePkts int, dst Deliver) *Link {
+	if queuePkts < 1 {
+		queuePkts = 1
+	}
+	return &Link{
+		sim:     sim,
+		rate:    rateBps,
+		delay:   delay,
+		qcap:    queuePkts,
+		dst:     dst,
+		redMin:  queuePkts / 4,
+		redMax:  3 * queuePkts / 4,
+		redPmax: 0.1,
+	}
+}
+
+// UseRED switches the queue to Random Early Detection with thresholds at
+// 1/4 and 3/4 of the queue capacity.
+func (l *Link) UseRED() { l.kind = RED }
+
+// QueueLen returns the instantaneous queue occupancy in packets.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// Delay returns the propagation delay.
+func (l *Link) Delay() Time { return l.delay }
+
+// Rate returns the link capacity in bits per second.
+func (l *Link) Rate() int64 { return l.rate }
+
+// txTime returns the serialization time of p.
+func (l *Link) txTime(p *Packet) Time {
+	if l.rate <= 0 {
+		return 0
+	}
+	return Time(int64(p.Size) * 8 * Second / l.rate)
+}
+
+// Send enqueues p for transmission, dropping it when the queue is full
+// (DropTail) or when RED decides to mark-by-drop.
+func (l *Link) Send(p *Packet) {
+	l.Stats.Sent++
+	if l.kind == RED {
+		l.redAvg = l.redAvg*0.98 + float64(len(l.queue))*0.02
+		if l.redAvg > float64(l.redMax) {
+			l.Stats.Dropped++
+			return
+		}
+		if l.redAvg > float64(l.redMin) {
+			pdrop := l.redPmax * (l.redAvg - float64(l.redMin)) / float64(l.redMax-l.redMin)
+			if l.sim.Rand.Float64() < pdrop {
+				l.Stats.Dropped++
+				return
+			}
+		}
+	}
+	if len(l.queue) >= l.qcap {
+		l.Stats.Dropped++
+		return
+	}
+	l.queue = append(l.queue, p)
+	if len(l.queue) > l.Stats.MaxQueue {
+		l.Stats.MaxQueue = len(l.queue)
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	if len(l.queue) == 0 {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	tx := l.txTime(p)
+	l.sim.After(tx, func() {
+		// Propagation happens in parallel with the next serialization.
+		d := l.delay
+		if l.JitterMax > 0 {
+			d += Time(l.sim.Rand.Int63n(int64(l.JitterMax)))
+		}
+		// Links are FIFO: jitter shifts timing but never reorders.
+		at := l.sim.Now() + d
+		if at < l.lastDlvr {
+			at = l.lastDlvr
+		}
+		l.lastDlvr = at
+		l.sim.At(at, func() {
+			l.Stats.Delivered++
+			l.Stats.Bytes += int64(p.Size)
+			l.dst(p)
+		})
+		l.transmitNext()
+	})
+}
+
+// Pipe is a symmetric bidirectional path between two endpoints.
+type Pipe struct {
+	AtoB, BtoA *Link
+}
+
+// NewPipe wires a ↔ b with identical rate/delay/queue in both directions.
+func NewPipe(sim *Sim, rateBps int64, delay Time, queuePkts int, a, b Deliver) *Pipe {
+	return &Pipe{
+		AtoB: NewLink(sim, rateBps, delay, queuePkts, b),
+		BtoA: NewLink(sim, rateBps, delay, queuePkts, a),
+	}
+}

@@ -1,0 +1,109 @@
+package netsim
+
+// FlowMeter samples per-flow goodput on a fixed interval, producing the
+// time series behind the paper's throughput plots and the stability /
+// fairness indices.
+type FlowMeter struct {
+	sim      *Sim
+	interval Time
+	flows    int
+	bytes    []int64     // since last sample
+	total    []int64     // lifetime
+	Samples  [][]float64 // Samples[k][flow] = Mb/s during interval k
+}
+
+// NewFlowMeter starts sampling `flows` flows every interval.
+func NewFlowMeter(sim *Sim, flows int, interval Time) *FlowMeter {
+	m := &FlowMeter{
+		sim:      sim,
+		interval: interval,
+		flows:    flows,
+		bytes:    make([]int64, flows),
+		total:    make([]int64, flows),
+	}
+	sim.After(interval, m.sample)
+	return m
+}
+
+func (m *FlowMeter) sample() {
+	row := make([]float64, m.flows)
+	for i, b := range m.bytes {
+		row[i] = float64(b*8) / float64(m.interval) * float64(Second) / 1e6 // Mb/s
+		m.bytes[i] = 0
+	}
+	m.Samples = append(m.Samples, row)
+	m.sim.After(m.interval, m.sample)
+}
+
+// Account credits n delivered application bytes to flow.
+func (m *FlowMeter) Account(flow int, n int) {
+	m.bytes[flow] += int64(n)
+	m.total[flow] += int64(n)
+}
+
+// TotalBytes returns flow's lifetime delivered bytes.
+func (m *FlowMeter) TotalBytes(flow int) int64 { return m.total[flow] }
+
+// AvgMbps returns flow's lifetime average goodput over the duration that
+// has elapsed so far.
+func (m *FlowMeter) AvgMbps(flow int) float64 {
+	if m.sim.Now() == 0 {
+		return 0
+	}
+	return float64(m.total[flow]*8) / float64(m.sim.Now()) * float64(Second) / 1e6
+}
+
+// SeriesAfter returns the per-flow sample matrix skipping the first `skip`
+// samples (warm-up trimming).
+func (m *FlowMeter) SeriesAfter(skip int) [][]float64 {
+	if skip >= len(m.Samples) {
+		return nil
+	}
+	return m.Samples[skip:]
+}
+
+// CBRSource injects constant-bit-rate traffic into dst — the "bursting UDP
+// flow" cross-traffic of Fig. 8 is a CBR source toggled on and off.
+type CBRSource struct {
+	sim     *Sim
+	dst     Deliver
+	rate    int64 // bits per second while on
+	size    int
+	flow    int
+	on      bool
+	stopped bool
+	Sent    int64
+}
+
+// NewCBRSource creates a source that is initially off.
+func NewCBRSource(sim *Sim, dst Deliver, rateBps int64, pktSize, flow int) *CBRSource {
+	return &CBRSource{sim: sim, dst: dst, rate: rateBps, size: pktSize, flow: flow}
+}
+
+// Start begins packet injection.
+func (s *CBRSource) Start() {
+	if s.on || s.stopped {
+		return
+	}
+	s.on = true
+	s.emit()
+}
+
+// Stop pauses injection (restartable).
+func (s *CBRSource) Stop() { s.on = false }
+
+// Shutdown halts the source permanently.
+func (s *CBRSource) Shutdown() { s.stopped = true; s.on = false }
+
+func (s *CBRSource) emit() {
+	if !s.on || s.stopped {
+		return
+	}
+	s.dst(&Packet{Size: s.size, Flow: s.flow, Payload: "cbr"})
+	s.Sent++
+	gap := Time(int64(s.size) * 8 * Second / s.rate)
+	if gap < 1 {
+		gap = 1
+	}
+	s.sim.After(gap, s.emit)
+}

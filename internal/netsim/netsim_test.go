@@ -1,0 +1,300 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.At(10, func() { got = append(got, 11) }) // same time: insertion order
+	s.Run(100)
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d, want 100", s.Now())
+	}
+}
+
+func TestRunStopsAtBoundary(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(200, func() { fired = true })
+	s.Run(100)
+	if fired {
+		t.Fatal("event beyond until fired")
+	}
+	if s.Pending() != 1 {
+		t.Fatal("pending event lost")
+	}
+	s.Run(300)
+	if !fired {
+		t.Fatal("event not fired on second run")
+	}
+}
+
+func TestPastEventClamped(t *testing.T) {
+	s := New(1)
+	s.At(50, func() {
+		s.At(10, func() {}) // scheduling into the past must clamp, not warp
+	})
+	s.Run(100)
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d", s.Now())
+	}
+}
+
+func TestLinkSerializationAndDelay(t *testing.T) {
+	s := New(1)
+	var arrivals []Time
+	// 1 Mb/s link: a 1250-byte packet serializes in 10 ms; delay 5 ms.
+	l := NewLink(s, 1_000_000, 5*Millisecond, 100, func(p *Packet) {
+		arrivals = append(arrivals, s.Now())
+	})
+	l.Send(&Packet{Size: 1250})
+	l.Send(&Packet{Size: 1250})
+	s.Run(Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	if arrivals[0] != 15*Millisecond {
+		t.Fatalf("first arrival %d, want 15ms", arrivals[0])
+	}
+	// Second packet: serialized back-to-back → +10 ms.
+	if arrivals[1] != 25*Millisecond {
+		t.Fatalf("second arrival %d, want 25ms", arrivals[1])
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := New(1)
+	delivered := 0
+	l := NewLink(s, 1_000_000, 0, 2, func(p *Packet) { delivered++ })
+	// Burst of 10: 1 in service + 2 queued survive at most... the first
+	// enters service immediately, so 3 are accepted.
+	for i := 0; i < 10; i++ {
+		l.Send(&Packet{Size: 1250})
+	}
+	s.Run(Second)
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+	if l.Stats.Dropped != 7 {
+		t.Fatalf("dropped %d, want 7", l.Stats.Dropped)
+	}
+	if l.Stats.MaxQueue != 2 {
+		t.Fatalf("max queue %d, want 2", l.Stats.MaxQueue)
+	}
+}
+
+// TestLinkConservation: every packet is delivered exactly once or dropped —
+// links neither duplicate nor lose accounting.
+func TestPropLinkConservation(t *testing.T) {
+	f := func(seed int64, n uint8, qcap uint8) bool {
+		s := New(seed)
+		delivered := 0
+		l := NewLink(s, 10_000_000, Millisecond, int(qcap%32)+1, func(p *Packet) { delivered++ })
+		total := int(n%200) + 1
+		for i := 0; i < total; i++ {
+			at := Time(s.Rand.Int63n(int64(100 * Millisecond)))
+			s.At(at, func() { l.Send(&Packet{Size: 100 + s.Rand.Intn(1400)}) })
+		}
+		s.Run(10 * Second)
+		return int64(delivered) == l.Stats.Delivered &&
+			l.Stats.Delivered+l.Stats.Dropped == l.Stats.Sent &&
+			l.Stats.Sent == int64(total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkThroughputAtCapacity(t *testing.T) {
+	s := New(1)
+	bytes := int64(0)
+	l := NewLink(s, 100_000_000, Millisecond, 50, func(p *Packet) { bytes += int64(p.Size) })
+	src := NewCBRSource(s, l.Send, 200_000_000, 1500, 0) // 2× overload
+	src.Start()
+	s.Run(Second)
+	src.Shutdown()
+	mbps := float64(bytes*8) / 1e6
+	if mbps < 95 || mbps > 101 {
+		t.Fatalf("delivered %.1f Mb/s through a 100 Mb/s link", mbps)
+	}
+	if l.Stats.Dropped == 0 {
+		t.Fatal("overloaded DropTail must drop")
+	}
+}
+
+func TestInfiniteRateLink(t *testing.T) {
+	s := New(1)
+	var at Time = -1
+	l := NewLink(s, 0, 7*Millisecond, 10, func(p *Packet) { at = s.Now() })
+	l.Send(&Packet{Size: 1_000_000})
+	s.Run(Second)
+	if at != 7*Millisecond {
+		t.Fatalf("arrival %d, want pure propagation 7ms", at)
+	}
+}
+
+func TestREDDropsEarly(t *testing.T) {
+	s := New(42)
+	delivered := 0
+	l := NewLink(s, 10_000_000, 0, 100, func(p *Packet) { delivered++ })
+	l.UseRED()
+	src := NewCBRSource(s, l.Send, 50_000_000, 1500, 0)
+	src.Start()
+	s.Run(2 * Second)
+	src.Shutdown()
+	if l.Stats.Dropped == 0 {
+		t.Fatal("RED never dropped under sustained overload")
+	}
+	// Once the averaged queue estimate warms up, RED holds the queue below
+	// the hard limit (the initial burst may still fill it).
+	if l.QueueLen() >= 100 {
+		t.Fatalf("RED steady-state queue at the hard cap: %d", l.QueueLen())
+	}
+}
+
+func TestFlowMeter(t *testing.T) {
+	s := New(1)
+	m := NewFlowMeter(s, 2, 100*Millisecond)
+	// Flow 0: 1250 bytes every 10 ms = 1 Mb/s; flow 1 idle.
+	var feed func()
+	feed = func() {
+		m.Account(0, 1250)
+		s.After(10*Millisecond, feed)
+	}
+	s.After(10*Millisecond, feed)
+	s.Run(Second)
+	if len(m.Samples) != 10 {
+		t.Fatalf("samples = %d, want 10", len(m.Samples))
+	}
+	for k, row := range m.Samples {
+		if row[0] < 0.9 || row[0] > 1.1 {
+			t.Fatalf("sample %d flow0 = %v Mb/s, want ≈1", k, row[0])
+		}
+		if row[1] != 0 {
+			t.Fatalf("idle flow measured %v", row[1])
+		}
+	}
+	if got := m.AvgMbps(0); got < 0.9 || got > 1.1 {
+		t.Fatalf("AvgMbps = %v", got)
+	}
+	if m.TotalBytes(0) != 125000 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes(0))
+	}
+	if rows := m.SeriesAfter(8); len(rows) != 2 {
+		t.Fatalf("SeriesAfter(8) = %d rows", len(rows))
+	}
+	if rows := m.SeriesAfter(100); rows != nil {
+		t.Fatal("SeriesAfter beyond end must be nil")
+	}
+}
+
+func TestDumbbellRouting(t *testing.T) {
+	s := New(1)
+	d := NewDumbbell(s, 1_000_000_000, 100, []Time{10 * Millisecond, 40 * Millisecond})
+	var sink0, sink1, src0 []Time
+	d.Bind(0, func(p *Packet) { sink0 = append(sink0, s.Now()) }, func(p *Packet) { src0 = append(src0, s.Now()) })
+	d.Bind(1, func(p *Packet) { sink1 = append(sink1, s.Now()) }, nil)
+	d.SrcOut(0)(&Packet{Size: 1250, Flow: 0})
+	d.SrcOut(1)(&Packet{Size: 1250, Flow: 1})
+	d.SinkOut(0)(&Packet{Size: 40, Flow: 0})
+	s.Run(Second)
+	if len(sink0) != 1 || len(sink1) != 1 || len(src0) != 1 {
+		t.Fatalf("routing failed: %v %v %v", sink0, sink1, src0)
+	}
+	// One-way ≈ rtt/2 plus 10 µs serialization at 1 Gb/s.
+	if sink0[0] < 5*Millisecond || sink0[0] > 6*Millisecond {
+		t.Fatalf("flow0 one-way = %d", sink0[0])
+	}
+	if sink1[0] < 20*Millisecond || sink1[0] > 21*Millisecond {
+		t.Fatalf("flow1 one-way = %d", sink1[0])
+	}
+	if src0[0] < 5*Millisecond || src0[0] > 6*Millisecond {
+		t.Fatalf("reverse one-way = %d", src0[0])
+	}
+}
+
+func TestDumbbellSharedBottleneck(t *testing.T) {
+	// Two CBR sources at 80 Mb/s each into a 100 Mb/s bottleneck: combined
+	// delivery pins at capacity and both flows lose packets.
+	s := New(1)
+	d := NewDumbbell(s, 100_000_000, 50, []Time{2 * Millisecond, 2 * Millisecond})
+	bytes := [2]int64{}
+	d.Bind(0, func(p *Packet) { bytes[0] += int64(p.Size) }, nil)
+	d.Bind(1, func(p *Packet) { bytes[1] += int64(p.Size) }, nil)
+	s0 := NewCBRSource(s, d.SrcOut(0), 80_000_000, 1500, 0)
+	s1 := NewCBRSource(s, d.SrcOut(1), 80_000_000, 1500, 1)
+	s0.Start()
+	s1.Start()
+	s.Run(2 * Second)
+	s0.Shutdown()
+	s1.Shutdown()
+	total := float64((bytes[0]+bytes[1])*8) / 2e6
+	if total < 95 || total > 101 {
+		t.Fatalf("aggregate %.1f Mb/s, want ≈100", total)
+	}
+	if d.Bottleneck.Stats.Dropped == 0 {
+		t.Fatal("no drops despite overload")
+	}
+}
+
+func TestCBRSourceRate(t *testing.T) {
+	s := New(1)
+	n := 0
+	src := NewCBRSource(s, func(p *Packet) { n++ }, 12_000_000, 1500, 0) // 1000 pkt/s
+	src.Start()
+	src.Start() // idempotent
+	s.Run(Second)
+	src.Shutdown()
+	src.Start() // no restart after shutdown
+	s.Run(2 * Second)
+	if n < 999 || n > 1001 {
+		t.Fatalf("CBR sent %d packets in 1s, want ≈1000", n)
+	}
+}
+
+// TestPropJitterPreservesOrder: jittered links are still FIFO — reordering
+// would create spurious duplicate ACKs in the TCP model (and real UDP
+// reorder is handled by the protocols, not the link model).
+func TestPropJitterPreservesOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		l := NewLink(s, 100_000_000, 5*Millisecond, 1000, nil)
+		l.JitterMax = 2 * Millisecond
+		var got []int
+		l.dst = func(p *Packet) { got = append(got, p.Payload.(int)) }
+		for i := 0; i < 100; i++ {
+			i := i
+			s.At(Time(i)*50*Microsecond, func() {
+				l.Send(&Packet{Size: 200, Payload: i})
+			})
+		}
+		s.Run(Second)
+		if len(got) != 100 {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

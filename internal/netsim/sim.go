@@ -1,0 +1,125 @@
+// Package netsim is a deterministic discrete-event packet network simulator
+// — this repository's substitute for NS-2, which the paper uses for all
+// control-law experiments (fairness, stability, friendliness, RTT bias,
+// flow-control ablation).
+//
+// The model matches NS-2's at the granularity those experiments need:
+// store-and-forward links defined by a rate and a propagation delay, with
+// DropTail (or RED) queues sized in packets, connecting protocol endpoints
+// that exchange opaque packet payloads. Simulated time is int64 nanoseconds;
+// event ordering is fully deterministic (ties broken by insertion order) and
+// all randomness flows from one seeded generator, so every experiment
+// regenerates bit-identically.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = int64
+
+// Time unit helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Sim is one simulation instance: a virtual clock, an event queue and a
+// seeded random source. Not safe for concurrent use — simulations are
+// single-threaded by construction.
+type Sim struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	// Rand is the simulation's sole randomness source.
+	Rand *rand.Rand
+}
+
+// New returns an empty simulation whose randomness is derived from seed.
+func New(seed int64) *Sim {
+	return &Sim{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// At schedules fn at absolute time t (clamped to now for past times).
+func (s *Sim) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Step executes the next event, reporting false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the clock passes `until` or the queue drains.
+// The clock finishes at exactly `until`.
+func (s *Sim) Run(until Time) {
+	for len(s.events) > 0 && s.events[0].at <= until {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Pending returns the number of queued events (test introspection).
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Packet is the unit of transmission. Size is the on-wire size in bytes and
+// drives serialization delay and queue accounting; Payload carries the
+// protocol-specific content and is never inspected by the simulator.
+type Packet struct {
+	Size    int
+	Flow    int // flow identifier for tracing and per-flow accounting
+	Payload interface{}
+}
+
+// Deliver is a packet sink: an endpoint's receive entry point, a link's
+// Send, or any function composed between them.
+type Deliver func(*Packet)

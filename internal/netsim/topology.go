@@ -1,0 +1,92 @@
+package netsim
+
+// Dumbbell is the evaluation's workhorse topology: N sources reach N sinks
+// through one shared bottleneck link; each flow has its own access and
+// return links carrying its share of the round-trip delay. All queueing
+// happens at the bottleneck (access and return links are infinitely fast
+// with effectively unbounded buffers), matching the NS-2 setups in the
+// paper's figure captions.
+//
+//	src_0 ──access_0──┐                       ┌──► sink_0
+//	src_1 ──access_1──┼──► [bottleneck, Q] ───┼──► sink_1
+//	...               │                       └──► ...
+//	sink_i ──return_i────────────────────────────► src_i   (ACK path)
+type Dumbbell struct {
+	sim        *Sim
+	Bottleneck *Link
+	access     []*Link
+	reverse    []*Link
+	toSink     []Deliver
+	toSrc      []Deliver
+}
+
+// NewDumbbell builds a dumbbell with the given bottleneck rate and DropTail
+// queue, and one flow per entry of rtts: flow i's unloaded round-trip time.
+// Endpoints are attached afterwards with Bind.
+func NewDumbbell(sim *Sim, rateBps int64, queuePkts int, rtts []Time) *Dumbbell {
+	n := len(rtts)
+	d := &Dumbbell{
+		sim:     sim,
+		access:  make([]*Link, n),
+		reverse: make([]*Link, n),
+		toSink:  make([]Deliver, n),
+		toSrc:   make([]Deliver, n),
+	}
+	d.Bottleneck = NewLink(sim, rateBps, 0, queuePkts, func(p *Packet) {
+		// Flow ids outside the bound range (cross traffic) fall off the far
+		// side of the bottleneck.
+		if p.Flow >= 0 && p.Flow < len(d.toSink) {
+			if f := d.toSink[p.Flow]; f != nil {
+				f(p)
+			}
+		}
+	})
+	for i, rtt := range rtts {
+		i := i
+		// Access links run at twice the bottleneck's rate, modeling host
+		// NICs that are faster than the narrow shared link. A packet pair
+		// is therefore pre-spaced at the source to half the bottleneck's
+		// serialization time: the pair still queues back-to-back at the
+		// bottleneck (preserving receiver-based packet-pair capacity
+		// estimation) while rarely leaving room for a competitor's packet
+		// to slip between — but the shared link remains the unique
+		// congestion point.
+		d.access[i] = NewLink(sim, 2*rateBps, rtt/2, 1<<20, d.Bottleneck.Send)
+		d.reverse[i] = NewLink(sim, 0, rtt/2, 1<<20, func(p *Packet) {
+			if f := d.toSrc[p.Flow]; f != nil {
+				f(p)
+			}
+		})
+		// Jitter on the ACK path breaks deterministic DropTail phase
+		// effects without disturbing forward-path packet-pair spacing.
+		d.reverse[i].JitterMax = 500 * Microsecond
+	}
+	return d
+}
+
+// Bind attaches flow i's endpoints: toSink receives the flow's packets at
+// the sink side, toSrc receives the reverse-path (ACK) packets at the
+// source side.
+func (d *Dumbbell) Bind(i int, toSink, toSrc Deliver) {
+	d.toSink[i] = toSink
+	d.toSrc[i] = toSrc
+}
+
+// SrcOut returns the sink-bound injection point for flow i (what the source
+// endpoint uses as its output).
+func (d *Dumbbell) SrcOut(i int) Deliver { return d.access[i].Send }
+
+// SinkOut returns the source-bound injection point for flow i (what the
+// sink endpoint uses to send ACKs/NAKs back).
+func (d *Dumbbell) SinkOut(i int) Deliver { return d.reverse[i].Send }
+
+// InjectCross returns an injection point that shares the bottleneck but
+// whose packets are discarded at the far side — cross traffic (Fig. 8).
+// The packets travel under the given flow id, which must not collide with a
+// bound flow.
+func (d *Dumbbell) InjectCross(flow int) Deliver {
+	return func(p *Packet) {
+		p.Flow = flow
+		d.Bottleneck.Send(p)
+	}
+}

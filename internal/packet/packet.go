@@ -1,0 +1,393 @@
+// Package packet defines UDT's wire format: fixed-size headers for data
+// packets and the eight control packet types, plus the compressed loss-list
+// encoding used inside NAK reports.
+//
+// The format follows the paper-era UDT protocol (and its Internet-Draft):
+// all fields are big-endian; the highest bit of the first 32-bit word
+// distinguishes data (0) from control (1) packets. Data packets carry a
+// 31-bit packet-based sequence number and a relative timestamp. Control
+// packets carry a 15-bit type, an "additional info" word whose meaning
+// depends on the type, a timestamp, and a type-specific control information
+// field.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"udt/internal/seqno"
+)
+
+// Header sizes in bytes.
+const (
+	DataHeaderSize = 8  // seq(4) + timestamp(4)
+	CtrlHeaderSize = 12 // flag|type(4) + additional info(4) + timestamp(4)
+)
+
+// ControlType identifies a control packet.
+type ControlType uint16
+
+// Control packet types (paper §4.8 and the UDT Internet-Draft).
+const (
+	TypeHandshake   ControlType = 0x0
+	TypeKeepAlive   ControlType = 0x1
+	TypeACK         ControlType = 0x2
+	TypeNAK         ControlType = 0x3
+	TypeCongestion  ControlType = 0x4 // congestion warning (delay-based; obsolete, kept for compat)
+	TypeShutdown    ControlType = 0x5
+	TypeACK2        ControlType = 0x6
+	TypeMessageDrop ControlType = 0x7
+)
+
+func (t ControlType) String() string {
+	switch t {
+	case TypeHandshake:
+		return "handshake"
+	case TypeKeepAlive:
+		return "keepalive"
+	case TypeACK:
+		return "ack"
+	case TypeNAK:
+		return "nak"
+	case TypeCongestion:
+		return "congestion-warning"
+	case TypeShutdown:
+		return "shutdown"
+	case TypeACK2:
+		return "ack2"
+	case TypeMessageDrop:
+		return "message-drop"
+	default:
+		return fmt.Sprintf("control(%#x)", uint16(t))
+	}
+}
+
+const ctrlFlag = uint32(1) << 31
+
+// Common decode errors.
+var (
+	ErrShort       = errors.New("packet: datagram too short")
+	ErrBadType     = errors.New("packet: unknown control type")
+	ErrBadLossList = errors.New("packet: malformed compressed loss list")
+)
+
+// IsControl reports whether the raw datagram holds a control packet.
+// Datagrams shorter than 4 bytes are reported as control so that the caller's
+// subsequent Decode returns ErrShort.
+func IsControl(raw []byte) bool {
+	if len(raw) < 4 {
+		return true
+	}
+	return binary.BigEndian.Uint32(raw)&ctrlFlag != 0
+}
+
+// Data is a decoded data packet. Payload aliases the decode buffer.
+type Data struct {
+	Seq       int32 // 31-bit packet sequence number
+	Timestamp int32 // microseconds since connection start
+	Payload   []byte
+}
+
+// EncodeData writes the data packet into dst, which must have room for
+// DataHeaderSize + len(p.Payload) bytes, and returns the encoded length.
+func EncodeData(dst []byte, p *Data) (int, error) {
+	n := DataHeaderSize + len(p.Payload)
+	if len(dst) < n {
+		return 0, fmt.Errorf("packet: buffer too small for data packet: %d < %d", len(dst), n)
+	}
+	binary.BigEndian.PutUint32(dst[0:4], uint32(p.Seq)&^ctrlFlag)
+	binary.BigEndian.PutUint32(dst[4:8], uint32(p.Timestamp))
+	copy(dst[DataHeaderSize:], p.Payload)
+	return n, nil
+}
+
+// DecodeData parses a raw datagram as a data packet. The returned payload
+// aliases raw.
+func DecodeData(raw []byte) (Data, error) {
+	if len(raw) < DataHeaderSize {
+		return Data{}, ErrShort
+	}
+	w0 := binary.BigEndian.Uint32(raw[0:4])
+	if w0&ctrlFlag != 0 {
+		return Data{}, errors.New("packet: not a data packet")
+	}
+	return Data{
+		Seq:       int32(w0),
+		Timestamp: int32(binary.BigEndian.Uint32(raw[4:8])),
+		Payload:   raw[DataHeaderSize:],
+	}, nil
+}
+
+// Handshake is the connection setup control packet body.
+type Handshake struct {
+	Version    int32 // protocol version; this implementation speaks 4
+	SockType   int32 // 0 = stream (the only mode the paper's UDT supports)
+	InitSeq    int32 // initial packet sequence number
+	MSS        int32 // maximum segment size (total UDP payload bytes)
+	FlowWindow int32 // maximum flow window (packets)
+	ReqType    int32 // 1 = request, -1 = response
+	ConnID     int32 // connection identifier chosen by the initiator
+}
+
+// Version is the protocol version this package speaks.
+const Version = 4
+
+// ACK is the acknowledgement control packet body (paper §3.1, §3.2, §3.4).
+// Beyond the cumulative acknowledgement it feeds back the receiver-side
+// measurements that drive the sender's window and rate control.
+type ACK struct {
+	AckID    int32 // ACK sequence number, echoed by ACK2 (in the header's additional-info word)
+	Seq      int32 // all packets before this sequence number have been received
+	RTT      int32 // microseconds
+	RTTVar   int32 // microseconds
+	AvailBuf int32 // available receiver buffer (packets)
+	RecvRate int32 // packet arrival speed (packets per second)
+	Capacity int32 // estimated link capacity (packets per second)
+}
+
+// LightACKBody is the control-info length of a "light" ACK carrying only Seq.
+// The reference implementation sends light ACKs when acknowledging very
+// frequently; we support decoding both.
+const LightACKBody = 4
+
+// FullACKBody is the control-info length of a full ACK.
+const FullACKBody = 24
+
+// NAK is the negative acknowledgement: an explicit compressed loss report.
+type NAK struct {
+	Losses []Range
+}
+
+// Range is an inclusive range of lost sequence numbers.
+type Range struct {
+	Start, End int32
+}
+
+// Count returns the number of sequence numbers covered by r.
+func (r Range) Count() int32 { return seqno.Len(r.Start, r.End) }
+
+// Control is a decoded control packet.
+type Control struct {
+	Type      ControlType
+	Extra     int32 // additional info word (ACK ID for ACK/ACK2; first msg seq for MessageDrop)
+	Timestamp int32
+	Body      []byte // raw control information field (aliases the decode buffer)
+}
+
+// DecodeControl parses the common control header. The type-specific body is
+// left raw in Body; use DecodeACK / DecodeNAK / DecodeHandshake to interpret.
+func DecodeControl(raw []byte) (Control, error) {
+	if len(raw) < CtrlHeaderSize {
+		return Control{}, ErrShort
+	}
+	w0 := binary.BigEndian.Uint32(raw[0:4])
+	if w0&ctrlFlag == 0 {
+		return Control{}, errors.New("packet: not a control packet")
+	}
+	t := ControlType((w0 >> 16) & 0x7FFF)
+	if t > TypeMessageDrop {
+		return Control{}, ErrBadType
+	}
+	return Control{
+		Type:      t,
+		Extra:     int32(binary.BigEndian.Uint32(raw[4:8])),
+		Timestamp: int32(binary.BigEndian.Uint32(raw[8:12])),
+		Body:      raw[CtrlHeaderSize:],
+	}, nil
+}
+
+func putCtrlHeader(dst []byte, t ControlType, extra, ts int32) {
+	binary.BigEndian.PutUint32(dst[0:4], ctrlFlag|uint32(t)<<16)
+	binary.BigEndian.PutUint32(dst[4:8], uint32(extra))
+	binary.BigEndian.PutUint32(dst[8:12], uint32(ts))
+}
+
+// EncodeHandshake writes a handshake control packet and returns its length.
+func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
+	n := CtrlHeaderSize + 28
+	if len(dst) < n {
+		return 0, fmt.Errorf("packet: buffer too small for handshake: %d < %d", len(dst), n)
+	}
+	putCtrlHeader(dst, TypeHandshake, 0, ts)
+	b := dst[CtrlHeaderSize:]
+	for i, v := range []int32{h.Version, h.SockType, h.InitSeq, h.MSS, h.FlowWindow, h.ReqType, h.ConnID} {
+		binary.BigEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return n, nil
+}
+
+// DecodeHandshake interprets the body of a handshake control packet.
+func DecodeHandshake(c Control) (Handshake, error) {
+	if c.Type != TypeHandshake {
+		return Handshake{}, fmt.Errorf("packet: %v is not a handshake", c.Type)
+	}
+	if len(c.Body) < 28 {
+		return Handshake{}, ErrShort
+	}
+	get := func(i int) int32 { return int32(binary.BigEndian.Uint32(c.Body[i*4:])) }
+	return Handshake{
+		Version:    get(0),
+		SockType:   get(1),
+		InitSeq:    get(2),
+		MSS:        get(3),
+		FlowWindow: get(4),
+		ReqType:    get(5),
+		ConnID:     get(6),
+	}, nil
+}
+
+// EncodeACK writes a full ACK control packet and returns its length.
+func EncodeACK(dst []byte, a *ACK, ts int32) (int, error) {
+	n := CtrlHeaderSize + FullACKBody
+	if len(dst) < n {
+		return 0, fmt.Errorf("packet: buffer too small for ack: %d < %d", len(dst), n)
+	}
+	putCtrlHeader(dst, TypeACK, a.AckID, ts)
+	b := dst[CtrlHeaderSize:]
+	for i, v := range []int32{a.Seq, a.RTT, a.RTTVar, a.AvailBuf, a.RecvRate, a.Capacity} {
+		binary.BigEndian.PutUint32(b[i*4:], uint32(v))
+	}
+	return n, nil
+}
+
+// EncodeLightACK writes a light ACK carrying only the cumulative sequence.
+func EncodeLightACK(dst []byte, ackID, seq, ts int32) (int, error) {
+	n := CtrlHeaderSize + LightACKBody
+	if len(dst) < n {
+		return 0, fmt.Errorf("packet: buffer too small for light ack: %d < %d", len(dst), n)
+	}
+	putCtrlHeader(dst, TypeACK, ackID, ts)
+	binary.BigEndian.PutUint32(dst[CtrlHeaderSize:], uint32(seq))
+	return n, nil
+}
+
+// DecodeACK interprets the body of an ACK control packet. Light ACKs yield
+// zero values for all fields except AckID and Seq.
+func DecodeACK(c Control) (ACK, error) {
+	if c.Type != TypeACK {
+		return ACK{}, fmt.Errorf("packet: %v is not an ack", c.Type)
+	}
+	if len(c.Body) < LightACKBody {
+		return ACK{}, ErrShort
+	}
+	a := ACK{
+		AckID: c.Extra,
+		Seq:   int32(binary.BigEndian.Uint32(c.Body[0:4])),
+	}
+	if len(c.Body) >= FullACKBody {
+		get := func(i int) int32 { return int32(binary.BigEndian.Uint32(c.Body[i*4:])) }
+		a.RTT = get(1)
+		a.RTTVar = get(2)
+		a.AvailBuf = get(3)
+		a.RecvRate = get(4)
+		a.Capacity = get(5)
+	}
+	return a, nil
+}
+
+// EncodeACK2 writes an ACK2 control packet acknowledging ACK number ackID.
+func EncodeACK2(dst []byte, ackID, ts int32) (int, error) {
+	if len(dst) < CtrlHeaderSize {
+		return 0, fmt.Errorf("packet: buffer too small for ack2: %d < %d", len(dst), CtrlHeaderSize)
+	}
+	putCtrlHeader(dst, TypeACK2, ackID, ts)
+	return CtrlHeaderSize, nil
+}
+
+// EncodeNAK writes a NAK carrying the compressed loss list and returns its
+// length. Ranges must be non-overlapping and in increasing order.
+func EncodeNAK(dst []byte, losses []Range, ts int32) (int, error) {
+	n := CtrlHeaderSize + compressedLen(losses)*4
+	if len(dst) < n {
+		return 0, fmt.Errorf("packet: buffer too small for nak: %d < %d", len(dst), n)
+	}
+	putCtrlHeader(dst, TypeNAK, 0, ts)
+	CompressLoss(dst[CtrlHeaderSize:], losses)
+	return n, nil
+}
+
+// DecodeNAK interprets the body of a NAK control packet.
+func DecodeNAK(c Control) (NAK, error) {
+	if c.Type != TypeNAK {
+		return NAK{}, fmt.Errorf("packet: %v is not a nak", c.Type)
+	}
+	losses, err := DecompressLoss(c.Body)
+	if err != nil {
+		return NAK{}, err
+	}
+	return NAK{Losses: losses}, nil
+}
+
+// EncodeSimple writes a body-less control packet (keep-alive, shutdown,
+// congestion warning).
+func EncodeSimple(dst []byte, t ControlType, ts int32) (int, error) {
+	if len(dst) < CtrlHeaderSize {
+		return 0, fmt.Errorf("packet: buffer too small for %v: %d < %d", t, len(dst), CtrlHeaderSize)
+	}
+	putCtrlHeader(dst, t, 0, ts)
+	return CtrlHeaderSize, nil
+}
+
+// compressedLen returns the number of 32-bit words the compressed encoding
+// of losses occupies.
+func compressedLen(losses []Range) int {
+	n := 0
+	for _, r := range losses {
+		if r.Start == r.End {
+			n++
+		} else {
+			n += 2
+		}
+	}
+	return n
+}
+
+// CompressLoss encodes loss ranges using the paper's Appendix scheme: a
+// sequence number with the flag bit set opens a range that is closed by the
+// next (flag-less) number; a flag-less number on its own is a single loss.
+// dst must have room for compressedLen(losses)*4 bytes. It returns the number
+// of bytes written.
+func CompressLoss(dst []byte, losses []Range) int {
+	off := 0
+	for _, r := range losses {
+		if r.Start == r.End {
+			binary.BigEndian.PutUint32(dst[off:], uint32(r.Start))
+			off += 4
+		} else {
+			binary.BigEndian.PutUint32(dst[off:], uint32(r.Start)|ctrlFlag)
+			binary.BigEndian.PutUint32(dst[off+4:], uint32(r.End))
+			off += 8
+		}
+	}
+	return off
+}
+
+// DecompressLoss decodes a compressed loss list.
+func DecompressLoss(body []byte) ([]Range, error) {
+	if len(body)%4 != 0 {
+		return nil, ErrBadLossList
+	}
+	var out []Range
+	for i := 0; i < len(body); i += 4 {
+		w := binary.BigEndian.Uint32(body[i:])
+		if w&ctrlFlag != 0 {
+			if i+8 > len(body) {
+				return nil, ErrBadLossList
+			}
+			end := binary.BigEndian.Uint32(body[i+4:])
+			if end&ctrlFlag != 0 {
+				return nil, ErrBadLossList
+			}
+			start := int32(w &^ ctrlFlag)
+			if seqno.Cmp(start, int32(end)) >= 0 {
+				return nil, ErrBadLossList
+			}
+			out = append(out, Range{Start: start, End: int32(end)})
+			i += 4
+		} else {
+			out = append(out, Range{Start: int32(w), End: int32(w)})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+// Package seqno implements UDT's 31-bit wrap-around sequence number
+// arithmetic.
+//
+// UDT uses packet-based sequencing (one sequence number per packet, not per
+// byte) carried in a 32-bit field whose highest bit is reserved: in data
+// packets it distinguishes data from control, and inside NAK loss reports it
+// flags the first element of a compressed loss range (see the paper's
+// Appendix). Usable sequence numbers therefore occupy [0, 2^31-1] and wrap.
+//
+// Comparison follows the usual serial-number convention: a is "before" b when
+// the forward distance from a to b is less than half the space. All
+// distances and offsets are computed modulo 2^31.
+package seqno
+
+// Max is the largest valid sequence number (2^31 - 1).
+const Max int32 = 0x7FFFFFFF
+
+// Size is the size of the sequence number space (2^31).
+const Size int64 = 1 << 31
+
+// threshold is the wrap-around comparison threshold (half the space), as in
+// the reference UDT implementation's CSeqNo::seqcmp.
+const threshold int32 = 0x3FFFFFFF
+
+// Valid reports whether s lies in the usable sequence space.
+func Valid(s int32) bool { return s >= 0 }
+
+// Cmp compares two sequence numbers with wrap-around semantics.
+// It returns a negative value if a precedes b, zero if equal, and a positive
+// value if a follows b.
+func Cmp(a, b int32) int {
+	d := a - b
+	if d > threshold || d < -threshold {
+		d = b - a
+	}
+	switch {
+	case d < 0:
+		return -1
+	case d > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Less reports whether a precedes b in wrap-around order.
+func Less(a, b int32) bool { return Cmp(a, b) < 0 }
+
+// Leq reports whether a precedes or equals b in wrap-around order.
+func Leq(a, b int32) bool { return Cmp(a, b) <= 0 }
+
+// Len returns the number of packets in the inclusive range [a, b],
+// assuming a precedes or equals b. For example Len(s, s) == 1.
+func Len(a, b int32) int32 {
+	if b >= a {
+		return b - a + 1
+	}
+	return int32(int64(b) - int64(a) + Size + 1)
+}
+
+// Off returns the signed offset from a to b: the number of increments needed
+// to move a onto b, negative if b precedes a. |Off| <= 2^30.
+func Off(a, b int32) int32 {
+	d := b - a
+	if d > threshold {
+		return int32(int64(d) - Size)
+	}
+	if d < -threshold {
+		return int32(int64(d) + Size)
+	}
+	return d
+}
+
+// Inc returns the sequence number immediately after s.
+func Inc(s int32) int32 {
+	if s == Max {
+		return 0
+	}
+	return s + 1
+}
+
+// Dec returns the sequence number immediately before s.
+func Dec(s int32) int32 {
+	if s == 0 {
+		return Max
+	}
+	return s - 1
+}
+
+// Add advances s by n (n may be negative), wrapping modulo 2^31.
+func Add(s int32, n int32) int32 {
+	v := (int64(s) + int64(n)) % Size
+	if v < 0 {
+		v += Size
+	}
+	return int32(v)
+}

@@ -1,0 +1,108 @@
+// Package tcpsim models TCP with selective acknowledgements at packet
+// granularity on the netsim substrate. It provides the paper's baselines:
+// standard TCP ("TCP SACK", what the paper means by TCP), plus the
+// high-speed variants discussed in §5.2 — Scalable TCP's MIMD law and
+// HighSpeed TCP's window-indexed response function — as pluggable
+// congestion-avoidance rules on the same engine.
+//
+// The model captures what the paper's experiments measure: slow start,
+// AIMD congestion avoidance, fast retransmit/recovery driven by SACK
+// information, retransmission timeouts with exponential backoff and Karn's
+// rule, and per-packet acknowledgements. Sequence numbers count packets
+// (not bytes) and never wrap within a simulation.
+package tcpsim
+
+import "sort"
+
+// rangeSet is a sorted set of disjoint half-open int64 intervals [start, end).
+type rangeSet struct {
+	r [][2]int64
+}
+
+// add inserts [s, e), merging as needed.
+func (rs *rangeSet) add(s, e int64) {
+	if s >= e {
+		return
+	}
+	i := sort.Search(len(rs.r), func(i int) bool { return rs.r[i][1] >= s })
+	j := i
+	for j < len(rs.r) && rs.r[j][0] <= e {
+		j++
+	}
+	if i == j {
+		rs.r = append(rs.r, [2]int64{})
+		copy(rs.r[i+1:], rs.r[i:])
+		rs.r[i] = [2]int64{s, e}
+		return
+	}
+	if rs.r[i][0] < s {
+		s = rs.r[i][0]
+	}
+	if rs.r[j-1][1] > e {
+		e = rs.r[j-1][1]
+	}
+	rs.r[i] = [2]int64{s, e}
+	rs.r = append(rs.r[:i+1], rs.r[j:]...)
+}
+
+// contains reports whether x is in the set.
+func (rs *rangeSet) contains(x int64) bool {
+	i := sort.Search(len(rs.r), func(i int) bool { return rs.r[i][1] > x })
+	return i < len(rs.r) && rs.r[i][0] <= x
+}
+
+// firstGapFrom returns the smallest value >= x not in the set.
+func (rs *rangeSet) firstGapFrom(x int64) int64 {
+	i := sort.Search(len(rs.r), func(i int) bool { return rs.r[i][1] > x })
+	if i < len(rs.r) && rs.r[i][0] <= x {
+		return rs.r[i][1]
+	}
+	return x
+}
+
+// dropBefore removes everything below x.
+func (rs *rangeSet) dropBefore(x int64) {
+	i := 0
+	for i < len(rs.r) && rs.r[i][1] <= x {
+		i++
+	}
+	rs.r = rs.r[i:]
+	if len(rs.r) > 0 && rs.r[0][0] < x {
+		rs.r[0][0] = x
+	}
+}
+
+// countIn returns how many integers of [s, e) are in the set.
+func (rs *rangeSet) countIn(s, e int64) int64 {
+	var n int64
+	for _, r := range rs.r {
+		lo, hi := r[0], r[1]
+		if lo < s {
+			lo = s
+		}
+		if hi > e {
+			hi = e
+		}
+		if lo < hi {
+			n += hi - lo
+		}
+	}
+	return n
+}
+
+// clear empties the set.
+func (rs *rangeSet) clear() { rs.r = rs.r[:0] }
+
+// blocks returns up to max ranges, most recently touched not tracked —
+// callers wanting recency keep their own list; this returns the highest
+// ranges first (a reasonable SACK-block choice).
+func (rs *rangeSet) blocks(max int) [][2]int64 {
+	if len(rs.r) <= max {
+		out := make([][2]int64, len(rs.r))
+		copy(out, rs.r)
+		return out
+	}
+	out := make([][2]int64, max)
+	copy(out, rs.r[len(rs.r)-max:])
+	return out
+}

@@ -1,0 +1,410 @@
+package tcpsim
+
+import (
+	"udt/internal/netsim"
+)
+
+// seg is a simulated TCP data segment (payload implied).
+type seg struct {
+	seq int64
+	rtx bool        // retransmission, for Karn's rule
+	ts  netsim.Time // send time, echoed by the ACK
+}
+
+// ackSeg is a simulated TCP acknowledgement.
+type ackSeg struct {
+	cum     int64       // next expected packet
+	sacks   [][2]int64  // up to 3 SACK blocks, half-open
+	ts      netsim.Time // echoed timestamp of the triggering segment
+	rtxEcho bool        // triggering segment was a retransmission
+}
+
+// Header overheads charged on the wire.
+const (
+	tcpHeader = 40 // TCP + IP
+	ackSize   = tcpHeader + 12
+)
+
+// SenderStats counts sender events.
+type SenderStats struct {
+	Sent           int64
+	Retrans        int64
+	Timeouts       int64
+	FastRecoveries int64
+}
+
+// Sender is the TCP data source: congestion control, loss recovery and the
+// retransmission timer.
+type Sender struct {
+	sim     *netsim.Sim
+	out     netsim.Deliver
+	flow    int
+	mss     int
+	variant Variant
+
+	cwnd     float64
+	ssthresh float64
+	maxCwnd  float64
+
+	una     int64 // first unacknowledged
+	nextSeq int64 // next new packet
+	recover int64
+	inFR    bool
+	dupAcks int
+	sacked  rangeSet
+	rtxed   rangeSet
+
+	srtt, rttvar netsim.Time
+	backoff      int
+	rtoGen       uint64
+	rtoArmed     bool
+
+	// BIC binary-search state (BicTCP only).
+	bicMax, bicMin float64
+
+	remaining int64 // packets left to introduce; -1 = endless
+	total     int64 // for completion detection (finite flows)
+	active    bool
+
+	// Stats counts protocol events.
+	Stats  SenderStats
+	DoneAt netsim.Time
+	OnDone func()
+}
+
+// Receiver is the TCP sink: reassembly, cumulative+selective ACK
+// generation, and goodput accounting.
+type Receiver struct {
+	sim   *netsim.Sim
+	out   netsim.Deliver
+	flow  int
+	mss   int
+	rcvd  rangeSet
+	cum   int64
+	meter *netsim.FlowMeter
+
+	// Delivered counts in-order packets handed to the application.
+	Delivered int64
+}
+
+// Flow is a unidirectional TCP transfer.
+type Flow struct {
+	ID  int
+	Src *Sender
+	Dst *Receiver
+}
+
+// NewFlow creates a TCP flow: srcOut carries data toward the sink, dstOut
+// carries ACKs back. Bind the endpoints' Deliver methods into the topology,
+// then Start. maxCwnd is the send/receive buffer bound in packets (the
+// paper sets TCP buffers to at least the BDP; pass a generous value).
+func NewFlow(sim *netsim.Sim, id int, variant Variant, mss int, maxCwnd float64, srcOut, dstOut netsim.Deliver) *Flow {
+	if mss <= 0 {
+		mss = 1460
+	}
+	if maxCwnd <= 0 {
+		maxCwnd = 1 << 20
+	}
+	s := &Sender{
+		sim: sim, out: srcOut, flow: id, mss: mss, variant: variant,
+		cwnd: 2, ssthresh: maxCwnd, maxCwnd: maxCwnd,
+		srtt: 0, rttvar: 0,
+	}
+	r := &Receiver{sim: sim, out: dstOut, flow: id, mss: mss}
+	return &Flow{ID: id, Src: s, Dst: r}
+}
+
+// SetMeter routes sink-side goodput accounting to m.
+func (f *Flow) SetMeter(m *netsim.FlowMeter) { f.Dst.meter = m }
+
+// Start begins transmission of n packets (n < 0: endless bulk).
+func (f *Flow) Start(n int64) {
+	f.Src.remaining = n
+	f.Src.total = n
+	f.Src.active = true
+	f.Src.trySend()
+	f.Src.armRTO()
+}
+
+// AvgMbpsDelivered returns the sink's lifetime goodput in Mb/s.
+func (f *Flow) AvgMbpsDelivered() float64 {
+	now := f.Dst.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(f.Dst.Delivered*int64(f.Dst.mss)*8) / float64(now) * float64(netsim.Second) / 1e6
+}
+
+// Cwnd returns the sender's current congestion window in packets.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// outstanding is the conservative flight size (ignores SACKed holes).
+func (s *Sender) outstanding() int64 { return s.nextSeq - s.una }
+
+func (s *Sender) sendSeg(seq int64, rtx bool) {
+	if rtx {
+		s.Stats.Retrans++
+	} else {
+		s.Stats.Sent++
+	}
+	s.out(&netsim.Packet{
+		Size:    s.mss + tcpHeader,
+		Flow:    s.flow,
+		Payload: seg{seq: seq, rtx: rtx, ts: s.sim.Now()},
+	})
+}
+
+// trySend pushes new data while the window allows.
+func (s *Sender) trySend() {
+	if !s.active {
+		return
+	}
+	w := s.cwnd
+	if w > s.maxCwnd {
+		w = s.maxCwnd
+	}
+	for s.remaining != 0 && s.outstanding() < int64(w) {
+		s.sendSeg(s.nextSeq, false)
+		s.nextSeq++
+		if s.remaining > 0 {
+			s.remaining--
+		}
+	}
+}
+
+// pipe estimates the packets currently in flight: outstanding minus those
+// the receiver reports holding (RFC 6675's conservative cousin).
+func (s *Sender) pipe() int64 {
+	return s.outstanding() - s.sacked.countIn(s.una, s.nextSeq)
+}
+
+// frPump drives SACK-based loss recovery: while the pipe has room under
+// cwnd, retransmit further holes (RFC 6675 NextSeg step 1).
+func (s *Sender) frPump() {
+	for float64(s.pipe()) < s.cwnd {
+		if !s.retransmitHole() {
+			return
+		}
+	}
+}
+
+// retransmitHole resends the first un-SACKed, un-retransmitted packet below
+// the recovery point, reporting whether one was sent.
+func (s *Sender) retransmitHole() bool {
+	h := s.una
+	for {
+		h = s.sacked.firstGapFrom(h)
+		if h >= s.recover || h >= s.nextSeq {
+			return false
+		}
+		if !s.rtxed.contains(h) {
+			s.rtxed.add(h, h+1)
+			s.sendSeg(h, true)
+			return true
+		}
+		h++
+	}
+}
+
+func (s *Sender) rttSample(sample netsim.Time) {
+	if sample <= 0 {
+		sample = 1
+	}
+	if s.srtt == 0 {
+		s.srtt = sample
+		s.rttvar = sample / 2
+		return
+	}
+	d := sample - s.srtt
+	if d < 0 {
+		d = -d
+	}
+	s.rttvar += (d - s.rttvar) / 4
+	s.srtt += (sample - s.srtt) / 8
+}
+
+func (s *Sender) curRTO() netsim.Time {
+	rto := s.srtt + 4*s.rttvar
+	if rto < 200*netsim.Millisecond {
+		rto = 200 * netsim.Millisecond
+	}
+	if s.srtt == 0 {
+		rto = netsim.Second // initial RTO before any sample
+	}
+	for i := 0; i < s.backoff; i++ {
+		rto *= 2
+		if rto > 60*netsim.Second {
+			return 60 * netsim.Second
+		}
+	}
+	return rto
+}
+
+func (s *Sender) armRTO() {
+	s.rtoGen++
+	if s.outstanding() == 0 {
+		s.rtoArmed = false
+		return
+	}
+	g := s.rtoGen
+	s.rtoArmed = true
+	s.sim.After(s.curRTO(), func() {
+		if g == s.rtoGen {
+			s.rtoArmed = false
+			s.onRTO()
+		}
+	})
+}
+
+// onRTO is the retransmission timeout: collapse to one packet, forget SACK
+// state (conservative reneging protection) and go back to the first hole.
+func (s *Sender) onRTO() {
+	s.Stats.Timeouts++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.inFR = false
+	s.dupAcks = 0
+	s.sacked.clear()
+	s.rtxed.clear()
+	s.nextSeq = s.una // go-back-N: everything in flight is presumed lost
+	s.backoff++
+	s.sendSeg(s.nextSeq, true)
+	s.nextSeq++
+	s.armRTO()
+}
+
+// Deliver is the sender's receive entry point (ACK processing).
+func (s *Sender) Deliver(p *netsim.Packet) {
+	a, ok := p.Payload.(ackSeg)
+	if !ok {
+		return
+	}
+	for _, b := range a.sacks {
+		s.sacked.add(b[0], b[1])
+	}
+	advanced := a.cum > s.una
+	refresh := advanced
+	if a.cum > s.una {
+		newAcked := a.cum - s.una
+		s.una = a.cum
+		if s.nextSeq < s.una {
+			s.nextSeq = s.una
+		}
+		s.sacked.dropBefore(s.una)
+		s.dupAcks = 0
+		s.backoff = 0
+		if !a.rtxEcho {
+			s.rttSample(s.sim.Now() - a.ts)
+		}
+		if s.inFR {
+			if s.una > s.recover {
+				// Full acknowledgement: recovery complete.
+				s.inFR = false
+				s.cwnd = s.ssthresh
+				s.rtxed.clear()
+			} else {
+				// Partial ACK: the next hole(s) were also lost.
+				s.frPump()
+				refresh = true
+			}
+		} else {
+			for i := int64(0); i < newAcked; i++ {
+				if s.cwnd < s.ssthresh {
+					s.cwnd++ // slow start
+				} else if s.variant == BicTCP {
+					s.cwnd += bicIncrease(s.cwnd, s.bicMin, s.bicMax) / s.cwnd
+				} else {
+					s.cwnd += s.variant.caIncrease(s.cwnd)
+				}
+			}
+			if s.cwnd > s.maxCwnd {
+				s.cwnd = s.maxCwnd
+			}
+		}
+		s.maybeDone()
+	} else {
+		s.dupAcks++
+		if !s.inFR && (s.dupAcks >= 3) {
+			s.Stats.FastRecoveries++
+			s.inFR = true
+			s.recover = s.nextSeq
+			if s.variant == BicTCP {
+				s.bicMax = s.cwnd
+			}
+			s.ssthresh = s.cwnd * s.variant.decrease(s.cwnd)
+			if s.ssthresh < 2 {
+				s.ssthresh = 2
+			}
+			s.cwnd = s.ssthresh
+			if s.variant == BicTCP {
+				s.bicMin = s.cwnd
+			}
+			s.rtxed.clear()
+			s.frPump()
+			refresh = true // fresh timer for the recovery retransmissions
+		} else if s.inFR {
+			// SACK-clocked recovery: each returning ACK makes room in the
+			// pipe for more hole repairs, or clocks out new data.
+			if !s.retransmitHole() {
+				s.cwnd += 1 // window inflation keeps the ACK clock running
+			} else {
+				s.frPump()
+			}
+		}
+	}
+	s.trySend()
+	// Re-arm on progress or on a recovery retransmission (fresh timer for
+	// the new in-flight front), and whenever data is in flight with no
+	// timer pending — trySend may have just refilled an idle pipe whose
+	// timer was disarmed.
+	if refresh || !s.rtoArmed {
+		s.armRTO()
+	}
+}
+
+func (s *Sender) maybeDone() {
+	if s.total > 0 && s.remaining == 0 && s.una >= s.total && s.DoneAt == 0 {
+		s.DoneAt = s.sim.Now()
+		s.rtoGen++ // disarm
+		if s.OnDone != nil {
+			s.OnDone()
+		}
+	}
+}
+
+// Deliver is the receiver's entry point (data processing and ACK emission).
+func (r *Receiver) Deliver(p *netsim.Packet) {
+	sg, ok := p.Payload.(seg)
+	if !ok {
+		return
+	}
+	r.rcvd.add(sg.seq, sg.seq+1)
+	newCum := r.rcvd.firstGapFrom(r.cum)
+	if newCum > r.cum {
+		n := newCum - r.cum
+		r.Delivered += n
+		if r.meter != nil {
+			r.meter.Account(r.flow, int(n)*r.mss)
+		}
+		r.cum = newCum
+		r.rcvd.dropBefore(r.cum)
+	}
+	// Up to 3 SACK blocks above the cumulative point.
+	var sacks [][2]int64
+	for _, b := range r.rcvd.blocks(3) {
+		if b[1] > r.cum {
+			if b[0] < r.cum {
+				b[0] = r.cum
+			}
+			sacks = append(sacks, b)
+		}
+	}
+	r.out(&netsim.Packet{
+		Size:    ackSize,
+		Flow:    r.flow,
+		Payload: ackSeg{cum: r.cum, sacks: sacks, ts: sg.ts, rtxEcho: sg.rtx},
+	})
+}

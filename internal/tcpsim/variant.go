@@ -1,0 +1,140 @@
+package tcpsim
+
+import "math"
+
+// Variant selects the congestion avoidance response function.
+type Variant int
+
+// Congestion control variants (§5.2).
+const (
+	// SACK is standard TCP: AIMD(1, 1/2) with SACK-based loss recovery —
+	// what the paper calls "TCP".
+	SACK Variant = iota
+	// HighSpeedTCP is RFC 3649: the increase a(w) and decrease b(w) are
+	// functions of the current window, reverting to standard TCP below
+	// w = 38 packets.
+	HighSpeedTCP
+	// ScalableTCP is Kelly's MIMD proposal: cwnd += 0.01 per ACKed packet,
+	// cwnd ×= 0.875 per loss event.
+	ScalableTCP
+	// BicTCP is Binary Increase Congestion control (Xu, Harfoush, Rhee,
+	// INFOCOM '04): a binary search between the window before the last
+	// loss and the window after the decrease, with additive "max probing"
+	// above the old maximum. Needs per-sender state (bicMax/bicMin kept on
+	// Sender).
+	BicTCP
+)
+
+func (v Variant) String() string {
+	switch v {
+	case SACK:
+		return "tcp-sack"
+	case HighSpeedTCP:
+		return "highspeed"
+	case ScalableTCP:
+		return "scalable"
+	case BicTCP:
+		return "bic"
+	default:
+		return "tcp-unknown"
+	}
+}
+
+// HighSpeed TCP parameters (RFC 3649 §5).
+const (
+	hsLowWindow  = 38.0
+	hsHighWindow = 83000.0
+	hsHighP      = 1e-7
+	hsHighDecr   = 0.1
+)
+
+// hsBeta returns HighSpeed TCP's decrease factor b(w).
+func hsBeta(w float64) float64 {
+	if w <= hsLowWindow {
+		return 0.5
+	}
+	if w >= hsHighWindow {
+		return hsHighDecr
+	}
+	f := (math.Log(w) - math.Log(hsLowWindow)) / (math.Log(hsHighWindow) - math.Log(hsLowWindow))
+	return 0.5 + f*(hsHighDecr-0.5)
+}
+
+// hsAlpha returns HighSpeed TCP's per-RTT increase a(w), derived from the
+// response function w = 0.12/p^0.835 (RFC 3649 §5):
+//
+//	a(w) = w² · p(w) · 2·b(w) / (2 − b(w)),  p(w) = 0.078 / w^1.2
+func hsAlpha(w float64) float64 {
+	if w <= hsLowWindow {
+		return 1
+	}
+	p := 0.078 / math.Pow(w, 1.2)
+	b := hsBeta(w)
+	return w * w * p * 2 * b / (2 - b)
+}
+
+// BIC parameters (the authors' recommended values).
+const (
+	bicLowWindow = 14.0 // below this, behave as standard TCP
+	bicSMax      = 32.0 // max increment per RTT
+	bicSMin      = 0.01 // min increment per RTT
+	bicBeta      = 0.875
+)
+
+// bicIncrease returns BIC's per-RTT window increment given the current
+// window and the binary-search target state.
+func bicIncrease(w, bicMin, bicMax float64) float64 {
+	if w < bicLowWindow {
+		return 1 // standard TCP region
+	}
+	var inc float64
+	if w < bicMax {
+		// Binary search towards the midpoint of [bicMin, bicMax].
+		target := (bicMin + bicMax) / 2
+		inc = target - w
+	} else {
+		// Max probing: slow start away from the old maximum.
+		inc = w - bicMax + 1
+	}
+	if inc > bicSMax {
+		inc = bicSMax
+	}
+	if inc < bicSMin {
+		inc = bicSMin
+	}
+	return inc
+}
+
+// caIncrease returns the congestion-avoidance window increment for one
+// newly acknowledged packet at window w.
+func (v Variant) caIncrease(w float64) float64 {
+	if w < 1 {
+		w = 1
+	}
+	switch v {
+	case ScalableTCP:
+		return 0.01
+	case HighSpeedTCP:
+		return hsAlpha(w) / w
+	default:
+		return 1 / w
+	}
+}
+
+// decrease returns the multiplicative window factor kept after a fast-
+// retransmit loss event at window w (e.g. 0.5 keeps half).
+func (v Variant) decrease(w float64) float64 {
+	switch v {
+	case ScalableTCP:
+		return 0.875
+	case HighSpeedTCP:
+		return 1 - hsBeta(w)
+	case BicTCP:
+		if w < bicLowWindow {
+			return 0.5
+		}
+		return bicBeta
+	default:
+		return 0.5
+	}
+}

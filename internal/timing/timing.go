@@ -1,0 +1,168 @@
+// Package timing provides the time plumbing shared by the real transport and
+// the simulator: a microsecond monotonic clock abstraction, the
+// high-precision hybrid sleep/busy-wait pacer used to enforce the packet
+// sending period at gigabit rates (paper §4.5), and a lightweight CPU-time
+// attribution ledger used to reproduce the paper's per-function cost table
+// (Table 3).
+package timing
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Clock supplies monotonic time in microseconds. The real implementation
+// wraps the runtime monotonic clock; the simulator implements Clock over its
+// virtual event clock so the protocol engine cannot tell the difference.
+type Clock interface {
+	Now() int64 // microseconds, monotonic, origin arbitrary but fixed
+}
+
+// SysClock is the wall (monotonic) clock.
+type SysClock struct {
+	base time.Time
+}
+
+// NewSysClock returns a monotonic microsecond clock with origin ≈ now.
+func NewSysClock() *SysClock { return &SysClock{base: time.Now()} }
+
+// Now implements Clock.
+func (c *SysClock) Now() int64 { return time.Since(c.base).Microseconds() }
+
+// Pacer enforces inter-packet send times with microsecond precision.
+//
+// Operating-system sleep primitives cannot be trusted below a few hundred
+// microseconds, while a 1 Gb/s sender must hit a ~12 µs packet sending
+// period. Following §4.5, Pacer sleeps while the remaining wait is long and
+// then busy-waits (yielding the processor so other goroutines may run) for
+// the final stretch. Busy-waiting may consume a core at low rates; as the
+// paper notes, the blocking UDP send dominates at high rates, so the spin
+// time shrinks exactly when throughput matters.
+type Pacer struct {
+	clock Clock
+	// SpinThreshold is the remaining-wait below which the pacer spins
+	// instead of sleeping. Defaults to 200 µs.
+	SpinThreshold int64
+	spins         atomic.Int64 // spin iterations, for introspection/tests
+}
+
+// NewPacer returns a pacer reading time from clock.
+func NewPacer(clock Clock) *Pacer {
+	return &Pacer{clock: clock, SpinThreshold: 200}
+}
+
+// WaitUntil blocks until clock.Now() >= target (µs). It returns immediately
+// if the target is already past, and reports the lateness (non-negative) in
+// microseconds.
+func (p *Pacer) WaitUntil(target int64) int64 {
+	for {
+		now := p.clock.Now()
+		remain := target - now
+		if remain <= 0 {
+			return -remain
+		}
+		if remain > p.SpinThreshold {
+			time.Sleep(time.Duration(remain-p.SpinThreshold) * time.Microsecond)
+			continue
+		}
+		// Busy wait with a courteous yield.
+		p.spins.Add(1)
+		runtime.Gosched()
+	}
+}
+
+// Spins returns the cumulative busy-wait iterations (test instrumentation).
+func (p *Pacer) Spins() int64 { return p.spins.Load() }
+
+// Bucket identifies a cost center in the send/receive paths, mirroring the
+// function rows of the paper's Table 3.
+type Bucket int
+
+// Cost centers. Send side: UDP writing, timing (pacing waits), packing data,
+// processing control packets, application interaction. Receive side: UDP
+// reading, measurement (bandwidth/RTT/arrival speed), unpacking, loss
+// processing, timing. Other catches everything unattributed.
+const (
+	BucketUDPWrite Bucket = iota
+	BucketTiming
+	BucketPack
+	BucketProcessCtrl
+	BucketAppInteract
+	BucketUDPRead
+	BucketMeasure
+	BucketUnpack
+	BucketLossProc
+	BucketOther
+	numBuckets
+)
+
+var bucketNames = [numBuckets]string{
+	"udp-write", "timing", "pack", "process-ctrl", "app-interact",
+	"udp-read", "measure", "unpack", "loss-proc", "other",
+}
+
+// String returns the bucket's row label.
+func (b Bucket) String() string {
+	if b < 0 || b >= numBuckets {
+		return "invalid"
+	}
+	return bucketNames[b]
+}
+
+// Ledger accumulates wall time per bucket. It is safe for concurrent use;
+// when disabled (the zero value's Enabled=false) every operation is a no-op
+// costing one branch, so shipping it compiled into the hot path is free.
+type Ledger struct {
+	Enabled bool
+	buckets [numBuckets]atomic.Int64
+}
+
+// Add charges d nanoseconds to bucket b.
+func (l *Ledger) Add(b Bucket, d time.Duration) {
+	if l == nil || !l.Enabled {
+		return
+	}
+	l.buckets[b].Add(int64(d))
+}
+
+// Time runs f and charges its wall time to bucket b.
+func (l *Ledger) Time(b Bucket, f func()) {
+	if l == nil || !l.Enabled {
+		f()
+		return
+	}
+	start := time.Now()
+	f()
+	l.buckets[b].Add(int64(time.Since(start)))
+}
+
+// Total returns the sum over all buckets in nanoseconds.
+func (l *Ledger) Total() int64 {
+	var t int64
+	for i := range l.buckets {
+		t += l.buckets[i].Load()
+	}
+	return t
+}
+
+// Share returns bucket b's fraction of the total (0 when nothing recorded).
+func (l *Ledger) Share(b Bucket) float64 {
+	t := l.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(l.buckets[b].Load()) / float64(t)
+}
+
+// Nanos returns the raw accumulation for bucket b.
+func (l *Ledger) Nanos(b Bucket) int64 { return l.buckets[b].Load() }
+
+// Buckets returns every bucket id in display order.
+func Buckets() []Bucket {
+	out := make([]Bucket, numBuckets)
+	for i := range out {
+		out[i] = Bucket(i)
+	}
+	return out
+}

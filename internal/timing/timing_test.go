@@ -1,0 +1,137 @@
+package timing
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSysClockMonotonic(t *testing.T) {
+	c := NewSysClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if b <= a {
+		t.Fatalf("clock not monotonic: %d then %d", a, b)
+	}
+	if d := b - a; d < 1500 || d > 500_000 {
+		t.Fatalf("2 ms sleep measured as %d µs", d)
+	}
+}
+
+// fakeClock advances only when told; lets pacer tests avoid real sleeps.
+type fakeClock struct {
+	mu  sync.Mutex
+	now int64
+}
+
+func (f *fakeClock) Now() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now += 10 // each observation costs 10 µs of virtual time
+	return f.now
+}
+
+func TestPacerWaitUntilPast(t *testing.T) {
+	p := NewPacer(NewSysClock())
+	late := p.WaitUntil(-100)
+	if late < 100 {
+		t.Fatalf("lateness = %d, want >= 100", late)
+	}
+}
+
+func TestPacerSpinsForShortWaits(t *testing.T) {
+	fc := &fakeClock{}
+	p := NewPacer(fc)
+	p.WaitUntil(500) // within the spin threshold from the start
+	if p.Spins() == 0 {
+		t.Fatal("expected busy-wait iterations for a short wait")
+	}
+}
+
+func TestPacerRealAccuracy(t *testing.T) {
+	c := NewSysClock()
+	p := NewPacer(c)
+	start := c.Now()
+	p.WaitUntil(start + 3000) // 3 ms
+	elapsed := c.Now() - start
+	if elapsed < 3000 {
+		t.Fatalf("woke early: %d µs", elapsed)
+	}
+	if elapsed > 30_000 {
+		t.Fatalf("woke far too late: %d µs", elapsed)
+	}
+}
+
+func TestLedgerDisabledIsNoop(t *testing.T) {
+	var l Ledger
+	l.Add(BucketPack, time.Second)
+	ran := false
+	l.Time(BucketUDPWrite, func() { ran = true })
+	if !ran {
+		t.Fatal("Time must run f when disabled")
+	}
+	if l.Total() != 0 {
+		t.Fatal("disabled ledger accumulated time")
+	}
+	var nilLedger *Ledger
+	nilLedger.Add(BucketPack, time.Second) // must not panic
+}
+
+func TestLedgerShares(t *testing.T) {
+	l := &Ledger{Enabled: true}
+	l.Add(BucketUDPWrite, 300*time.Millisecond)
+	l.Add(BucketPack, 100*time.Millisecond)
+	if got := l.Share(BucketUDPWrite); got < 0.74 || got > 0.76 {
+		t.Fatalf("Share(udp-write) = %v, want 0.75", got)
+	}
+	if got := l.Share(BucketTiming); got != 0 {
+		t.Fatalf("Share(timing) = %v, want 0", got)
+	}
+	if l.Nanos(BucketPack) != int64(100*time.Millisecond) {
+		t.Fatal("Nanos mismatch")
+	}
+}
+
+func TestLedgerTimeCharges(t *testing.T) {
+	l := &Ledger{Enabled: true}
+	l.Time(BucketMeasure, func() { time.Sleep(2 * time.Millisecond) })
+	if l.Nanos(BucketMeasure) < int64(time.Millisecond) {
+		t.Fatalf("Time charged %d ns", l.Nanos(BucketMeasure))
+	}
+}
+
+func TestBucketNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Buckets() {
+		s := b.String()
+		if s == "" || s == "invalid" {
+			t.Fatalf("bucket %d has bad name %q", b, s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate bucket name %q", s)
+		}
+		seen[s] = true
+	}
+	if Bucket(-1).String() != "invalid" || Bucket(999).String() != "invalid" {
+		t.Fatal("out-of-range buckets must stringify as invalid")
+	}
+}
+
+func TestLedgerConcurrent(t *testing.T) {
+	l := &Ledger{Enabled: true}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				l.Add(BucketOther, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Nanos(BucketOther) != 8000 {
+		t.Fatalf("concurrent adds lost updates: %d", l.Nanos(BucketOther))
+	}
+}

@@ -1,0 +1,330 @@
+// Package udtsim runs the real UDT protocol engine (internal/core) inside
+// the discrete-event simulator (internal/netsim). It is the NS-2 UDT model
+// of the paper's evaluation: every control decision — rate, window, NAK,
+// freeze, packet-pair probing — is made by exactly the code the real UDP
+// transport uses; only the clock and the wire are simulated.
+package udtsim
+
+import (
+	"udt/internal/core"
+	"udt/internal/netsim"
+	"udt/internal/packet"
+)
+
+// dataMsg is a simulated UDT data packet (payload bytes are implied).
+type dataMsg struct {
+	seq int32
+}
+
+// ctrlMsg is a simulated UDT control packet.
+type ctrlMsg struct {
+	out core.Out
+}
+
+// ipOverhead approximates IP+UDP header bytes added to every datagram; the
+// simulator charges it so link utilization matches what a GigE path would
+// carry (the paper's 940 Mb/s ceiling on a 1 Gb/s link).
+const ipOverhead = 28
+
+// Endpoint is one end of a simulated UDT connection.
+type Endpoint struct {
+	sim  *netsim.Sim
+	conn *core.Conn
+	out  netsim.Deliver
+	flow int
+	mss  int
+
+	// Source-side application model: remaining packets to send (-1 = bulk,
+	// endless).
+	remaining int64
+	active    bool
+
+	// Sink-side accounting.
+	meter     *netsim.FlowMeter
+	Delivered int64 // fresh data packets received
+	DoneAt    netsim.Time
+	OnDone    func()
+	// OnData, when set on a sink, observes every fresh data payload size —
+	// the hook applications (e.g. the streaming join) consume from.
+	OnData func(bytes int)
+
+	// Sink-side drain model (disk write, Table 2): occupancy grows with
+	// fresh data and drains at drainRate; the advertised receiver buffer
+	// shrinks accordingly.
+	drainBufPkts int32
+	drainOccupy  int32
+	drainChunk   int32
+	drainEvery   netsim.Time
+
+	// CollectLossEvents, when set on a sink, records the size of every loss
+	// event (packets per detection gap) — the Fig. 8 trace.
+	CollectLossEvents bool
+	LossEventSizes    []int64
+
+	nextWake netsim.Time
+}
+
+// Flow is a unidirectional UDT transfer: a source endpoint and a sink
+// endpoint built from one configuration.
+type Flow struct {
+	ID       int
+	Src, Dst *Endpoint
+}
+
+// NewFlow creates a UDT flow with identifier id. srcOut is where the source
+// injects packets towards the sink; dstOut is where the sink injects
+// control packets back. Bind the returned endpoints' Deliver methods into
+// the topology, then call Start.
+func NewFlow(sim *netsim.Sim, id int, cfg core.Config, srcOut, dstOut netsim.Deliver) *Flow {
+	cfg.ISN = int32(1000 + id*1_000_000)
+	peerISN := cfg.ISN + 500_000
+	mkEnd := func(conn *core.Conn, out netsim.Deliver) *Endpoint {
+		return &Endpoint{sim: sim, conn: conn, out: out, flow: id, mss: conn.Config().MSS}
+	}
+	srcCfg, dstCfg := cfg, cfg
+	dstCfg.ISN, dstCfg.MSS = peerISN, cfg.MSS
+	src := mkEnd(core.NewConn(srcCfg, peerISN), srcOut)
+	dst := mkEnd(core.NewConn(dstCfg, cfg.ISN), dstOut)
+	return &Flow{ID: id, Src: src, Dst: dst}
+}
+
+// Start establishes the flow at the current simulated time and begins
+// sending: n packets if n >= 0, an endless bulk source if n < 0.
+func (f *Flow) Start(n int64) {
+	us := f.Src.sim.Now() / netsim.Microsecond
+	f.Src.conn.Start(us)
+	f.Dst.conn.Start(us)
+	f.Src.remaining = n
+	f.Src.active = true
+	f.Src.kick()
+	f.Dst.kick()
+}
+
+// Stop closes the flow from the source side.
+func (f *Flow) Stop() {
+	f.Src.conn.Close()
+	f.Src.kick()
+}
+
+// SetMeter routes sink-side goodput accounting to m.
+func (f *Flow) SetMeter(m *netsim.FlowMeter) { f.Dst.meter = m }
+
+// ForceWindow pins the source's flow window (Fig. 7 ablation).
+func (f *Flow) ForceWindow(w int32) { f.Src.conn.ForceWindow(w) }
+
+// PaceApp models a rate-limited application source — a disk read feeding
+// the transport at rateBps (Table 2). Call before Start; Start must then be
+// invoked with n = 0 so only paced data is sent.
+func (f *Flow) PaceApp(rateBps int64) {
+	e := f.Src
+	// Release data in ~1 ms chunks for smooth pacing.
+	pktsPerSec := float64(rateBps) / 8 / float64(e.mss)
+	chunk := int64(pktsPerSec / 1000)
+	every := netsim.Time(float64(netsim.Second) / pktsPerSec)
+	if chunk < 1 {
+		chunk = 1
+	} else {
+		every = netsim.Millisecond
+	}
+	var feed func()
+	feed = func() {
+		if e.conn.Closed() {
+			return
+		}
+		if e.remaining >= 0 {
+			e.remaining += chunk
+		}
+		e.kick()
+		e.sim.After(every, feed)
+	}
+	e.sim.After(every, feed)
+}
+
+// PaceDrain models a rate-limited application sink — a disk write draining
+// the receiver buffer of bufPkts packets at rateBps (Table 2). Data that
+// arrives while the buffer is full is held off by UDT's flow control, not
+// dropped. Call before Start.
+func (f *Flow) PaceDrain(rateBps int64, bufPkts int32) {
+	e := f.Dst
+	e.drainBufPkts = bufPkts
+	pktsPerSec := float64(rateBps) / 8 / float64(e.mss)
+	e.drainChunk = int32(pktsPerSec / 1000)
+	e.drainEvery = netsim.Millisecond
+	if e.drainChunk < 1 {
+		e.drainChunk = 1
+		e.drainEvery = netsim.Time(float64(netsim.Second) / pktsPerSec)
+	}
+	e.conn.AvailBuf = func() int32 {
+		free := e.drainBufPkts - e.drainOccupy
+		if free < 0 {
+			free = 0
+		}
+		return free
+	}
+	var drain func()
+	drain = func() {
+		if e.conn.Closed() {
+			return
+		}
+		e.drainOccupy -= e.drainChunk
+		if e.drainOccupy < 0 {
+			e.drainOccupy = 0
+		}
+		e.sim.After(e.drainEvery, drain)
+	}
+	e.sim.After(e.drainEvery, drain)
+}
+
+// AvgMbpsDelivered returns the sink's lifetime goodput in Mb/s.
+func (f *Flow) AvgMbpsDelivered() float64 {
+	now := f.Dst.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(f.Dst.Delivered*int64(f.Dst.mss)*8) / float64(now) * float64(netsim.Second) / 1e6
+}
+
+// Conn exposes an endpoint's protocol engine for inspection.
+func (e *Endpoint) Conn() *core.Conn { return e.conn }
+
+// Deliver is the endpoint's network-facing receive entry point.
+func (e *Endpoint) Deliver(p *netsim.Packet) {
+	us := e.sim.Now() / netsim.Microsecond
+	switch m := p.Payload.(type) {
+	case dataMsg:
+		var evBefore, lostBefore int64
+		if e.CollectLossEvents {
+			evBefore, lostBefore = e.conn.Stats.LossEvents, e.conn.Stats.LossDetected
+		}
+		if e.conn.HandleData(us, m.seq) {
+			e.Delivered++
+			if e.meter != nil {
+				e.meter.Account(e.flow, e.mss)
+			}
+			if e.OnData != nil {
+				e.OnData(e.mss)
+			}
+			if e.drainBufPkts > 0 {
+				e.drainOccupy++
+			}
+		}
+		if e.CollectLossEvents && e.conn.Stats.LossEvents > evBefore {
+			e.LossEventSizes = append(e.LossEventSizes, e.conn.Stats.LossDetected-lostBefore)
+		}
+	case ctrlMsg:
+		switch m.out.Kind {
+		case core.OutACK:
+			e.conn.HandleACK(us, m.out.ACK)
+		case core.OutNAK:
+			e.conn.HandleNAK(us, m.out.Losses)
+		case core.OutACK2:
+			e.conn.HandleACK2(us, m.out.AckID)
+		case core.OutKeepAlive:
+			e.conn.HandleKeepAlive(us)
+		case core.OutShutdown:
+			e.conn.HandleShutdown(us)
+		}
+	}
+	e.kick()
+}
+
+// ctrlSize approximates the on-wire size of a control emission.
+func ctrlSize(o core.Out) int {
+	switch o.Kind {
+	case core.OutACK:
+		return ipOverhead + packet.CtrlHeaderSize + packet.FullACKBody
+	case core.OutNAK:
+		n := 0
+		for _, r := range o.Losses {
+			if r.Start == r.End {
+				n += 4
+			} else {
+				n += 8
+			}
+		}
+		return ipOverhead + packet.CtrlHeaderSize + n
+	default:
+		return ipOverhead + packet.CtrlHeaderSize
+	}
+}
+
+// kick advances timers, drains control output, pushes the data path as far
+// as the engine permits, and schedules the next wakeup.
+func (e *Endpoint) kick() {
+	us := e.sim.Now() / netsim.Microsecond
+	e.conn.Advance(us)
+	for {
+		o, ok := e.conn.PopOut()
+		if !ok {
+			break
+		}
+		e.out(&netsim.Packet{Size: ctrlSize(o), Flow: e.flow, Payload: ctrlMsg{out: o}})
+	}
+	e.trySend(us)
+	e.scheduleTimer()
+}
+
+func (e *Endpoint) trySend(us int64) {
+	if !e.active {
+		return
+	}
+	for {
+		avail := e.remaining != 0
+		seq, d := e.conn.NextSend(us, avail)
+		switch d {
+		case core.SendData:
+			if e.remaining > 0 {
+				e.remaining--
+			}
+			e.out(&netsim.Packet{Size: e.mss + ipOverhead, Flow: e.flow, Payload: dataMsg{seq: seq}})
+		case core.SendRetrans:
+			e.out(&netsim.Packet{Size: e.mss + ipOverhead, Flow: e.flow, Payload: dataMsg{seq: seq}})
+		case core.WaitPacing:
+			e.wakeAt(e.conn.NextSendTime() * netsim.Microsecond)
+			return
+		case core.WaitFrozen:
+			e.wakeAt(e.conn.CC().FreezeEnd() * netsim.Microsecond)
+			return
+		case core.WaitData:
+			e.maybeDone()
+			return
+		default: // WaitWindow, WaitClosed: the next ACK (or nothing) re-kicks
+			return
+		}
+	}
+}
+
+func (e *Endpoint) maybeDone() {
+	if e.remaining == 0 && e.DoneAt == 0 && e.conn.Unacked() == 0 {
+		e.DoneAt = e.sim.Now()
+		if e.OnDone != nil {
+			e.OnDone()
+		}
+	}
+}
+
+func (e *Endpoint) scheduleTimer() {
+	if e.conn.Closed() {
+		return
+	}
+	e.wakeAt(e.conn.NextTimer() * netsim.Microsecond)
+}
+
+// wakeAt schedules a kick at simulated time t (ns), deduplicating wakeups
+// that are not earlier than one already scheduled.
+func (e *Endpoint) wakeAt(t netsim.Time) {
+	now := e.sim.Now()
+	if t <= now {
+		t = now + netsim.Microsecond
+	}
+	if e.nextWake > now && e.nextWake <= t {
+		return
+	}
+	e.nextWake = t
+	e.sim.At(t, func() {
+		if e.nextWake == t {
+			e.nextWake = 0
+		}
+		e.kick()
+	})
+}

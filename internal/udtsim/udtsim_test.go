@@ -1,0 +1,207 @@
+package udtsim
+
+import (
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/netsim"
+)
+
+// dumbbellFlows builds n UDT bulk flows over a shared bottleneck.
+func dumbbellFlows(sim *netsim.Sim, rateBps int64, queuePkts int, rtts []netsim.Time, cfg core.Config) ([]*Flow, *netsim.FlowMeter) {
+	d := netsim.NewDumbbell(sim, rateBps, queuePkts, rtts)
+	meter := netsim.NewFlowMeter(sim, len(rtts), netsim.Second)
+	flows := make([]*Flow, len(rtts))
+	for i := range rtts {
+		f := NewFlow(sim, i, cfg, d.SrcOut(i), d.SinkOut(i))
+		d.Bind(i, f.Dst.Deliver, f.Src.Deliver)
+		f.SetMeter(meter)
+		flows[i] = f
+	}
+	return flows, meter
+}
+
+func TestSingleFlowUtilization(t *testing.T) {
+	// 100 Mb/s bottleneck, 40 ms RTT, queue = BDP. A single UDT flow should
+	// reach high utilization (the paper reports 900+ Mb/s on 1 Gb/s links).
+	sim := netsim.New(1)
+	rate := int64(100_000_000)
+	bdp := int(rate / 8 / 1500 * 40 / 1000) // ≈333 packets
+	flows, meter := dumbbellFlows(sim, rate, bdp, []netsim.Time{40 * netsim.Millisecond}, core.Config{MSS: 1500})
+	flows[0].Start(-1)
+	sim.Run(20 * netsim.Second)
+	// Average over the last 10 seconds (skip slow start and climb).
+	var sum float64
+	rows := meter.SeriesAfter(10)
+	for _, r := range rows {
+		sum += r[0]
+	}
+	avg := sum / float64(len(rows))
+	if avg < 80 {
+		t.Fatalf("steady-state goodput %.1f Mb/s on a 100 Mb/s link", avg)
+	}
+	if avg > 101 {
+		t.Fatalf("goodput %.1f exceeds capacity", avg)
+	}
+}
+
+func TestSingleFlowHighRTT(t *testing.T) {
+	// The constant SYN makes UDT's ramp independent of RTT: even at 200 ms
+	// a flow must fill a 100 Mb/s pipe within ~10 s (TCP would need minutes).
+	sim := netsim.New(2)
+	rate := int64(100_000_000)
+	bdp := int(rate / 8 / 1500 / 5) // BDP at 200 ms
+	flows, meter := dumbbellFlows(sim, rate, bdp, []netsim.Time{200 * netsim.Millisecond}, core.Config{MSS: 1500})
+	flows[0].Start(-1)
+	sim.Run(20 * netsim.Second)
+	rows := meter.SeriesAfter(12)
+	var sum float64
+	for _, r := range rows {
+		sum += r[0]
+	}
+	avg := sum / float64(len(rows))
+	if avg < 70 {
+		t.Fatalf("steady-state goodput %.1f Mb/s at 200 ms RTT", avg)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	sim := netsim.New(3)
+	rate := int64(100_000_000)
+	rtts := []netsim.Time{40 * netsim.Millisecond, 40 * netsim.Millisecond}
+	flows, meter := dumbbellFlows(sim, rate, 300, rtts, core.Config{MSS: 1500})
+	flows[0].Start(-1)
+	flows[1].Start(-1)
+	sim.Run(60 * netsim.Second)
+	rows := meter.SeriesAfter(30)
+	var a, b float64
+	for _, r := range rows {
+		a += r[0]
+		b += r[1]
+	}
+	a /= float64(len(rows))
+	b /= float64(len(rows))
+	if a+b < 75 {
+		t.Fatalf("aggregate %.1f Mb/s too low", a+b)
+	}
+	ratio := a / b
+	if ratio < 0.6 || ratio > 1.67 {
+		t.Fatalf("unfair split: %.1f vs %.1f Mb/s", a, b)
+	}
+}
+
+func TestRTTFairnessTwoFlows(t *testing.T) {
+	// Paper §3.8/Fig. 6: flows with 40 ms and 200 ms RTT share near-equally
+	// because the control interval is constant, not RTT-based.
+	sim := netsim.New(4)
+	rate := int64(100_000_000)
+	rtts := []netsim.Time{40 * netsim.Millisecond, 200 * netsim.Millisecond}
+	flows, meter := dumbbellFlows(sim, rate, 400, rtts, core.Config{MSS: 1500})
+	flows[0].Start(-1)
+	flows[1].Start(-1)
+	sim.Run(60 * netsim.Second)
+	rows := meter.SeriesAfter(30)
+	var a, b float64
+	for _, r := range rows {
+		a += r[0]
+		b += r[1]
+	}
+	a /= float64(len(rows))
+	b /= float64(len(rows))
+	ratio := b / a
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Fatalf("RTT bias: 40ms flow %.1f vs 200ms flow %.1f Mb/s", a, b)
+	}
+}
+
+func TestFiniteTransferCompletes(t *testing.T) {
+	sim := netsim.New(5)
+	flows, _ := dumbbellFlows(sim, 100_000_000, 200, []netsim.Time{20 * netsim.Millisecond}, core.Config{MSS: 1500})
+	done := false
+	flows[0].Src.OnDone = func() { done = true }
+	flows[0].Start(5000)
+	sim.Run(60 * netsim.Second)
+	if !done || flows[0].Src.DoneAt == 0 {
+		t.Fatal("finite transfer did not complete")
+	}
+	if flows[0].Dst.Delivered != 5000 {
+		t.Fatalf("delivered %d packets, want 5000", flows[0].Dst.Delivered)
+	}
+	// 5000 × 1500 B at 100 Mb/s is 0.6 s minimum; slow start adds ramp time.
+	if at := flows[0].Src.DoneAt; at < 600*netsim.Millisecond || at > 20*netsim.Second {
+		t.Fatalf("completion at %v ns implausible", at)
+	}
+}
+
+func TestLossRecoveryUnderCrossTraffic(t *testing.T) {
+	// A UDT flow against a bursting CBR source (the Fig. 8 scenario): the
+	// flow must survive heavy congestion and keep all data flowing.
+	sim := netsim.New(6)
+	rate := int64(100_000_000)
+	d := netsim.NewDumbbell(sim, rate, 100, []netsim.Time{20 * netsim.Millisecond})
+	meter := netsim.NewFlowMeter(sim, 1, netsim.Second)
+	f := NewFlow(sim, 0, core.Config{MSS: 1500}, d.SrcOut(0), d.SinkOut(0))
+	d.Bind(0, f.Dst.Deliver, f.Src.Deliver)
+	f.SetMeter(meter)
+	f.Start(-1)
+	cross := netsim.NewCBRSource(sim, d.InjectCross(0), 90_000_000, 1500, 0)
+	// Wait: cross traffic must not collide with flow 0's accounting; use a
+	// sink-discarding flow id.
+	_ = cross
+	sim.Run(5 * netsim.Second)
+	cross2 := netsim.NewCBRSource(sim, func(p *netsim.Packet) { p.Flow = 99; d.Bottleneck.Send(p) }, 90_000_000, 1500, 99)
+	cross2.Start()
+	sim.Run(10 * netsim.Second)
+	cross2.Shutdown()
+	sim.Run(20 * netsim.Second)
+	if f.Src.Conn().Stats.PktsRetrans == 0 {
+		t.Fatal("cross traffic congestion must force retransmissions")
+	}
+	if f.Dst.Conn().Stats.LossEvents == 0 {
+		t.Fatal("receiver must record loss events")
+	}
+	// After the burst ends the flow must recover to high utilization.
+	rows := meter.SeriesAfter(25)
+	var sum float64
+	for _, r := range rows {
+		sum += r[0]
+	}
+	if avg := sum / float64(len(rows)); avg < 60 {
+		t.Fatalf("post-congestion recovery only %.1f Mb/s", avg)
+	}
+}
+
+func TestStopClosesBothEnds(t *testing.T) {
+	sim := netsim.New(7)
+	flows, _ := dumbbellFlows(sim, 100_000_000, 100, []netsim.Time{10 * netsim.Millisecond}, core.Config{MSS: 1500})
+	flows[0].Start(-1)
+	sim.Run(2 * netsim.Second)
+	flows[0].Stop()
+	sim.Run(3 * netsim.Second)
+	if !flows[0].Src.Conn().Closed() {
+		t.Fatal("source not closed")
+	}
+	if !flows[0].Dst.Conn().Closed() {
+		t.Fatal("sink did not observe shutdown")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		sim := netsim.New(99)
+		flows, _ := dumbbellFlows(sim, 50_000_000, 100,
+			[]netsim.Time{30 * netsim.Millisecond, 90 * netsim.Millisecond}, core.Config{MSS: 1500})
+		flows[0].Start(-1)
+		flows[1].Start(-1)
+		sim.Run(5 * netsim.Second)
+		return flows[0].Dst.Delivered, flows[1].Dst.Delivered
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatalf("non-deterministic: (%d,%d) vs (%d,%d)", a1, b1, a2, b2)
+	}
+	if a1 == 0 || b1 == 0 {
+		t.Fatal("flows idle")
+	}
+}

@@ -1,0 +1,106 @@
+// Package workload models the applications the paper evaluates UDT with:
+// the windowed streaming join of §2.1/§5.3 (two record streams merged on a
+// common key at a third site) and rate-limited disk sources/sinks for the
+// disk-to-disk transfer matrix of Table 2.
+package workload
+
+// StreamJoin models the window-based join of [8] (Merging Multiple Data
+// Streams on Common Keys): records from two real-time streams are matched
+// by key inside a sliding window. Records are keyed by their position in
+// the stream, so the join can match record k of stream 0 with record k of
+// stream 1 — but only while both sit inside the window. When one stream
+// runs ahead by more than the window (because the other is starved by its
+// transport), the laggard's eventual records find their partners expired
+// and the join output stalls: exactly the failure §2.1 demonstrates for
+// TCP with asymmetric RTTs.
+type StreamJoin struct {
+	recordSize int
+	window     int64 // how far (records) one stream may lead before partners expire
+
+	carry   [2]int   // partial-record bytes
+	cum     [2]int64 // records received per stream
+	matched int64    // records matched on each side
+	expired int64    // records whose partner fell out of the window
+}
+
+// NewStreamJoin returns a join over records of recordSize bytes with the
+// given window (in records).
+func NewStreamJoin(recordSize int, window int64) *StreamJoin {
+	if recordSize < 1 {
+		recordSize = 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	return &StreamJoin{recordSize: recordSize, window: window}
+}
+
+// Push delivers n stream bytes of stream (0 or 1) to the join.
+func (j *StreamJoin) Push(stream int, n int) {
+	if stream < 0 || stream > 1 || n <= 0 {
+		return
+	}
+	total := j.carry[stream] + n
+	j.carry[stream] = total % j.recordSize
+	j.cum[stream] += int64(total / j.recordSize)
+	j.settle()
+}
+
+// settle advances the matched/expired accounting.
+func (j *StreamJoin) settle() {
+	// Records beyond the leader's window expire unmatched.
+	lo, hi := j.cum[0], j.cum[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	floor := hi - j.window
+	base := j.matched + j.expired // already-settled records per side
+	if floor > base {
+		// The laggard's unsettled records up to floor lost their partners.
+		exp := floor - base
+		if exp > lo-base {
+			exp = lo - base
+			if exp < 0 {
+				exp = 0
+			}
+		}
+		j.expired += exp
+		base = j.matched + j.expired
+	}
+	if m := lo - base; m > 0 {
+		j.matched += m
+	}
+}
+
+// MatchedRecords returns the number of matched record pairs.
+func (j *StreamJoin) MatchedRecords() int64 { return j.matched }
+
+// ExpiredRecords returns the records that lost their partner to the window.
+func (j *StreamJoin) ExpiredRecords() int64 { return j.expired }
+
+// OutputBytes returns the joined output volume: each match emits both
+// records, so the paper's join throughput is twice the slower stream.
+func (j *StreamJoin) OutputBytes() int64 {
+	return j.matched * 2 * int64(j.recordSize)
+}
+
+// Disk profiles for Table 2: sustained sequential read/write ceilings of
+// the paper's three testbed hosts, in Mb/s (§5.3, Table 2).
+type DiskProfile struct {
+	Name            string
+	ReadMbps        float64
+	WriteMbps       float64
+	NetRTTMs        float64 // RTT from Chicago (the matrix's row site)
+	NetCapacityMbps float64
+}
+
+// Table2Sites returns the three sites of Table 2 with the paper's measured
+// disk ceilings (read: 610/950/810 scaled from the matrix; write:
+// 450/550/680 Mb/s as printed) and the testbed link parameters of §5.
+func Table2Sites() []DiskProfile {
+	return []DiskProfile{
+		{Name: "Chicago", ReadMbps: 720, WriteMbps: 450, NetRTTMs: 0.04, NetCapacityMbps: 1000},
+		{Name: "Ottawa", ReadMbps: 700, WriteMbps: 550, NetRTTMs: 16, NetCapacityMbps: 622},
+		{Name: "Amsterdam", ReadMbps: 800, WriteMbps: 680, NetRTTMs: 110, NetCapacityMbps: 1000},
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import "testing"
+
+func TestStreamJoinBalanced(t *testing.T) {
+	j := NewStreamJoin(100, 1000)
+	for i := 0; i < 50; i++ {
+		j.Push(0, 1000) // 10 records
+		j.Push(1, 1000)
+	}
+	if j.MatchedRecords() != 500 {
+		t.Fatalf("matched %d, want 500", j.MatchedRecords())
+	}
+	if j.ExpiredRecords() != 0 {
+		t.Fatalf("expired %d, want 0", j.ExpiredRecords())
+	}
+	if j.OutputBytes() != 500*200 {
+		t.Fatalf("output %d", j.OutputBytes())
+	}
+}
+
+func TestStreamJoinSlowerStreamLimits(t *testing.T) {
+	// Stream 0 delivers 10× stream 1 within the window: output tracks the
+	// slower stream (§2.1: join throughput = 2 × slower stream).
+	j := NewStreamJoin(100, 1_000_000)
+	j.Push(0, 100_000) // 1000 records
+	j.Push(1, 10_000)  // 100 records
+	if j.MatchedRecords() != 100 {
+		t.Fatalf("matched %d, want 100", j.MatchedRecords())
+	}
+	if j.OutputBytes() != 100*200 {
+		t.Fatalf("output %d", j.OutputBytes())
+	}
+}
+
+func TestStreamJoinWindowExpiry(t *testing.T) {
+	// Stream 0 runs 5000 records ahead of a 1000-record window: the first
+	// 4000 of stream 1's eventual records find their partners expired.
+	j := NewStreamJoin(100, 1000)
+	j.Push(0, 500_000) // 5000 records, stream 1 at 0
+	if j.ExpiredRecords() != 0 {
+		// Nothing of stream 1 settled yet; expiry is charged as the laggard
+		// arrives.
+		t.Fatalf("premature expiry: %d", j.ExpiredRecords())
+	}
+	j.Push(1, 500_000) // 5000 records
+	if j.ExpiredRecords() != 4000 {
+		t.Fatalf("expired %d, want 4000", j.ExpiredRecords())
+	}
+	if j.MatchedRecords() != 1000 {
+		t.Fatalf("matched %d, want 1000", j.MatchedRecords())
+	}
+}
+
+func TestStreamJoinPartialRecords(t *testing.T) {
+	j := NewStreamJoin(100, 10)
+	j.Push(0, 150) // 1.5 records
+	j.Push(1, 150)
+	if j.MatchedRecords() != 1 {
+		t.Fatalf("matched %d, want 1", j.MatchedRecords())
+	}
+	j.Push(0, 50)
+	j.Push(1, 50)
+	if j.MatchedRecords() != 2 {
+		t.Fatalf("matched %d, want 2", j.MatchedRecords())
+	}
+}
+
+func TestStreamJoinIgnoresBadInput(t *testing.T) {
+	j := NewStreamJoin(100, 10)
+	j.Push(2, 100)
+	j.Push(-1, 100)
+	j.Push(0, 0)
+	j.Push(0, -5)
+	if j.MatchedRecords() != 0 || j.cum[0] != 0 {
+		t.Fatal("bad input accepted")
+	}
+}
+
+func TestTable2Sites(t *testing.T) {
+	sites := Table2Sites()
+	if len(sites) != 3 {
+		t.Fatalf("%d sites", len(sites))
+	}
+	for _, s := range sites {
+		if s.ReadMbps <= 0 || s.WriteMbps <= 0 || s.NetCapacityMbps <= 0 {
+			t.Fatalf("bad profile %+v", s)
+		}
+		if s.WriteMbps >= s.ReadMbps {
+			t.Fatalf("%s: disk writes faster than reads, unlike the paper's hosts", s.Name)
+		}
+	}
+}

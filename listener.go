@@ -1,0 +1,330 @@
+package udt
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// ownedSock is a dialed connection's private UDP socket.
+type ownedSock struct {
+	c *net.UDPConn
+}
+
+func (s *ownedSock) writeTo(b []byte, addr *net.UDPAddr) (int, error) {
+	return s.c.WriteToUDP(b, addr)
+}
+
+// Dial connects to a UDT listener at the given UDP address ("host:port").
+// cfg may be nil for defaults.
+func Dial(address string, cfg *Config) (*Conn, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	raddr, err := net.ResolveUDPAddr("udp", address)
+	if err != nil {
+		return nil, fmt.Errorf("udt: dial %s: %w", address, err)
+	}
+	sock, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		return nil, fmt.Errorf("udt: dial %s: %w", address, err)
+	}
+	tuneUDPBuffers(sock)
+
+	isn := rand.Int31() & seqno.Max
+	connID := rand.Int31()
+	req := packet.Handshake{
+		Version:    packet.Version,
+		SockType:   0,
+		InitSeq:    isn,
+		MSS:        int32(c.MSS),
+		FlowWindow: int32(c.MaxFlowWindow),
+		ReqType:    1,
+		ConnID:     connID,
+	}
+	buf := make([]byte, 64)
+	n, err := packet.EncodeHandshake(buf, &req, 0)
+	if err != nil {
+		sock.Close()
+		return nil, err
+	}
+
+	// Send the request, retrying every 250 ms until the response arrives.
+	deadline := time.Now().Add(c.HandshakeTimeout)
+	rbuf := make([]byte, 65536)
+	var resp packet.Handshake
+	for {
+		if time.Now().After(deadline) {
+			sock.Close()
+			return nil, ErrTimeout
+		}
+		if _, err := sock.WriteToUDP(buf[:n], raddr); err != nil {
+			sock.Close()
+			return nil, fmt.Errorf("udt: handshake: %w", err)
+		}
+		sock.SetReadDeadline(time.Now().Add(250 * time.Millisecond)) //nolint:errcheck
+		rn, from, err := sock.ReadFromUDP(rbuf)
+		if err != nil {
+			continue // timeout or transient: retry
+		}
+		if !udpAddrEqual(from, raddr) || !packet.IsControl(rbuf[:rn]) {
+			continue
+		}
+		ctrl, err := packet.DecodeControl(rbuf[:rn])
+		if err != nil || ctrl.Type != packet.TypeHandshake {
+			continue
+		}
+		hs, err := packet.DecodeHandshake(ctrl)
+		if err != nil || hs.ReqType != -1 || hs.ConnID != connID {
+			continue
+		}
+		resp = hs
+		break
+	}
+	sock.SetReadDeadline(time.Time{}) //nolint:errcheck
+
+	// Negotiate downwards.
+	if int(resp.MSS) < c.MSS && resp.MSS >= 96 {
+		c.MSS = int(resp.MSS)
+	}
+	if int(resp.FlowWindow) < c.MaxFlowWindow && resp.FlowWindow > 0 {
+		c.MaxFlowWindow = int(resp.FlowWindow)
+	}
+
+	conn := newConn(c, &ownedSock{c: sock}, func() { sock.Close() }, sock.LocalAddr(), raddr, isn, resp.InitSeq)
+	go dialedReadLoop(sock, conn)
+	return conn, nil
+}
+
+// dialedReadLoop feeds a dialed connection from its private socket.
+func dialedReadLoop(sock *net.UDPConn, conn *Conn) {
+	buf := make([]byte, 65536)
+	for i := 0; ; i++ {
+		// A bounded read deadline stands in for RCV_TIMEO (§4.8): timers
+		// are serviced by the sender loop, so the read may simply retry.
+		// Refreshing it only periodically keeps the syscall off the
+		// per-packet hot path (§4.1).
+		if i%16 == 0 {
+			sock.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+		}
+		n, from, err := sock.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-conn.closed:
+					return
+				default:
+					continue
+				}
+			}
+			return // socket closed
+		}
+		if !udpAddrEqual(from, conn.raddr) {
+			continue
+		}
+		conn.handleDatagram(buf[:n])
+	}
+}
+
+func udpAddrEqual(a, b *net.UDPAddr) bool {
+	return a.Port == b.Port && a.IP.Equal(b.IP)
+}
+
+// tuneUDPBuffers requests large kernel socket buffers. At gigabit packet
+// rates the default (~200 KB ≈ 10 ms of traffic) drops bursts long before
+// the protocol can react; UDT deployments tune this (paper §5's testbeds).
+// Failures are ignored — the kernel clamps to its configured maximum.
+func tuneUDPBuffers(sock *net.UDPConn) {
+	const want = 8 << 20
+	sock.SetReadBuffer(want)  //nolint:errcheck
+	sock.SetWriteBuffer(want) //nolint:errcheck
+}
+
+// Listener accepts incoming UDT connections on one UDP socket, which all
+// accepted connections share (demultiplexed by peer address).
+type Listener struct {
+	cfg  Config
+	sock *net.UDPConn
+
+	mu      sync.Mutex
+	conns   map[string]*Conn
+	pending map[string]int32 // peer → our ISN, for duplicate handshakes
+	backlog chan *Conn
+	closed  bool
+	done    chan struct{}
+}
+
+// Listen starts a UDT listener on the given UDP address. cfg may be nil.
+func Listen(address string, cfg *Config) (*Listener, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	c.fill()
+	laddr, err := net.ResolveUDPAddr("udp", address)
+	if err != nil {
+		return nil, fmt.Errorf("udt: listen %s: %w", address, err)
+	}
+	sock, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udt: listen %s: %w", address, err)
+	}
+	tuneUDPBuffers(sock)
+	l := &Listener{
+		cfg:     c,
+		sock:    sock,
+		conns:   make(map[string]*Conn),
+		pending: make(map[string]int32),
+		backlog: make(chan *Conn, 64),
+		done:    make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// Addr returns the listening UDP address.
+func (l *Listener) Addr() net.Addr { return l.sock.LocalAddr() }
+
+// Accept blocks for the next incoming connection.
+func (l *Listener) Accept() (*Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// Close stops the listener and closes every accepted connection.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	close(l.done)
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	return l.sock.Close()
+}
+
+func (l *Listener) writeTo(b []byte, addr *net.UDPAddr) (int, error) {
+	return l.sock.WriteToUDP(b, addr)
+}
+
+// readLoop demultiplexes every datagram on the shared socket.
+func (l *Listener) readLoop() {
+	buf := make([]byte, 65536)
+	for i := 0; ; i++ {
+		if i%16 == 0 {
+			l.sock.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+		}
+		n, from, err := l.sock.ReadFromUDP(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-l.done:
+					return
+				default:
+					continue
+				}
+			}
+			return
+		}
+		key := from.String()
+		l.mu.Lock()
+		conn := l.conns[key]
+		l.mu.Unlock()
+		if conn != nil {
+			conn.handleDatagram(buf[:n])
+			continue
+		}
+		l.maybeHandshake(buf[:n], from)
+	}
+}
+
+// maybeHandshake answers a connection request from an unknown peer.
+func (l *Listener) maybeHandshake(raw []byte, from *net.UDPAddr) {
+	if !packet.IsControl(raw) {
+		return
+	}
+	ctrl, err := packet.DecodeControl(raw)
+	if err != nil || ctrl.Type != packet.TypeHandshake {
+		return
+	}
+	hs, err := packet.DecodeHandshake(ctrl)
+	if err != nil || hs.ReqType != 1 || hs.Version != packet.Version {
+		return
+	}
+	key := from.String()
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	isn, dup := l.pending[key]
+	if !dup {
+		isn = rand.Int31() & seqno.Max
+		l.pending[key] = isn
+	}
+	cfg := l.cfg
+	if int(hs.MSS) < cfg.MSS && hs.MSS >= 96 {
+		cfg.MSS = int(hs.MSS)
+	}
+	if int(hs.FlowWindow) < cfg.MaxFlowWindow && hs.FlowWindow > 0 {
+		cfg.MaxFlowWindow = int(hs.FlowWindow)
+	}
+	var conn *Conn
+	if !dup {
+		peer := key
+		conn = newConn(cfg, l, func() { l.forget(peer) }, l.sock.LocalAddr(), from, isn, hs.InitSeq)
+		l.conns[key] = conn
+	}
+	l.mu.Unlock()
+
+	resp := packet.Handshake{
+		Version:    packet.Version,
+		SockType:   0,
+		InitSeq:    isn,
+		MSS:        int32(cfg.MSS),
+		FlowWindow: int32(cfg.MaxFlowWindow),
+		ReqType:    -1,
+		ConnID:     hs.ConnID,
+	}
+	out := make([]byte, 64)
+	if n, err := packet.EncodeHandshake(out, &resp, 0); err == nil {
+		l.sock.WriteToUDP(out[:n], from) //nolint:errcheck // client retries on loss
+	}
+	if conn != nil {
+		select {
+		case l.backlog <- conn:
+		default:
+			// Backlog overflow: drop the connection; the peer's handshake
+			// retries will find the slot again after forget().
+			conn.Close() //nolint:errcheck
+		}
+	}
+}
+
+// forget removes a torn-down connection from the demultiplexer.
+func (l *Listener) forget(key string) {
+	l.mu.Lock()
+	delete(l.conns, key)
+	delete(l.pending, key)
+	l.mu.Unlock()
+}

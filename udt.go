@@ -1,0 +1,92 @@
+// Package udt is a pure-Go implementation of UDT, the UDP-based Data
+// Transport protocol of Gu, Hong and Grossman ("Experiences in Design and
+// Implementation of a High Performance Transport Protocol", SC '04): a
+// reliable, connection-oriented, duplex stream transport built entirely in
+// user space on top of UDP, designed for bulk data transfer over networks
+// whose bandwidth-delay product defeats TCP.
+//
+// The API mirrors net's: Listen/Accept on one side, Dial on the other,
+// and a Conn with Read/Write/Close plus the paper's file-transfer
+// extensions SendFile and RecvFile (§4.7).
+//
+//	ln, _ := udt.Listen("127.0.0.1:9000", nil)
+//	go func() { c, _ := ln.Accept(); io.Copy(io.Discard, c) }()
+//	c, _ := udt.Dial("127.0.0.1:9000", nil)
+//	c.Write(data)
+//
+// Protocol mechanics — timer-based selective acknowledgement, explicit
+// negative acknowledgement with compressed loss ranges, AIMD rate control
+// with receiver-based packet-pair bandwidth estimation, the dynamic flow
+// window W = AS·(SYN+RTT), loss-event freezes — live in internal/core and
+// are shared verbatim with the repository's network simulator.
+package udt
+
+import (
+	"time"
+
+	"udt/internal/core"
+	"udt/internal/timing"
+)
+
+// Config carries the tunable parameters of a UDT endpoint. The zero value
+// gives the paper's defaults.
+type Config struct {
+	// MSS is the UDT packet size in bytes (header + payload) carried in one
+	// UDP datagram. Default 1472 (Ethernet MTU minus IP/UDP headers). §6
+	// and Fig. 15: the optimum is the path MTU.
+	MSS int
+	// SYN is the rate-control and acknowledgement interval. Default 10 ms.
+	SYN time.Duration
+	// MaxFlowWindow bounds unacknowledged packets. Default 25600.
+	MaxFlowWindow int
+	// SndBuf and RcvBuf are the buffer sizes in packets. Default 8192 each.
+	SndBuf, RcvBuf int
+	// HandshakeTimeout bounds connection setup. Default 3 s.
+	HandshakeTimeout time.Duration
+	// Ledger, when non-nil and enabled, attributes wall time to protocol
+	// cost centers (Table 3 / Fig. 14).
+	Ledger *timing.Ledger
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = 1472
+	}
+	if c.MSS < 96 {
+		c.MSS = 96
+	}
+	if c.SYN == 0 {
+		c.SYN = 10 * time.Millisecond
+	}
+	if c.MaxFlowWindow == 0 {
+		c.MaxFlowWindow = 25600
+	}
+	if c.SndBuf == 0 {
+		c.SndBuf = 8192
+	}
+	if c.RcvBuf == 0 {
+		c.RcvBuf = 8192
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 3 * time.Second
+	}
+}
+
+func (c *Config) coreConfig(isn int32) core.Config {
+	return core.Config{
+		MSS:           c.MSS,
+		SYN:           c.SYN.Microseconds(),
+		ISN:           isn,
+		MaxFlowWindow: int32(c.MaxFlowWindow),
+		RecvBufPkts:   int32(c.RcvBuf),
+	}
+}
+
+// Stats is a snapshot of a connection's protocol counters.
+type Stats struct {
+	core.Stats
+	RTT          time.Duration
+	SendRateMbps float64 // current paced sending rate
+	BytesSent    int64
+	BytesRecv    int64
+}
