@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet ci bench smoke
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	sh scripts/ci.sh
+
+# bench regenerates the performance snapshot; diff against BENCH_baseline.json
+# to spot regressions (numbers are machine-dependent — compare ratios, and the
+# alloc counts, which must be exactly zero).
+bench:
+	sh scripts/bench.sh BENCH_current.json
+	@cat BENCH_current.json
+
+# smoke is the fast correctness pass: the allocation gates plus the simulator
+# determinism suite.
+smoke:
+	$(GO) test ./internal/netsim -run 'ZeroAlloc|Pool|DoubleFree|TotalOrder' -count=1
+	$(GO) test . -run 'TestSenderPathAllocs|TestDrainOutboxSizing' -count=1

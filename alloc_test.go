@@ -1,0 +1,158 @@
+package udt
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/packet"
+	"udt/internal/seqno"
+	"udt/internal/timing"
+)
+
+// discardSock swallows datagrams; it stands in for the UDP socket so the
+// sender path can be driven synchronously, without a peer or a goroutine.
+type discardSock struct{ writes int }
+
+func (d *discardSock) writeTo(b []byte, _ *net.UDPAddr) (int, error) {
+	d.writes++
+	return len(b), nil
+}
+
+// newSendPathConn assembles a Conn exactly as newConn does, minus the
+// sender goroutine, so tests can drive claimBurstLocked/drainOutboxLocked
+// deterministically from one goroutine.
+func newSendPathConn(sock sockWriter) *Conn {
+	cfg := Config{}
+	cfg.fill()
+	c := &Conn{
+		cfg:   cfg,
+		sock:  sock,
+		clock: timing.NewSysClock(),
+	}
+	c.pacer = timing.NewPacer(c.clock)
+	c.core = core.NewConn(cfg.coreConfig(0), 0)
+	payload := cfg.MSS - packet.DataHeaderSize
+	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, 0)
+	c.rcv = core.NewRcvBuffer(cfg.RcvBuf, payload, 0)
+	c.core.AvailBuf = c.rcv.Free
+	c.rdReady = sync.NewCond(&c.mu)
+	c.wrReady = sync.NewCond(&c.mu)
+	c.core.Start(c.clock.Now())
+	return c
+}
+
+// sendCycle is one synchronous turn of the sender: buffer one packet of
+// data, claim and encode a burst, push it through the socket, then feed the
+// engine an ACK for everything in flight (the role the peer plays) and
+// drain the resulting control traffic. It exercises every per-packet
+// operation of the real send path.
+func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens *[sendBurst]int) {
+	c.mu.Lock()
+	now := c.clock.Now()
+	c.core.Advance(now)
+	c.snd.Write(data)
+	n, _, _ := c.claimBurstLocked(now, scratch, lens)
+	c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.sockWrite(scratch[i*c.cfg.MSS : i*c.cfg.MSS+lens[i]]) //nolint:errcheck
+	}
+	c.mu.Lock()
+	ack := packet.ACK{
+		Seq:      seqno.Inc(c.core.CurSeq()),
+		RTT:      100,
+		RTTVar:   10,
+		AvailBuf: int32(c.cfg.RcvBuf),
+	}
+	if newly := c.core.HandleACK(now, ack); newly > 0 {
+		c.snd.Release(c.core.SndLastAck())
+	}
+	batch.reset()
+	c.drainOutboxLocked(batch)
+	c.mu.Unlock()
+	for _, b := range batch.msgs {
+		c.sockWrite(b) //nolint:errcheck
+	}
+}
+
+// TestSenderPathAllocs is the regression gate for the real transport's
+// zero-allocation invariant: once warmed up, sending a data packet — encode
+// into the reusable scratch burst, socket write, ACK bookkeeping, control
+// drain into the reusable batch arena — allocates nothing.
+func TestSenderPathAllocs(t *testing.T) {
+	sock := &discardSock{}
+	c := newSendPathConn(sock)
+	var batch sendBatch
+	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	var lens [sendBurst]int
+	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
+
+	// Warm up: grow the batch arena, the engine's outbox and the ACK
+	// history window to steady state.
+	for i := 0; i < 64; i++ {
+		sendCycle(c, data, &batch, scratch, &lens)
+	}
+	sentBefore := c.core.Stats.PktsSent
+	avg := testing.AllocsPerRun(500, func() {
+		sendCycle(c, data, &batch, scratch, &lens)
+	})
+	sent := c.core.Stats.PktsSent - sentBefore
+	if sent < 500 {
+		t.Fatalf("send path stalled during measurement: only %d packets sent", sent)
+	}
+	if avg != 0 {
+		t.Fatalf("send path allocates %.2f objects per packet, want 0", avg)
+	}
+}
+
+// BenchmarkSenderPacket measures the real send path end to end — encode
+// burst, socket write, ACK bookkeeping, control drain — in ns and allocs
+// per data packet (the socket is a stub, so this is pure protocol cost).
+func BenchmarkSenderPacket(b *testing.B) {
+	sock := &discardSock{}
+	c := newSendPathConn(sock)
+	var batch sendBatch
+	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	var lens [sendBurst]int
+	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
+	for i := 0; i < 64; i++ {
+		sendCycle(c, data, &batch, scratch, &lens)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sendCycle(c, data, &batch, scratch, &lens)
+	}
+}
+
+// TestDrainOutboxSizing checks the per-kind arena sizing: every control
+// emission must encode successfully into the exact buffer the batch grants
+// it, including NAKs with long compressed loss lists.
+func TestDrainOutboxSizing(t *testing.T) {
+	sock := &discardSock{}
+	c := newSendPathConn(sock)
+	now := c.clock.Now()
+
+	// Provoke one of each control kind. Losses with many disjoint ranges
+	// stress the NAK sizing; receiving data provokes ACK generation at the
+	// next SYN boundary.
+	c.mu.Lock()
+	c.core.HandleData(now, 0)
+	c.core.HandleData(now, 50) // gap -> NAK with a compressed range
+	c.core.Advance(now + 11_000)
+	var batch sendBatch
+	c.drainOutboxLocked(&batch)
+	c.mu.Unlock()
+	if len(batch.msgs) == 0 {
+		t.Fatal("no control emissions drained")
+	}
+	for _, m := range batch.msgs {
+		if !packet.IsControl(m) {
+			t.Fatalf("drained message is not a control packet: % x", m)
+		}
+		if _, err := packet.DecodeControl(m); err != nil {
+			t.Fatalf("drained control packet does not decode: %v", err)
+		}
+	}
+}

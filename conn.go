@@ -54,6 +54,12 @@ type Conn struct {
 	overlap  bool    // a reader's buffer is attached to the receive buffer
 	sendCost float64 // EWMA of µs per UDP send (§4.4)
 
+	// rcvBatch is the receive path's control-send batch. handleDatagram is
+	// only ever invoked from one goroutine (the dialed socket's reader or
+	// the listener's demultiplexer), so one reusable batch suffices; the
+	// sender loop and Close keep their own.
+	rcvBatch sendBatch
+
 	bytesSent int64
 	bytesRecv int64
 
@@ -121,10 +127,11 @@ func (c *Conn) Close() error {
 	c.mu.Lock()
 	alreadyClosed := c.core.Closed()
 	c.core.Close()
-	out := c.drainOutboxLocked()
+	var batch sendBatch
+	c.drainOutboxLocked(&batch)
 	c.failLocked(ErrClosed)
 	c.mu.Unlock()
-	for _, b := range out {
+	for _, b := range batch.msgs {
 		c.sock.writeTo(b, c.raddr) //nolint:errcheck // best-effort shutdown notice
 	}
 	if !alreadyClosed && c.closer != nil {
@@ -209,16 +216,54 @@ func (c *Conn) Stats() Stats {
 	}
 }
 
-// drainOutboxLocked encodes all queued control emissions. Callers hold mu.
-func (c *Conn) drainOutboxLocked() [][]byte {
-	var out [][]byte
+// sendBatch accumulates encoded control datagrams in a reusable arena.
+// Once the arena and message list have grown to their working-set size, a
+// drain-and-send pass allocates nothing.
+type sendBatch struct {
+	arena []byte
+	msgs  [][]byte // aliases into arena, one per datagram
+}
+
+func (b *sendBatch) reset() {
+	b.arena = b.arena[:0]
+	b.msgs = b.msgs[:0]
+}
+
+// grab reserves n bytes of arena. If the arena must grow, messages already
+// recorded keep aliasing the old block — they remain valid until reset.
+func (b *sendBatch) grab(n int) []byte {
+	off := len(b.arena)
+	if off+n > cap(b.arena) {
+		grown := make([]byte, off, 2*(off+n)+64)
+		copy(grown, b.arena)
+		b.arena = grown
+	}
+	b.arena = b.arena[:off+n]
+	return b.arena[off : off+n]
+}
+
+// drainOutboxLocked encodes all queued control emissions into b, each
+// sized exactly per emission kind (a bare control header for
+// ACK2/keep-alive/shutdown, header+24 for a full ACK, the compressed
+// loss-list length for a NAK). Callers hold mu; the batch is transmitted
+// after unlock so the socket write never runs under the connection lock.
+func (c *Conn) drainOutboxLocked(b *sendBatch) {
 	now32 := int32(c.clock.Now())
 	for {
 		o, ok := c.core.PopOut()
 		if !ok {
-			return out
+			return
 		}
-		buf := make([]byte, packet.CtrlHeaderSize+packet.FullACKBody+8*len(o.Losses))
+		var size int
+		switch o.Kind {
+		case core.OutACK:
+			size = packet.CtrlHeaderSize + packet.FullACKBody
+		case core.OutNAK:
+			size = packet.NAKSize(o.Losses)
+		default: // ACK2, keep-alive, shutdown: bare control header
+			size = packet.CtrlHeaderSize
+		}
+		buf := b.grab(size)
 		var n int
 		var err error
 		switch o.Kind {
@@ -234,65 +279,90 @@ func (c *Conn) drainOutboxLocked() [][]byte {
 			n, err = packet.EncodeSimple(buf, packet.TypeShutdown, now32)
 		}
 		if err == nil && n > 0 {
-			out = append(out, buf[:n])
+			b.msgs = append(b.msgs, buf[:n])
 		}
 	}
+}
+
+// sendBurst caps how many consecutive data packets one lock acquisition
+// may claim when pacing is tighter than the syscall cost (§4.4).
+const sendBurst = 8
+
+// claimBurstLocked claims and encodes up to sendBurst data packets into
+// scratch (packet i at offset i*MSS, encoded length in lens[i]). The first
+// packet follows §4.1's one-packet-per-iteration rule; further packets are
+// claimed only while the pacing schedule is already due within the measured
+// cost of one UDP send — at that point the syscall, not the pacer, is the
+// bottleneck, and splitting the burst across lock round-trips would only
+// add overhead. It returns the claim count, the next wakeup deadline and
+// the last engine decision (meaningful when n == 0). Callers hold mu.
+func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens *[sendBurst]int) (n int, wake int64, d core.SendDecision) {
+	wake = c.core.NextTimer()
+	mss := c.cfg.MSS
+	for n < sendBurst {
+		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
+		seq, decision := c.core.NextSend(now, newAvail)
+		d = decision
+		if decision != core.SendData && decision != core.SendRetrans {
+			switch decision {
+			case core.WaitPacing:
+				if t := c.core.NextSendTime(); t < wake {
+					wake = t
+				}
+			case core.WaitFrozen:
+				if t := c.core.CC().FreezeEnd(); t < wake {
+					wake = t
+				}
+			}
+			return n, wake, decision
+		}
+		pl, ok := c.snd.Packet(seq)
+		if !ok {
+			// The engine committed seq but the buffer cannot serve it;
+			// reconsider immediately.
+			return n, now, decision
+		}
+		buf := scratch[n*mss : (n+1)*mss]
+		c.ledger.Time(timing.BucketPack, func() {
+			m, _ := packet.EncodeData(buf, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
+			lens[n] = m
+		})
+		n++
+		if c.core.NextSendTime() > now+int64(c.sendCost) {
+			return n, now, decision
+		}
+	}
+	return n, now, d
 }
 
 // senderLoop is the sender thread of §4.8: it paces data packets out
 // according to the engine's schedule, retransmits losses first, emits
 // control packets the engine queues, and services the protocol timers.
+// Each cycle drains the control outbox and claims a data burst under one
+// lock acquisition, then transmits everything in one pass without the lock.
 func (c *Conn) senderLoop() {
 	defer c.wg.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
-	scratch := make([]byte, c.cfg.MSS)
+	var batch sendBatch
+	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	var lens [sendBurst]int
 	for {
 		c.mu.Lock()
 		now := c.clock.Now()
 		c.core.Advance(now)
-		ctrl := c.drainOutboxLocked()
+		batch.reset()
+		c.drainOutboxLocked(&batch)
 		if c.core.Broken() {
 			c.failLocked(ErrPeerDead)
 			c.mu.Unlock()
 			return
 		}
-
-		// Data path: claim at most one packet per iteration so control
-		// packets and timers interleave (even distribution of processing,
-		// §4.1).
-		var dataLen int
-		var haveData bool
-		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
-		seq, decision := c.core.NextSend(now, newAvail)
-		if decision == core.SendData || decision == core.SendRetrans {
-			if pl, ok := c.snd.Packet(seq); ok {
-				c.ledger.Time(timing.BucketPack, func() {
-					n, _ := packet.EncodeData(scratch, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
-					dataLen = n
-				})
-				haveData = true
-			}
-		}
-
-		// Next wakeup while we still hold the state.
-		wake := c.core.NextTimer()
-		switch decision {
-		case core.SendData, core.SendRetrans:
-			wake = now // immediately reconsider after transmitting
-		case core.WaitPacing:
-			if t := c.core.NextSendTime(); t < wake {
-				wake = t
-			}
-		case core.WaitFrozen:
-			if t := c.core.CC().FreezeEnd(); t < wake {
-				wake = t
-			}
-		}
+		nData, wake, decision := c.claimBurstLocked(now, scratch, &lens)
 		closedNow := c.core.Closed() && c.snd.Pending() == 0
 		c.mu.Unlock()
 
-		for _, b := range ctrl {
+		for _, b := range batch.msgs {
 			if _, err := c.sockWrite(b); err != nil {
 				c.mu.Lock()
 				c.failLocked(fmt.Errorf("udt: send: %w", err))
@@ -300,17 +370,22 @@ func (c *Conn) senderLoop() {
 				return
 			}
 		}
-		if haveData {
+		if nData > 0 {
 			t0 := time.Now()
-			if _, err := c.sockWrite(scratch[:dataLen]); err != nil {
-				c.mu.Lock()
-				c.failLocked(fmt.Errorf("udt: send: %w", err))
-				c.mu.Unlock()
-				return
+			sent := 0
+			for i := 0; i < nData; i++ {
+				b := scratch[i*c.cfg.MSS : i*c.cfg.MSS+lens[i]]
+				if _, err := c.sockWrite(b); err != nil {
+					c.mu.Lock()
+					c.failLocked(fmt.Errorf("udt: send: %w", err))
+					c.mu.Unlock()
+					return
+				}
+				sent += lens[i]
 			}
-			cost := float64(time.Since(t0).Microseconds())
+			cost := float64(time.Since(t0).Microseconds()) / float64(nData)
 			c.mu.Lock()
-			c.bytesSent += int64(dataLen)
+			c.bytesSent += int64(sent)
 			// §4.4: never let rate control tune the period below the real
 			// per-packet send time.
 			if c.sendCost == 0 {
@@ -390,9 +465,10 @@ func (c *Conn) handleDatagram(raw []byte) {
 				c.rdReady.Broadcast()
 			}
 		}
-		out := c.drainOutboxLocked()
+		c.rcvBatch.reset()
+		c.drainOutboxLocked(&c.rcvBatch)
 		c.mu.Unlock()
-		for _, b := range out {
+		for _, b := range c.rcvBatch.msgs {
 			c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
 		}
 		return
@@ -428,10 +504,11 @@ func (c *Conn) handleDatagram(raw []byte) {
 			// the listener answers duplicates for accepted conns.
 		}
 	})
-	out := c.drainOutboxLocked()
+	c.rcvBatch.reset()
+	c.drainOutboxLocked(&c.rcvBatch)
 	peerClosed := c.core.Closed()
 	c.mu.Unlock()
-	for _, b := range out {
+	for _, b := range c.rcvBatch.msgs {
 		c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
 	}
 	if peerClosed && c.closer != nil {

@@ -22,6 +22,10 @@ type LinkStats struct {
 // Link is a unidirectional store-and-forward link: an egress queue feeding
 // a transmitter of fixed rate, followed by a fixed propagation delay.
 // Bidirectional paths are built from two Links.
+//
+// A packet handed to Send is owned by the link until delivery: it is either
+// delivered to dst exactly once or dropped (and returned to the simulation's
+// packet free list). Callers must not retain or reuse it.
 type Link struct {
 	sim   *Sim
 	rate  int64 // bits per second; 0 means infinitely fast
@@ -36,7 +40,14 @@ type Link struct {
 	// effects that plague DropTail simulations (Floyd & Jacobson 1992).
 	JitterMax Time
 
-	queue    []*Packet
+	// Egress queue: a growable power-of-two ring. A plain slice with
+	// pop-from-front reslicing would slide through its backing array and
+	// reallocate steadily; the ring reaches its working-set size once and
+	// then never allocates again.
+	queue []*Packet
+	qhead int
+	qlen  int
+
 	busy     bool
 	lastDlvr Time // FIFO guard: jitter never reorders deliveries
 	Stats    LinkStats
@@ -70,7 +81,7 @@ func NewLink(sim *Sim, rateBps int64, delay Time, queuePkts int, dst Deliver) *L
 func (l *Link) UseRED() { l.kind = RED }
 
 // QueueLen returns the instantaneous queue occupancy in packets.
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.qlen }
 
 // Delay returns the propagation delay.
 func (l *Link) Delay() Time { return l.delay }
@@ -86,65 +97,103 @@ func (l *Link) txTime(p *Packet) Time {
 	return Time(int64(p.Size) * 8 * Second / l.rate)
 }
 
+func (l *Link) qpush(p *Packet) {
+	if l.qlen == len(l.queue) {
+		n := len(l.queue) * 2
+		if n == 0 {
+			n = 16
+		}
+		grown := make([]*Packet, n)
+		for i := 0; i < l.qlen; i++ {
+			grown[i] = l.queue[(l.qhead+i)&(len(l.queue)-1)]
+		}
+		l.queue = grown
+		l.qhead = 0
+	}
+	l.queue[(l.qhead+l.qlen)&(len(l.queue)-1)] = p
+	l.qlen++
+}
+
+func (l *Link) qpop() *Packet {
+	p := l.queue[l.qhead]
+	l.queue[l.qhead] = nil
+	l.qhead = (l.qhead + 1) & (len(l.queue) - 1)
+	l.qlen--
+	return p
+}
+
 // Send enqueues p for transmission, dropping it when the queue is full
-// (DropTail) or when RED decides to mark-by-drop.
+// (DropTail) or when RED decides to mark-by-drop. Dropped packets return to
+// the free list — on the wire they cease to exist, and so they do here.
 func (l *Link) Send(p *Packet) {
 	l.Stats.Sent++
 	if l.kind == RED {
-		l.redAvg = l.redAvg*0.98 + float64(len(l.queue))*0.02
+		l.redAvg = l.redAvg*0.98 + float64(l.qlen)*0.02
 		if l.redAvg > float64(l.redMax) {
 			l.Stats.Dropped++
+			l.sim.FreePacket(p)
 			return
 		}
 		if l.redAvg > float64(l.redMin) {
 			pdrop := l.redPmax * (l.redAvg - float64(l.redMin)) / float64(l.redMax-l.redMin)
 			if l.sim.Rand.Float64() < pdrop {
 				l.Stats.Dropped++
+				l.sim.FreePacket(p)
 				return
 			}
 		}
 	}
-	if len(l.queue) >= l.qcap {
+	if l.qlen >= l.qcap {
 		l.Stats.Dropped++
+		l.sim.FreePacket(p)
 		return
 	}
-	l.queue = append(l.queue, p)
-	if len(l.queue) > l.Stats.MaxQueue {
-		l.Stats.MaxQueue = len(l.queue)
+	l.qpush(p)
+	if l.qlen > l.Stats.MaxQueue {
+		l.Stats.MaxQueue = l.qlen
 	}
 	if !l.busy {
 		l.transmitNext()
 	}
 }
 
+// transmitNext starts serializing the head-of-line packet. The whole
+// store-and-forward pipeline runs on typed events — scheduling a packet hop
+// allocates nothing.
 func (l *Link) transmitNext() {
-	if len(l.queue) == 0 {
+	if l.qlen == 0 {
 		l.busy = false
 		return
 	}
 	l.busy = true
-	p := l.queue[0]
-	l.queue = l.queue[1:]
-	tx := l.txTime(p)
-	l.sim.After(tx, func() {
-		// Propagation happens in parallel with the next serialization.
-		d := l.delay
-		if l.JitterMax > 0 {
-			d += Time(l.sim.Rand.Int63n(int64(l.JitterMax)))
-		}
-		// Links are FIFO: jitter shifts timing but never reorders.
-		at := l.sim.Now() + d
-		if at < l.lastDlvr {
-			at = l.lastDlvr
-		}
-		l.lastDlvr = at
-		l.sim.At(at, func() {
-			l.Stats.Delivered++
-			l.Stats.Bytes += int64(p.Size)
-			l.dst(p)
-		})
-		l.transmitNext()
-	})
+	p := l.qpop()
+	l.sim.AfterCall(l.txTime(p), linkTxDone, l, p, 0)
+}
+
+// linkTxDone fires when p's last bit leaves the transmitter: p enters the
+// propagation pipe (in parallel with the next packet's serialization).
+func linkTxDone(s *Sim, arg any, p *Packet, _ int64) {
+	l := arg.(*Link)
+	d := l.delay
+	if l.JitterMax > 0 {
+		d += Time(s.Rand.Int63n(int64(l.JitterMax)))
+	}
+	// Links are FIFO: jitter shifts timing but never reorders.
+	at := s.Now() + d
+	if at < l.lastDlvr {
+		at = l.lastDlvr
+	}
+	l.lastDlvr = at
+	s.Call(at, linkDeliver, l, p, 0)
+	l.transmitNext()
+}
+
+// linkDeliver hands p to the link's destination after propagation.
+func linkDeliver(_ *Sim, arg any, p *Packet, _ int64) {
+	l := arg.(*Link)
+	l.Stats.Delivered++
+	l.Stats.Bytes += int64(p.Size)
+	l.dst(p)
 }
 
 // Pipe is a symmetric bidirectional path between two endpoints.

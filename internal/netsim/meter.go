@@ -21,9 +21,11 @@ func NewFlowMeter(sim *Sim, flows int, interval Time) *FlowMeter {
 		bytes:    make([]int64, flows),
 		total:    make([]int64, flows),
 	}
-	sim.After(interval, m.sample)
+	sim.AfterCall(interval, meterSample, m, nil, 0)
 	return m
 }
+
+func meterSample(_ *Sim, arg any, _ *Packet, _ int64) { arg.(*FlowMeter).sample() }
 
 func (m *FlowMeter) sample() {
 	row := make([]float64, m.flows)
@@ -32,7 +34,7 @@ func (m *FlowMeter) sample() {
 		m.bytes[i] = 0
 	}
 	m.Samples = append(m.Samples, row)
-	m.sim.After(m.interval, m.sample)
+	m.sim.AfterCall(m.interval, meterSample, m, nil, 0)
 }
 
 // Account credits n delivered application bytes to flow.
@@ -95,15 +97,17 @@ func (s *CBRSource) Stop() { s.on = false }
 // Shutdown halts the source permanently.
 func (s *CBRSource) Shutdown() { s.stopped = true; s.on = false }
 
+func cbrEmit(_ *Sim, arg any, _ *Packet, _ int64) { arg.(*CBRSource).emit() }
+
 func (s *CBRSource) emit() {
 	if !s.on || s.stopped {
 		return
 	}
-	s.dst(&Packet{Size: s.size, Flow: s.flow, Payload: "cbr"})
+	s.dst(s.sim.AllocPacket(s.size, s.flow))
 	s.Sent++
 	gap := Time(int64(s.size) * 8 * Second / s.rate)
 	if gap < 1 {
 		gap = 1
 	}
-	s.sim.After(gap, s.emit)
+	s.sim.AfterCall(gap, cbrEmit, s, nil, 0)
 }

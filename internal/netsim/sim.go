@@ -10,10 +10,17 @@
 // event ordering is fully deterministic (ties broken by insertion order) and
 // all randomness flows from one seeded generator, so every experiment
 // regenerates bit-identically.
+//
+// The event queue and the packet objects are engineered for allocation-free
+// steady state: events live in a concrete binary min-heap of plain structs
+// (no interface boxing, no container/heap indirection), hot-path callbacks
+// use the typed Call/AfterCall form instead of closures, and Packet objects
+// recycle through a sim-local free list. A simulation that schedules only
+// typed events and frees delivered packets performs zero heap allocations
+// per event once its buffers have warmed up.
 package netsim
 
 import (
-	"container/heap"
 	"math/rand"
 )
 
@@ -28,29 +35,33 @@ const (
 	Second      Time = 1_000_000_000
 )
 
+// EventFunc is the allocation-free callback form: a plain function (not a
+// closure) receiving the simulation, a receiver-like argument, an optional
+// in-flight packet and one scalar. Passing a pointer through arg does not
+// allocate; a closure capturing the same state would.
+type EventFunc func(s *Sim, arg any, pkt *Packet, aux int64)
+
+// event is a queued callback. Exactly one of fn (closure form) and call
+// (typed form) is set.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	call EventFunc
+	arg  any
+	pkt  *Packet
+	aux  int64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the queue's total order: time, then insertion order. It is a
+// strict total order (seq is unique), so any correct min-heap pops events in
+// exactly the same sequence — the representation can change without
+// disturbing determinism.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	return e.seq < o.seq
 }
 
 // Sim is one simulation instance: a virtual clock, an event queue and a
@@ -58,10 +69,14 @@ func (h *eventHeap) Pop() interface{} {
 // single-threaded by construction.
 type Sim struct {
 	now    Time
-	events eventHeap
+	events []event // binary min-heap ordered by (at, seq)
 	seq    uint64
-	// Rand is the simulation's sole randomness source.
+	// Rand is the simulation's sole randomness source. The packet free list
+	// and the event heap never consume it, so pooling and the queue
+	// representation cannot perturb an experiment's random sequence.
 	Rand *rand.Rand
+
+	pktFree []*Packet
 }
 
 // New returns an empty simulation whose randomness is derived from seed.
@@ -72,26 +87,103 @@ func New(seed int64) *Sim {
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
 
-// At schedules fn at absolute time t (clamped to now for past times).
-func (s *Sim) At(t Time, fn func()) {
+// push inserts e into the heap (inlined sift-up; no interface boxing).
+func (s *Sim) push(e event) {
+	h := append(s.events, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].before(&h[i]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	s.events = h
+}
+
+// pop removes and returns the earliest event (inlined hole-based sift-down).
+func (s *Sim) pop() event {
+	h := s.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/arg/pkt references
+	h = h[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			if r := c + 1; r < n && h[r].before(&h[c]) {
+				c = r
+			}
+			if last.before(&h[c]) {
+				break
+			}
+			h[i] = h[c]
+			i = c
+		}
+		h[i] = last
+	}
+	s.events = h
+	return top
+}
+
+// schedule clamps t and enqueues.
+func (s *Sim) schedule(t Time, e event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	e.at = t
+	e.seq = s.seq
+	s.push(e)
+}
+
+// At schedules fn at absolute time t (clamped to now for past times). The
+// closure form is convenient for setup and experiment scripting; per-event
+// hot paths should use Call, which does not allocate.
+func (s *Sim) At(t Time, fn func()) {
+	s.schedule(t, event{fn: fn})
 }
 
 // After schedules fn d nanoseconds from now.
 func (s *Sim) After(d Time, fn func()) { s.At(s.now+d, fn) }
+
+// Call schedules the typed callback fn(s, arg, pkt, aux) at absolute time t
+// (clamped to now). fn must be a plain function; arg carries the receiver,
+// pkt an optional in-flight packet, aux one scalar. No allocation occurs
+// beyond amortized heap-slice growth.
+func (s *Sim) Call(t Time, fn EventFunc, arg any, pkt *Packet, aux int64) {
+	s.schedule(t, event{call: fn, arg: arg, pkt: pkt, aux: aux})
+}
+
+// AfterCall schedules the typed callback d nanoseconds from now.
+func (s *Sim) AfterCall(d Time, fn EventFunc, arg any, pkt *Packet, aux int64) {
+	s.Call(s.now+d, fn, arg, pkt, aux)
+}
+
+// runNext pops and dispatches the earliest event. It is the single pop site:
+// Step and Run share it so the clock/dispatch rules cannot drift apart.
+func (s *Sim) runNext() {
+	e := s.pop()
+	s.now = e.at
+	if e.fn != nil {
+		e.fn()
+	} else {
+		e.call(s, e.arg, e.pkt, e.aux)
+	}
+}
 
 // Step executes the next event, reporting false when the queue is empty.
 func (s *Sim) Step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.events).(event)
-	s.now = e.at
-	e.fn()
+	s.runNext()
 	return true
 }
 
@@ -99,25 +191,64 @@ func (s *Sim) Step() bool {
 // The clock finishes at exactly `until`.
 func (s *Sim) Run(until Time) {
 	for len(s.events) > 0 && s.events[0].at <= until {
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		e.fn()
+		s.runNext()
 	}
 	if s.now < until {
 		s.now = until
 	}
 }
 
-// Pending returns the number of queued events (test introspection).
+// Pending returns the number of queued events (test introspection). O(1).
 func (s *Sim) Pending() int { return len(s.events) }
 
 // Packet is the unit of transmission. Size is the on-wire size in bytes and
-// drives serialization delay and queue accounting; Payload carries the
+// drives serialization delay and queue accounting; Payload carries
 // protocol-specific content and is never inspected by the simulator.
+//
+// Kind, Seq, Aux and Flag are typed scratch words for protocol payloads:
+// storing small values there instead of boxing a struct into Payload keeps
+// per-packet paths allocation-free. Kind discriminates the payload form;
+// protocols sharing one simulation must use disjoint Kind values.
 type Packet struct {
 	Size    int
 	Flow    int // flow identifier for tracing and per-flow accounting
 	Payload interface{}
+
+	Kind int32
+	Flag bool
+	Seq  int64
+	Aux  int64
+
+	freed bool
+}
+
+// AllocPacket returns a zeroed packet, recycling one from the simulation's
+// free list when possible. The free list is LIFO and consumes no randomness,
+// so pooling never changes event order or experiment outputs.
+func (s *Sim) AllocPacket(size, flow int) *Packet {
+	if n := len(s.pktFree); n > 0 {
+		p := s.pktFree[n-1]
+		s.pktFree[n-1] = nil
+		s.pktFree = s.pktFree[:n-1]
+		*p = Packet{Size: size, Flow: flow}
+		return p
+	}
+	return &Packet{Size: size, Flow: flow}
+}
+
+// FreePacket returns p to the free list. Call it exactly once, from the
+// packet's final consumer (a protocol endpoint, a drop site, a discard
+// sink); the packet must not be touched afterwards. Freeing packets that
+// were not allocated through AllocPacket is allowed — they simply join the
+// pool. Double frees panic: they would otherwise corrupt two logical
+// packets into one object and poison an experiment silently.
+func (s *Sim) FreePacket(p *Packet) {
+	if p.freed {
+		panic("netsim: packet freed twice")
+	}
+	p.freed = true
+	p.Payload = nil
+	s.pktFree = append(s.pktFree, p)
 }
 
 // Deliver is a packet sink: an endpoint's receive entry point, a link's

@@ -34,12 +34,14 @@ func NewDumbbell(sim *Sim, rateBps int64, queuePkts int, rtts []Time) *Dumbbell 
 	}
 	d.Bottleneck = NewLink(sim, rateBps, 0, queuePkts, func(p *Packet) {
 		// Flow ids outside the bound range (cross traffic) fall off the far
-		// side of the bottleneck.
+		// side of the bottleneck; discarded packets return to the pool.
 		if p.Flow >= 0 && p.Flow < len(d.toSink) {
 			if f := d.toSink[p.Flow]; f != nil {
 				f(p)
+				return
 			}
 		}
+		sim.FreePacket(p)
 	})
 	for i, rtt := range rtts {
 		i := i
@@ -55,7 +57,9 @@ func NewDumbbell(sim *Sim, rateBps int64, queuePkts int, rtts []Time) *Dumbbell 
 		d.reverse[i] = NewLink(sim, 0, rtt/2, 1<<20, func(p *Packet) {
 			if f := d.toSrc[p.Flow]; f != nil {
 				f(p)
+				return
 			}
+			sim.FreePacket(p)
 		})
 		// Jitter on the ACK path breaks deterministic DropTail phase
 		// effects without disturbing forward-path packet-pair spacing.

@@ -329,6 +329,12 @@ func EncodeSimple(dst []byte, t ControlType, ts int32) (int, error) {
 	return CtrlHeaderSize, nil
 }
 
+// NAKSize returns the exact encoded size of a NAK carrying losses —
+// the sizing callers need to allocate (or arena-reserve) before EncodeNAK.
+func NAKSize(losses []Range) int {
+	return CtrlHeaderSize + compressedLen(losses)*4
+}
+
 // compressedLen returns the number of 32-bit words the compressed encoding
 // of losses occupies.
 func compressedLen(losses []Range) int {

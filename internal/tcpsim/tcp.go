@@ -4,20 +4,19 @@ import (
 	"udt/internal/netsim"
 )
 
-// seg is a simulated TCP data segment (payload implied).
-type seg struct {
-	seq int64
-	rtx bool        // retransmission, for Karn's rule
-	ts  netsim.Time // send time, echoed by the ACK
-}
-
-// ackSeg is a simulated TCP acknowledgement.
-type ackSeg struct {
-	cum     int64       // next expected packet
-	sacks   [][2]int64  // up to 3 SACK blocks, half-open
-	ts      netsim.Time // echoed timestamp of the triggering segment
-	rtxEcho bool        // triggering segment was a retransmission
-}
+// Packet kinds used in netsim.Packet.Kind; values are disjoint from
+// udtsim's so mixed-protocol topologies cannot misread a stray packet.
+//
+// A data segment rides entirely in the typed scratch words: Seq = sequence,
+// Aux = send time (echoed by the ACK), Flag = retransmission (Karn's rule).
+// An ACK carries: Seq = cumulative (next expected packet), Aux = echoed
+// timestamp, Flag = rtx echo, and — only during loss episodes — up to 3
+// half-open SACK blocks boxed in Payload as [][2]int64. In the no-loss
+// steady state both directions are allocation-free.
+const (
+	kindSeg int32 = 0x7C01
+	kindAck int32 = 0x7C02
+)
 
 // Header overheads charged on the wire.
 const (
@@ -147,11 +146,12 @@ func (s *Sender) sendSeg(seq int64, rtx bool) {
 	} else {
 		s.Stats.Sent++
 	}
-	s.out(&netsim.Packet{
-		Size:    s.mss + tcpHeader,
-		Flow:    s.flow,
-		Payload: seg{seq: seq, rtx: rtx, ts: s.sim.Now()},
-	})
+	p := s.sim.AllocPacket(s.mss+tcpHeader, s.flow)
+	p.Kind = kindSeg
+	p.Seq = seq
+	p.Aux = int64(s.sim.Now())
+	p.Flag = rtx
+	s.out(p)
 }
 
 // trySend pushes new data while the window allows.
@@ -246,14 +246,18 @@ func (s *Sender) armRTO() {
 		s.rtoArmed = false
 		return
 	}
-	g := s.rtoGen
 	s.rtoArmed = true
-	s.sim.After(s.curRTO(), func() {
-		if g == s.rtoGen {
-			s.rtoArmed = false
-			s.onRTO()
-		}
-	})
+	s.sim.AfterCall(s.curRTO(), senderRTO, s, nil, int64(s.rtoGen))
+}
+
+// senderRTO fires a retransmission timeout if its generation (aux) is still
+// current — superseded timers die here without having allocated anything.
+func senderRTO(_ *netsim.Sim, arg any, _ *netsim.Packet, aux int64) {
+	s := arg.(*Sender)
+	if uint64(aux) == s.rtoGen {
+		s.rtoArmed = false
+		s.onRTO()
+	}
 }
 
 // onRTO is the retransmission timeout: collapse to one packet, forget SACK
@@ -276,28 +280,34 @@ func (s *Sender) onRTO() {
 	s.armRTO()
 }
 
-// Deliver is the sender's receive entry point (ACK processing).
+// Deliver is the sender's receive entry point (ACK processing). Consumed
+// ACKs return to the simulation's free list.
 func (s *Sender) Deliver(p *netsim.Packet) {
-	a, ok := p.Payload.(ackSeg)
-	if !ok {
+	if p.Kind != kindAck {
 		return
 	}
-	for _, b := range a.sacks {
-		s.sacked.add(b[0], b[1])
+	cum := p.Seq
+	ts := netsim.Time(p.Aux)
+	rtxEcho := p.Flag
+	if sacks, ok := p.Payload.([][2]int64); ok {
+		for _, b := range sacks {
+			s.sacked.add(b[0], b[1])
+		}
 	}
-	advanced := a.cum > s.una
+	s.sim.FreePacket(p)
+	advanced := cum > s.una
 	refresh := advanced
-	if a.cum > s.una {
-		newAcked := a.cum - s.una
-		s.una = a.cum
+	if cum > s.una {
+		newAcked := cum - s.una
+		s.una = cum
 		if s.nextSeq < s.una {
 			s.nextSeq = s.una
 		}
 		s.sacked.dropBefore(s.una)
 		s.dupAcks = 0
 		s.backoff = 0
-		if !a.rtxEcho {
-			s.rttSample(s.sim.Now() - a.ts)
+		if !rtxEcho {
+			s.rttSample(s.sim.Now() - ts)
 		}
 		if s.inFR {
 			if s.una > s.recover {
@@ -376,12 +386,17 @@ func (s *Sender) maybeDone() {
 }
 
 // Deliver is the receiver's entry point (data processing and ACK emission).
+// Consumed segments return to the simulation's free list; the emitted ACK
+// reuses the pool, so the in-order path allocates nothing.
 func (r *Receiver) Deliver(p *netsim.Packet) {
-	sg, ok := p.Payload.(seg)
-	if !ok {
+	if p.Kind != kindSeg {
 		return
 	}
-	r.rcvd.add(sg.seq, sg.seq+1)
+	seq := p.Seq
+	ts := p.Aux
+	rtx := p.Flag
+	r.sim.FreePacket(p)
+	r.rcvd.add(seq, seq+1)
 	newCum := r.rcvd.firstGapFrom(r.cum)
 	if newCum > r.cum {
 		n := newCum - r.cum
@@ -392,19 +407,26 @@ func (r *Receiver) Deliver(p *netsim.Packet) {
 		r.cum = newCum
 		r.rcvd.dropBefore(r.cum)
 	}
-	// Up to 3 SACK blocks above the cumulative point.
+	// Up to 3 SACK blocks above the cumulative point — built only while
+	// holes exist; the in-order path carries none.
 	var sacks [][2]int64
-	for _, b := range r.rcvd.blocks(3) {
-		if b[1] > r.cum {
-			if b[0] < r.cum {
-				b[0] = r.cum
+	if len(r.rcvd.r) > 0 {
+		for _, b := range r.rcvd.blocks(3) {
+			if b[1] > r.cum {
+				if b[0] < r.cum {
+					b[0] = r.cum
+				}
+				sacks = append(sacks, b)
 			}
-			sacks = append(sacks, b)
 		}
 	}
-	r.out(&netsim.Packet{
-		Size:    ackSize,
-		Flow:    r.flow,
-		Payload: ackSeg{cum: r.cum, sacks: sacks, ts: sg.ts, rtxEcho: sg.rtx},
-	})
+	ack := r.sim.AllocPacket(ackSize, r.flow)
+	ack.Kind = kindAck
+	ack.Seq = r.cum
+	ack.Aux = ts
+	ack.Flag = rtx
+	if len(sacks) > 0 {
+		ack.Payload = sacks
+	}
+	r.out(ack)
 }

@@ -185,7 +185,8 @@ func TestTCPMathisShape(t *testing.T) {
 	// Random drop 0.1% on the forward path.
 	p := 0.001
 	drop := func(pk *netsim.Packet) {
-		if _, ok := pk.Payload.(seg); ok && sim.Rand.Float64() < p {
+		if pk.Kind == kindSeg && sim.Rand.Float64() < p {
+			sim.FreePacket(pk)
 			return
 		}
 		f.Dst.Deliver(pk)

@@ -11,15 +11,16 @@ import (
 	"udt/internal/packet"
 )
 
-// dataMsg is a simulated UDT data packet (payload bytes are implied).
-type dataMsg struct {
-	seq int32
-}
-
-// ctrlMsg is a simulated UDT control packet.
-type ctrlMsg struct {
-	out core.Out
-}
+// Packet kinds used in netsim.Packet.Kind. Data packets ride entirely in
+// the typed scratch words (sequence in Seq), so the per-packet send path
+// allocates nothing; control packets box a core.Out in Payload — they are
+// SYN-periodic, a thousand times rarer than data at gigabit rates. The
+// values are disjoint from tcpsim's so mixed-protocol topologies cannot
+// misread a stray packet.
+const (
+	kindData int32 = 0x5D01 // UDT data; Seq = packet sequence number
+	kindCtrl int32 = 0x5D02 // UDT control; Payload = core.Out
+)
 
 // ipOverhead approximates IP+UDP header bytes added to every datagram; the
 // simulator charges it so link utilization matches what a GigE path would
@@ -187,16 +188,18 @@ func (f *Flow) AvgMbpsDelivered() float64 {
 // Conn exposes an endpoint's protocol engine for inspection.
 func (e *Endpoint) Conn() *core.Conn { return e.conn }
 
-// Deliver is the endpoint's network-facing receive entry point.
+// Deliver is the endpoint's network-facing receive entry point. Consumed
+// packets return to the simulation's free list.
 func (e *Endpoint) Deliver(p *netsim.Packet) {
 	us := e.sim.Now() / netsim.Microsecond
-	switch m := p.Payload.(type) {
-	case dataMsg:
+	switch p.Kind {
+	case kindData:
+		seq := int32(p.Seq)
 		var evBefore, lostBefore int64
 		if e.CollectLossEvents {
 			evBefore, lostBefore = e.conn.Stats.LossEvents, e.conn.Stats.LossDetected
 		}
-		if e.conn.HandleData(us, m.seq) {
+		if e.conn.HandleData(us, seq) {
 			e.Delivered++
 			if e.meter != nil {
 				e.meter.Account(e.flow, e.mss)
@@ -211,20 +214,26 @@ func (e *Endpoint) Deliver(p *netsim.Packet) {
 		if e.CollectLossEvents && e.conn.Stats.LossEvents > evBefore {
 			e.LossEventSizes = append(e.LossEventSizes, e.conn.Stats.LossDetected-lostBefore)
 		}
-	case ctrlMsg:
-		switch m.out.Kind {
+	case kindCtrl:
+		out := p.Payload.(core.Out)
+		switch out.Kind {
 		case core.OutACK:
-			e.conn.HandleACK(us, m.out.ACK)
+			e.conn.HandleACK(us, out.ACK)
 		case core.OutNAK:
-			e.conn.HandleNAK(us, m.out.Losses)
+			e.conn.HandleNAK(us, out.Losses)
 		case core.OutACK2:
-			e.conn.HandleACK2(us, m.out.AckID)
+			e.conn.HandleACK2(us, out.AckID)
 		case core.OutKeepAlive:
 			e.conn.HandleKeepAlive(us)
 		case core.OutShutdown:
 			e.conn.HandleShutdown(us)
 		}
+	default:
+		// Foreign packet (cross traffic, another protocol): not ours to free.
+		e.kick()
+		return
 	}
+	e.sim.FreePacket(p)
 	e.kick()
 }
 
@@ -234,15 +243,7 @@ func ctrlSize(o core.Out) int {
 	case core.OutACK:
 		return ipOverhead + packet.CtrlHeaderSize + packet.FullACKBody
 	case core.OutNAK:
-		n := 0
-		for _, r := range o.Losses {
-			if r.Start == r.End {
-				n += 4
-			} else {
-				n += 8
-			}
-		}
-		return ipOverhead + packet.CtrlHeaderSize + n
+		return ipOverhead + packet.NAKSize(o.Losses)
 	default:
 		return ipOverhead + packet.CtrlHeaderSize
 	}
@@ -258,10 +259,22 @@ func (e *Endpoint) kick() {
 		if !ok {
 			break
 		}
-		e.out(&netsim.Packet{Size: ctrlSize(o), Flow: e.flow, Payload: ctrlMsg{out: o}})
+		p := e.sim.AllocPacket(ctrlSize(o), e.flow)
+		p.Kind = kindCtrl
+		p.Payload = o
+		e.out(p)
 	}
 	e.trySend(us)
 	e.scheduleTimer()
+}
+
+// sendData emits one data packet, allocation-free: the sequence rides in
+// the packet's typed Seq word.
+func (e *Endpoint) sendData(seq int32) {
+	p := e.sim.AllocPacket(e.mss+ipOverhead, e.flow)
+	p.Kind = kindData
+	p.Seq = int64(seq)
+	e.out(p)
 }
 
 func (e *Endpoint) trySend(us int64) {
@@ -276,9 +289,9 @@ func (e *Endpoint) trySend(us int64) {
 			if e.remaining > 0 {
 				e.remaining--
 			}
-			e.out(&netsim.Packet{Size: e.mss + ipOverhead, Flow: e.flow, Payload: dataMsg{seq: seq}})
+			e.sendData(seq)
 		case core.SendRetrans:
-			e.out(&netsim.Packet{Size: e.mss + ipOverhead, Flow: e.flow, Payload: dataMsg{seq: seq}})
+			e.sendData(seq)
 		case core.WaitPacing:
 			e.wakeAt(e.conn.NextSendTime() * netsim.Microsecond)
 			return
@@ -311,7 +324,9 @@ func (e *Endpoint) scheduleTimer() {
 }
 
 // wakeAt schedules a kick at simulated time t (ns), deduplicating wakeups
-// that are not earlier than one already scheduled.
+// that are not earlier than one already scheduled. The wakeup is a typed
+// event (the target time rides in aux), so the simulator's densest event
+// stream — per-packet pacing wakeups — allocates nothing.
 func (e *Endpoint) wakeAt(t netsim.Time) {
 	now := e.sim.Now()
 	if t <= now {
@@ -321,10 +336,13 @@ func (e *Endpoint) wakeAt(t netsim.Time) {
 		return
 	}
 	e.nextWake = t
-	e.sim.At(t, func() {
-		if e.nextWake == t {
-			e.nextWake = 0
-		}
-		e.kick()
-	})
+	e.sim.Call(t, endpointWake, e, nil, int64(t))
+}
+
+func endpointWake(_ *netsim.Sim, arg any, _ *netsim.Packet, aux int64) {
+	e := arg.(*Endpoint)
+	if e.nextWake == netsim.Time(aux) {
+		e.nextWake = 0
+	}
+	e.kick()
 }

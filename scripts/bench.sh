@@ -1,0 +1,38 @@
+#!/bin/sh
+# bench.sh — run the performance-regression benchmark suite and emit a JSON
+# snapshot comparable against BENCH_baseline.json.
+#
+# Tracked numbers:
+#   sim_ns_per_event / sim_allocs_per_event   concrete-heap simulator, full
+#                                             link hot path (BenchmarkSimEvents)
+#   sim_heap_baseline_ns_per_event            container/heap + closure replica
+#                                             (BenchmarkSimEventsContainerHeap);
+#                                             the ratio to sim_ns_per_event is
+#                                             the representation speedup and
+#                                             must stay >= 1.5
+#   send_ns_per_packet / send_allocs_per_packet  real transport send path with
+#                                             a stub socket (BenchmarkSenderPacket)
+#   loopback_mbps                             memory-to-memory UDP loopback
+#                                             transfer (BenchmarkFig14CPU)
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-/dev/stdout}"
+
+sim=$(go test ./internal/netsim -run XXX -bench 'SimEvents$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSimEvents/ {print $3, $7}')
+old=$(go test ./internal/netsim -run XXX -bench 'SimEventsContainerHeap$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSimEventsContainerHeap/ {print $3}')
+snd=$(go test . -run XXX -bench 'SenderPacket$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacket/ {print $3, $7}')
+mbps=$(go test . -run XXX -bench 'Fig14CPU$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkFig14CPU/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+
+set -- $sim; sim_ns=$1; sim_allocs=$2
+set -- $snd; snd_ns=$1; snd_allocs=$2
+
+cat > "$out" <<EOF
+{
+  "sim_ns_per_event": $sim_ns,
+  "sim_allocs_per_event": $sim_allocs,
+  "sim_heap_baseline_ns_per_event": $old,
+  "send_ns_per_packet": $snd_ns,
+  "send_allocs_per_packet": $snd_allocs,
+  "loopback_mbps": $mbps
+}
+EOF
