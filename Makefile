@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench smoke
+.PHONY: all build test race vet ci bench smoke docs
 
 all: build
 
@@ -25,6 +25,12 @@ ci:
 bench:
 	sh scripts/bench.sh BENCH_current.json
 	@cat BENCH_current.json
+
+# docs runs the documentation gates: godoc coverage of the audited packages
+# and Markdown link integrity.
+docs:
+	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/trace
+	$(GO) run ./scripts/mdcheck
 
 # smoke is the fast correctness pass: the allocation gates plus the simulator
 # determinism suite.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	simbench [-full] [-seed N] [-run id[,id...]]
+//	simbench [-full] [-seed N] [-run id[,id...]] [-trace DIR]
 //
 // Experiment ids: table1 table2 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 // fig9 fig11 fig12 fig13 syn mimd pacing highspeed multibottleneck, or "all".
@@ -12,23 +12,47 @@
 // the default quick scale shrinks rate and duration ~10× while preserving
 // every qualitative shape. Real-transport experiments (Table 3, Fig. 14,
 // Fig. 15) live in the repository benchmarks: go test -bench 'Table3|Fig14|Fig15'.
+//
+// With -trace DIR the time-series experiments (fig2, fig4, fig5) rerun with
+// per-flow telemetry attached and write one trace CSV per flow per scenario
+// into DIR (e.g. fig2_rtt0010ms_udt_f03.csv — see trace.CSVHeader for the
+// columns); the printed indices are then recomputed from those traces. The
+// traced runs use the same seeds and are behaviourally identical to the
+// untraced ones.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"udt/internal/experiments"
+	"udt/internal/trace"
 )
+
+// traceDir is the -trace destination; empty disables trace dumping.
+var traceDir string
+
+// traceEvery is the telemetry cadence in SYN intervals for -trace runs:
+// 100 SYN = 1 s at the default 10 ms SYN, matching the FlowMeter cadence.
+const traceEvery = 100
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow: minutes)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	run := flag.String("run", "all", "comma-separated experiment ids")
+	flag.StringVar(&traceDir, "trace", "", "dump per-flow trace CSVs for fig2/fig4/fig5 into this directory")
 	flag.Parse()
+
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	scale := experiments.Quick
 	label := "quick (100 Mb/s, 30 s)"
@@ -119,8 +143,38 @@ func runFig1(s experiments.Scale, seed int64) {
 
 func runFig2(s experiments.Scale, seed int64) {
 	fmt.Printf("%10s  %8s  %8s\n", "RTT (ms)", "UDT", "TCP")
+	if traceDir != "" {
+		for _, p := range experiments.Fig24Traced(s, seed, traceEvery) {
+			fmt.Printf("%10.0f  %8.3f  %8.3f\n", p.RTTms, p.UDTJain, p.TCPJain)
+			dumpRings("fig2", p.RTTms, "udt", p.UDTTraces)
+			dumpRings("fig2", p.RTTms, "tcp", p.TCPTraces)
+		}
+		return
+	}
 	for _, p := range experiments.Fig2Fairness(s, seed) {
 		fmt.Printf("%10.0f  %8.3f  %8.3f\n", p.RTTms, p.UDT, p.TCP)
+	}
+}
+
+// dumpRings writes one CSV per flow ring into traceDir, named
+// <figure>_rtt<RTT>ms_<proto>_f<flow>.csv.
+func dumpRings(fig string, rttMs float64, proto string, rings []*trace.Ring) {
+	for i, g := range rings {
+		name := fmt.Sprintf("%s_rtt%04.0fms_%s_f%02d.csv", fig, rttMs, proto, i)
+		f, err := os.Create(filepath.Join(traceDir, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteCSV(f, g.Snapshot()); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "simbench: write %s: %v\n", name, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -133,6 +187,14 @@ func runFig3(s experiments.Scale, seed int64) {
 
 func runFig4(s experiments.Scale, seed int64) {
 	fmt.Printf("%10s  %8s  %8s\n", "RTT (ms)", "UDT", "TCP")
+	if traceDir != "" {
+		for _, p := range experiments.Fig24Traced(s, seed, traceEvery) {
+			fmt.Printf("%10.0f  %8.3f  %8.3f\n", p.RTTms, p.UDTStability, p.TCPStability)
+			dumpRings("fig4", p.RTTms, "udt", p.UDTTraces)
+			dumpRings("fig4", p.RTTms, "tcp", p.TCPTraces)
+		}
+		return
+	}
 	for _, p := range experiments.Fig4Stability(s, seed) {
 		fmt.Printf("%10.0f  %8.3f  %8.3f\n", p.RTTms, p.UDT, p.TCP)
 	}
@@ -140,6 +202,14 @@ func runFig4(s experiments.Scale, seed int64) {
 
 func runFig5(s experiments.Scale, seed int64) {
 	fmt.Printf("%10s  %8s  %14s  %12s\n", "RTT (ms)", "T", "TCP w/ UDT", "fair share")
+	if traceDir != "" {
+		for _, p := range experiments.Fig5Traced(s, seed, traceEvery) {
+			fmt.Printf("%10.0f  %8.3f  %14.2f  %12.2f\n", p.RTTms, p.T, p.TCPWithMbps, p.FairMbps)
+			dumpRings("fig5", p.RTTms, "mixed", p.WithTraces)
+			dumpRings("fig5", p.RTTms, "tcponly", p.AloneTraces)
+		}
+		return
+	}
 	for _, p := range experiments.Fig5Friendliness(s, seed) {
 		fmt.Printf("%10.0f  %8.3f  %14.2f  %12.2f\n", p.RTTms, p.T, p.TCPWithMbps, p.FairMbps)
 	}

@@ -6,6 +6,12 @@
 //
 // The client streams random data for the duration and prints periodic and
 // final throughput plus protocol statistics (retransmissions, RTT, loss).
+//
+// With -monitor the client instead prints a live perfmon readout: one line
+// per telemetry sample straight from the connection's PerfRecord stream
+// (sending period, paced and measured rates, flow window, in-flight, RTT,
+// bandwidth estimate, loss counters). With -expvar ADDR it also serves the
+// rolling history as JSON at http://ADDR/perf and via expvar /debug/vars.
 package main
 
 import (
@@ -14,10 +20,12 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"net/http"
 	"os"
 	"time"
 
 	"udt"
+	"udt/internal/trace"
 )
 
 func main() {
@@ -27,13 +35,15 @@ func main() {
 	dur := flag.Duration("t", 10*time.Second, "client transfer duration")
 	mss := flag.Int("mss", 1472, "packet size (UDP payload bytes)")
 	interval := flag.Duration("interval", time.Second, "client report interval")
+	monitor := flag.Bool("monitor", false, "print a live one-line-per-interval perfmon readout")
+	expAddr := flag.String("expvar", "", "serve perf history as JSON on this HTTP address (/perf, /debug/vars)")
 	flag.Parse()
 
 	switch {
 	case *server:
 		runServer(*addr, *mss)
 	case *client != "":
-		runClient(*client, *dur, *mss, *interval)
+		runClient(*client, *dur, *mss, *interval, *monitor, *expAddr)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -65,30 +75,64 @@ func runServer(addr string, mss int) {
 	}
 }
 
-func runClient(addr string, dur time.Duration, mss int, interval time.Duration) {
-	c, err := udt.Dial(addr, &udt.Config{MSS: mss})
+func runClient(addr string, dur time.Duration, mss int, interval time.Duration, monitor bool, expAddr string) {
+	cfg := &udt.Config{MSS: mss}
+	if monitor {
+		// One perf sample per report interval: sample every
+		// interval/SYN rate ticks (default SYN is 10 ms).
+		every := int(interval / (10 * time.Millisecond))
+		if every < 1 {
+			every = 1
+		}
+		cfg.PerfEverySYN = every
+	}
+	c, err := udt.Dial(addr, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 	log.Printf("connected to %s (mss %d)", addr, mss)
 
+	if expAddr != "" {
+		trace.Publish("udtperf.perf", c.Perf)
+		http.Handle("/perf", trace.Handler(c.Perf))
+		go func() {
+			if err := http.ListenAndServe(expAddr, nil); err != nil {
+				log.Printf("expvar server: %v", err)
+			}
+		}()
+		log.Printf("perf history at http://%s/perf", expAddr)
+	}
+
 	buf := make([]byte, 1<<20)
 	rand.New(rand.NewSource(time.Now().UnixNano())).Read(buf)
 	stop := time.Now().Add(dur)
+	start := time.Now()
 	var total int64
 	lastBytes, lastAt := int64(0), time.Now()
 	nextReport := time.Now().Add(interval)
+	if monitor {
+		fmt.Println(monitorHeader)
+	}
+	var lastSample int64 = -1
 	for time.Now().Before(stop) {
 		n, err := c.Write(buf)
 		total += int64(n)
 		if err != nil {
 			log.Fatalf("write: %v", err)
 		}
-		if now := time.Now(); now.After(nextReport) {
+		now := time.Now()
+		if monitor {
+			if r, ok := c.LastPerf(); ok && r.T != lastSample {
+				lastSample = r.T
+				fmt.Println(monitorLine(&r))
+			}
+			continue
+		}
+		if now.After(nextReport) {
 			st := c.Stats()
 			fmt.Printf("%6.1fs  %8.1f Mb/s  rtt %8v  retrans %6d  rate %7.1f Mb/s\n",
-				time.Until(stop.Add(-dur)).Abs().Seconds(),
+				now.Sub(start).Seconds(),
 				float64((total-lastBytes)*8)/now.Sub(lastAt).Seconds()/1e6,
 				st.RTT.Round(10*time.Microsecond), st.PktsRetrans, st.SendRateMbps)
 			lastBytes, lastAt = total, now
@@ -104,4 +148,18 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration) 
 	fmt.Printf("----\nsent %.1f MB in %.1fs = %.1f Mb/s; pkts %d (+%d retrans), ACKs %d, NAKs %d, freezes %d\n",
 		float64(total)/1e6, el, float64(total*8)/el/1e6,
 		st.PktsSent, st.PktsRetrans, st.ACKsRecv, st.NAKsRecv, st.SndFreezes)
+}
+
+// monitorHeader labels the -monitor columns.
+const monitorHeader = "      t     period      pace      wire    win  inflight      rtt    bw-est  retrans   naks"
+
+// monitorLine formats one PerfRecord as a perfmon readout line:
+// time, sending period, paced target rate, measured wire rate, flow window,
+// packets in flight, smoothed RTT, estimated link bandwidth, cumulative
+// retransmissions and NAKs received.
+func monitorLine(r *udt.PerfRecord) string {
+	return fmt.Sprintf("%6.1fs %7.1fµs %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d",
+		float64(r.T)/1e6, r.PeriodUs, r.SendRateMbps, r.SendMbps,
+		r.FlowWindow, r.InFlight, float64(r.RTTUs)/1e3, r.BandwidthMbps,
+		r.PktsRetrans, r.NAKsRecv)
 }

@@ -12,6 +12,7 @@ import (
 	"udt/internal/packet"
 	"udt/internal/seqno"
 	"udt/internal/timing"
+	"udt/internal/trace"
 )
 
 // Connection errors.
@@ -44,6 +45,7 @@ type Conn struct {
 
 	mu       sync.Mutex
 	core     *core.Conn
+	perfRing *trace.Ring // telemetry history behind Perf; nil when disabled
 	snd      *core.SndBuffer
 	rcv      *core.RcvBuffer
 	rdReady  *sync.Cond // receive buffer has data / state change
@@ -85,6 +87,14 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr net.Addr, raddr *
 	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, isn)
 	c.rcv = core.NewRcvBuffer(cfg.RcvBuf, payload, peerISN)
 	c.core.AvailBuf = c.rcv.Free
+	var ringSink trace.Sink
+	if cfg.PerfHistory > 0 {
+		c.perfRing = trace.NewRing(cfg.PerfHistory)
+		ringSink = c.perfRing
+	}
+	if sink := trace.Multi(ringSink, cfg.Trace); sink != nil {
+		c.core.SetPerfSink(sink, cfg.PerfEverySYN, 0, "udt", trace.RoleFlow)
+	}
 	c.rdReady = sync.NewCond(&c.mu)
 	c.wrReady = sync.NewCond(&c.mu)
 	c.core.Start(c.clock.Now())
@@ -214,6 +224,31 @@ func (c *Conn) Stats() Stats {
 		BytesSent:    c.bytesSent,
 		BytesRecv:    c.bytesRecv,
 	}
+}
+
+// Perf returns the connection's recent telemetry history, oldest to newest:
+// one PerfRecord per PerfEverySYN SYN intervals, up to the PerfHistory most
+// recent. It returns nil when telemetry is disabled (PerfHistory < 0). The
+// returned slice is a snapshot; feed it to trace.WriteCSV/WriteJSONL or
+// serve it with trace.Handler.
+func (c *Conn) Perf() []PerfRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perfRing == nil {
+		return nil
+	}
+	return c.perfRing.Snapshot()
+}
+
+// LastPerf returns the most recent telemetry sample, if any — the cheap way
+// to poll a live connection without copying the whole history.
+func (c *Conn) LastPerf() (PerfRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perfRing == nil {
+		return PerfRecord{}, false
+	}
+	return c.perfRing.Last()
 }
 
 // sendBatch accumulates encoded control datagrams in a reusable arena.

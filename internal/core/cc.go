@@ -155,6 +155,14 @@ func (c *CC) Rate() float64 {
 	return 1e6 / c.period
 }
 
+// LinkCapacity returns the smoothed receiver-based packet-pair estimate of
+// the link capacity L in packets/s (§3.4); 0 until the first probe arrives.
+func (c *CC) LinkCapacity() float64 { return c.capacity }
+
+// RecvRate returns the smoothed receiver arrival speed AS in packets/s as
+// fed back by ACKs (§3.2); 0 until the first measurement.
+func (c *CC) RecvRate() float64 { return c.recvRate }
+
 // Frozen reports whether sending is suspended at time now because a fresh
 // loss event told the sender to clear congestion for one SYN (§3.3).
 func (c *CC) Frozen(now int64) bool { return now < c.freezeUntil }

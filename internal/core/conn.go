@@ -144,6 +144,9 @@ type Conn struct {
 
 	outbox []Out
 
+	// Telemetry sampler; inert until SetPerfSink attaches a sink.
+	perf perfState
+
 	// Stats accumulates event counters.
 	Stats Stats
 }
@@ -300,6 +303,9 @@ func (c *Conn) Advance(now int64) {
 		c.cc.OnRateTick()
 		for c.tSYN <= now {
 			c.tSYN += c.cfg.SYN
+		}
+		if c.perf.sink != nil {
+			c.perfTick(now)
 		}
 	}
 	if now >= c.tACK {

@@ -1,0 +1,92 @@
+package core
+
+import "udt/internal/trace"
+
+// perfState is the engine-side telemetry sampler: a reusable record, the
+// attached sink, and the counter snapshots needed to turn cumulative stats
+// into per-interval rates. Everything is preallocated at attach time so
+// sampling itself never touches the heap.
+type perfState struct {
+	sink     trace.Sink
+	every    int   // emit every N SYN rate ticks
+	ticks    int   // rate ticks since the last emission
+	lastT    int64 // time of the previous sample, µs; -1 before the first
+	prevWire int64 // PktsSent+PktsRetrans at the previous sample
+	prevGood int64 // PktsRecv−PktsDup at the previous sample
+	rec      trace.PerfRecord
+}
+
+// SetPerfSink attaches a telemetry sink to the engine. Every everySYN SYN
+// rate-control ticks (§3.3; everySYN ≤ 0 means every tick) the engine fills
+// one PerfRecord — rate-control state plus cumulative counters, stamped with
+// the given flow id, label and role — and hands it to sink.Record. The
+// record is reused across samples, so the sink must copy what it keeps.
+//
+// Sampling adds no events, consumes no randomness and allocates nothing, so
+// attaching a sink never perturbs protocol behaviour (simulated runs stay
+// bit-identical) and keeps the zero-allocation send path intact. A nil sink
+// detaches.
+func (c *Conn) SetPerfSink(sink trace.Sink, everySYN int, flow int32, label string, role trace.Role) {
+	if everySYN <= 0 {
+		everySYN = 1
+	}
+	c.perf = perfState{
+		sink:  sink,
+		every: everySYN,
+		lastT: -1,
+	}
+	c.perf.rec.Flow = flow
+	c.perf.rec.Label = label
+	c.perf.rec.Role = role
+}
+
+// perfTick is called once per fired SYN rate tick from Advance.
+func (c *Conn) perfTick(now int64) {
+	p := &c.perf
+	p.ticks++
+	if p.ticks < p.every {
+		return
+	}
+	p.ticks = 0
+
+	interval := now - p.lastT
+	if p.lastT < 0 || interval <= 0 {
+		interval = int64(p.every) * c.cfg.SYN
+	}
+	p.lastT = now
+
+	r := &p.rec
+	mssBits := float64(c.cfg.MSS) * 8
+
+	r.T = now
+	r.IntervalUs = interval
+	r.PeriodUs = c.cc.Period()
+	if r.PeriodUs > 0 {
+		r.SendRateMbps = mssBits / r.PeriodUs // bits/µs ≡ Mb/s
+	} else {
+		r.SendRateMbps = 0
+	}
+	wire := c.Stats.PktsSent + c.Stats.PktsRetrans
+	good := c.Stats.PktsRecv - c.Stats.PktsDup
+	r.SendMbps = float64(wire-p.prevWire) * mssBits / float64(interval)
+	r.RecvMbps = float64(good-p.prevGood) * mssBits / float64(interval)
+	p.prevWire, p.prevGood = wire, good
+	r.BandwidthMbps = c.cc.LinkCapacity() * mssBits / 1e6
+	r.RTTUs = c.rtt.Smoothed()
+	r.FlowWindow = c.FlowWindow()
+	r.InFlight = c.Unacked()
+
+	r.PktsSent = c.Stats.PktsSent
+	r.PktsRetrans = c.Stats.PktsRetrans
+	r.PktsRecv = c.Stats.PktsRecv
+	r.PktsDup = c.Stats.PktsDup
+	r.ACKsSent = c.Stats.ACKsSent
+	r.ACKsRecv = c.Stats.ACKsRecv
+	r.NAKsSent = c.Stats.NAKsSent
+	r.NAKsRecv = c.Stats.NAKsRecv
+	r.LossDetected = c.Stats.LossDetected
+	r.Timeouts = c.Stats.Timeouts
+	r.SndFreezes = c.Stats.SndFreezes
+
+	p.sink.Record(r)
+}

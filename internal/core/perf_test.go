@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"udt/internal/seqno"
+	"udt/internal/trace"
+)
+
+// TestPerfSampling checks cadence, identity stamping and the counter-delta
+// rate computation of the engine's telemetry sampler.
+func TestPerfSampling(t *testing.T) {
+	c := NewConn(Config{}, 500)
+	ring := trace.NewRing(32)
+	c.SetPerfSink(ring, 2, 7, "udt", trace.RoleReceiver)
+	c.Start(0)
+	syn := c.Config().SYN
+
+	seq := int32(500)
+	for i := 1; i <= 8; i++ {
+		now := int64(i) * syn
+		// Keep the peer "alive" and deliver 5 packets per SYN.
+		for k := 0; k < 5; k++ {
+			if !c.HandleData(now-syn/2, seq) {
+				t.Fatalf("packet %d not fresh", seq)
+			}
+			seq = seqno.Inc(seq)
+		}
+		c.Advance(now)
+		for {
+			if _, ok := c.PopOut(); !ok {
+				break
+			}
+		}
+	}
+
+	// 8 SYN ticks sampled every 2 → 4 records at T = 2,4,6,8 SYN.
+	if ring.Len() != 4 {
+		t.Fatalf("got %d records, want 4", ring.Len())
+	}
+	recs := ring.Snapshot()
+	for i, r := range recs {
+		if r.Flow != 7 || r.Label != "udt" || r.Role != trace.RoleReceiver {
+			t.Fatalf("record %d identity wrong: %+v", i, r)
+		}
+		if want := int64(2*(i+1)) * syn; r.T != want {
+			t.Fatalf("record %d at T=%d, want %d", i, r.T, want)
+		}
+		if r.IntervalUs != 2*syn {
+			t.Fatalf("record %d interval %d, want %d", i, r.IntervalUs, 2*syn)
+		}
+		// 10 fresh packets per 2-SYN interval.
+		if want := int64(10 * (i + 1)); r.PktsRecv != want {
+			t.Fatalf("record %d PktsRecv=%d, want %d", i, r.PktsRecv, want)
+		}
+		if r.RecvMbps <= 0 {
+			t.Fatalf("record %d RecvMbps=%v, want > 0", i, r.RecvMbps)
+		}
+	}
+	// 10 pkts × 1500 B × 8 b over 20 ms = 6 Mb/s.
+	if got := recs[0].RecvMbps; got != 6 {
+		t.Fatalf("RecvMbps = %v, want 6", got)
+	}
+}
+
+// TestPerfSamplingZeroAlloc verifies that a full Advance cycle with an
+// attached ring sink allocates nothing in steady state: telemetry must not
+// break the zero-allocation hot-path guarantees from PR 1.
+func TestPerfSamplingZeroAlloc(t *testing.T) {
+	c := NewConn(Config{}, 500)
+	ring := trace.NewRing(64)
+	c.SetPerfSink(ring, 1, 0, "udt", trace.RoleFlow)
+	c.Start(0)
+	syn := c.Config().SYN
+	now := int64(0)
+	step := func() {
+		now += syn
+		c.HandleKeepAlive(now) // peer stays alive; EXP never fires
+		c.Advance(now)
+		for {
+			if _, ok := c.PopOut(); !ok {
+				break
+			}
+		}
+	}
+	for i := 0; i < 64; i++ {
+		step() // warm up outbox capacity and the ring
+	}
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("Advance with perf sink allocated %.1f per cycle, want 0", allocs)
+	}
+}
+
+// TestPerfSinkDetach checks that a nil sink stops sampling.
+func TestPerfSinkDetach(t *testing.T) {
+	c := NewConn(Config{}, 500)
+	ring := trace.NewRing(8)
+	c.SetPerfSink(ring, 1, 0, "udt", trace.RoleFlow)
+	c.Start(0)
+	syn := c.Config().SYN
+	c.Advance(syn)
+	if ring.Len() != 1 {
+		t.Fatalf("got %d records before detach, want 1", ring.Len())
+	}
+	c.SetPerfSink(nil, 1, 0, "", trace.RoleFlow)
+	c.Advance(2 * syn)
+	if ring.Len() != 1 {
+		t.Fatalf("sampling continued after detach: %d records", ring.Len())
+	}
+}

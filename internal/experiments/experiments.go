@@ -18,6 +18,7 @@ import (
 	"udt/internal/metrics"
 	"udt/internal/netsim"
 	"udt/internal/tcpsim"
+	"udt/internal/trace"
 	"udt/internal/udtsim"
 )
 
@@ -74,6 +75,11 @@ type mixResult struct {
 	UDT        []*udtsim.Flow
 	TCP        []*tcpsim.Flow
 	Bottleneck *netsim.Link
+	// Traces holds one telemetry ring per flow, indexed by flow id, when
+	// the run was traced (runMixTraced); nil otherwise. UDT rings
+	// interleave RoleSender and RoleReceiver records; TCP rings hold
+	// RoleFlow records.
+	Traces []*trace.Ring
 }
 
 // runMix builds and runs the standard experiment: flows i<len(udtRTTs) are
@@ -86,11 +92,38 @@ func runMix(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, d
 // runMixLoss is runMix with uniform random forward-path loss applied to
 // flows with index >= lossFrom (lossFrom < 0 disables).
 func runMixLoss(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, dur netsim.Time, lossFrom int, lossRate float64) mixResult {
+	return runMixTraced(seed, rate, queue, udtRTTs, tcpRTTs, dur, lossFrom, lossRate, 0)
+}
+
+// runMixTraced is the full-option mix runner: runMixLoss plus per-flow
+// telemetry. With traceEvery > 0 every flow gets a trace.Ring sampled every
+// traceEvery SYN intervals (UDT engines sample themselves; TCP flows get
+// the interval-clocked tracer), returned in mixResult.Traces. Tracing
+// consumes no randomness and adds no UDT events, so traced and untraced
+// runs of the same seed produce identical protocol behaviour.
+func runMixTraced(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Time, dur netsim.Time, lossFrom int, lossRate float64, traceEvery int) mixResult {
 	sim := netsim.New(seed)
 	all := append(append([]netsim.Time{}, udtRTTs...), tcpRTTs...)
 	d := netsim.NewDumbbell(sim, rate, queue, all)
 	meter := netsim.NewFlowMeter(sim, len(all), netsim.Second)
 	res := mixResult{Sim: sim, Meter: meter, Bottleneck: d.Bottleneck}
+	// One telemetry interval is traceEvery SYN periods (the engine default,
+	// core.DefaultSYN µs — udtConfig leaves SYN at the default).
+	var traceInterval netsim.Time
+	if traceEvery > 0 {
+		traceInterval = netsim.Time(traceEvery) * netsim.Time(core.DefaultSYN) * netsim.Microsecond
+		res.Traces = make([]*trace.Ring, len(all))
+		// UDT rings hold sender and receiver records per interval; size
+		// both kinds for the whole run plus slack.
+		n := int(dur/traceInterval) + 4
+		for i := range res.Traces {
+			if i < len(udtRTTs) {
+				res.Traces[i] = trace.NewRing(2 * n)
+			} else {
+				res.Traces[i] = trace.NewRing(n)
+			}
+		}
+	}
 	lossy := func(idx int, to netsim.Deliver) netsim.Deliver {
 		if lossFrom < 0 || idx < lossFrom || lossRate <= 0 {
 			return to
@@ -106,6 +139,9 @@ func runMixLoss(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Tim
 		f := udtsim.NewFlow(sim, i, udtConfig(rate, rtt), d.SrcOut(i), d.SinkOut(i))
 		d.Bind(i, lossy(i, f.Dst.Deliver), f.Src.Deliver)
 		f.SetMeter(meter)
+		if traceEvery > 0 {
+			f.Trace(res.Traces[i], traceEvery)
+		}
 		res.UDT = append(res.UDT, f)
 		stagger := netsim.Time(i) * 10 * netsim.Millisecond
 		ff := f
@@ -116,6 +152,9 @@ func runMixLoss(seed int64, rate int64, queue int, udtRTTs, tcpRTTs []netsim.Tim
 		f := tcpsim.NewFlow(sim, id, tcpsim.SACK, mss-40, float64(4*bdpPkts(rate, rtt)+1024), d.SrcOut(id), d.SinkOut(id))
 		d.Bind(id, lossy(id-len(udtRTTs), f.Dst.Deliver), f.Src.Deliver)
 		f.SetMeter(meter)
+		if traceEvery > 0 {
+			f.Trace(res.Traces[id], traceInterval)
+		}
 		res.TCP = append(res.TCP, f)
 		stagger := netsim.Time(id) * 10 * netsim.Millisecond
 		ff := f

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"udt/internal/core"
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/trace"
+)
+
+// traceIntervalFor returns the telemetry sampling interval implied by an
+// every-N-SYN cadence at the engine's default SYN.
+func traceIntervalFor(every int) netsim.Time {
+	return netsim.Time(every) * netsim.Time(core.DefaultSYN) * netsim.Microsecond
+}
+
+// TraceMatrix converts per-flow telemetry rings into the samples[k][flow]
+// goodput matrix the metrics package consumes — the trace-exporter route to
+// the same numbers netsim.FlowMeter produces. Each ring contributes its
+// receiver-side goodput series (trace.GoodputSeries); rows are truncated to
+// the shortest series and the first warm rows are dropped.
+func TraceMatrix(rings []*trace.Ring, warm int) [][]float64 {
+	series := make([][]float64, len(rings))
+	minLen := -1
+	for i, g := range rings {
+		series[i] = trace.GoodputSeries(g.Snapshot())
+		if minLen < 0 || len(series[i]) < minLen {
+			minLen = len(series[i])
+		}
+	}
+	if minLen <= warm {
+		return nil
+	}
+	out := make([][]float64, 0, minLen-warm)
+	for k := warm; k < minLen; k++ {
+		row := make([]float64, len(rings))
+		for i := range rings {
+			row[i] = series[i][k]
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// traceWarm converts the scale's warm-up (whole seconds) into telemetry
+// samples at an every-N-SYN cadence.
+func traceWarm(s Scale, every int) int {
+	iv := traceIntervalFor(every)
+	return int(netsim.Time(s.Warm) * netsim.Second / iv)
+}
+
+// Fig24Point is one RTT point of the trace-derived Fig. 2 + Fig. 4
+// reproduction: fairness and stability indices recomputed from per-flow
+// PerfRecord traces rather than from the simulator's FlowMeter, plus the
+// raw rings so callers can export the underlying time series.
+type Fig24Point struct {
+	RTTms                      float64
+	UDTJain, TCPJain           float64 // Fig. 2
+	UDTStability, TCPStability float64 // Fig. 4
+	// UDTTraces and TCPTraces are the per-flow rings of the two runs (10
+	// flows each), ready for trace.WriteCSV.
+	UDTTraces, TCPTraces []*trace.Ring
+}
+
+// Fig24Traced reruns the Fig. 2 / Fig. 4 scenarios (10 concurrent UDT flows
+// vs 10 concurrent TCP flows per RTT, same seeds as Fig2Fairness and
+// Fig4Stability) with per-flow telemetry attached, sampling every `every`
+// SYN intervals, and computes both figures' indices from the traces. The
+// protocol behaviour is identical to the untraced runs; only the
+// measurement route differs — goodput integrated by each receiver's engine
+// instead of by the simulator's meter.
+func Fig24Traced(s Scale, seed int64, every int) []Fig24Point {
+	warm := traceWarm(s, every)
+	var out []Fig24Point
+	for _, rtt := range figRTTs(s) {
+		q := queueFor(s.Rate, rtt)
+		u := runMixTraced(seed, s.Rate, q, repeatRTT(10, rtt), nil, s.Dur, -1, 0, every)
+		t := runMixTraced(seed+1, s.Rate, q, nil, repeatRTT(10, rtt), s.Dur, -1, 0, every)
+		um := TraceMatrix(u.Traces, warm)
+		tm := TraceMatrix(t.Traces, warm)
+		out = append(out, Fig24Point{
+			RTTms:        float64(rtt) / float64(netsim.Millisecond),
+			UDTJain:      metrics.JainIndex(metrics.ColumnMeans(um)),
+			TCPJain:      metrics.JainIndex(metrics.ColumnMeans(tm)),
+			UDTStability: metrics.StabilityIndex(um),
+			TCPStability: metrics.StabilityIndex(tm),
+			UDTTraces:    u.Traces,
+			TCPTraces:    t.Traces,
+		})
+	}
+	return out
+}
+
+// Fig5TracedPoint is one RTT point of the trace-derived Fig. 5
+// reproduction, plus the raw rings of both runs.
+type Fig5TracedPoint struct {
+	RTTms       float64
+	T           float64 // TCP-friendliness index from traces
+	TCPWithMbps float64
+	FairMbps    float64
+	// WithTraces holds the mixed run's rings (flows 0–4 UDT, 5–14 TCP);
+	// AloneTraces the TCP-only run's (15 TCP flows).
+	WithTraces, AloneTraces []*trace.Ring
+}
+
+// Fig5Traced reruns the Fig. 5 friendliness scenarios (5 UDT + 10 TCP vs
+// 15 TCP alone, same seeds as Fig5Friendliness) with per-flow telemetry and
+// computes the friendliness index from the traces.
+func Fig5Traced(s Scale, seed int64, every int) []Fig5TracedPoint {
+	warm := traceWarm(s, every)
+	var out []Fig5TracedPoint
+	for _, rtt := range figRTTs(s) {
+		q := queueFor(s.Rate, rtt)
+		with := runMixTraced(seed, s.Rate, q, repeatRTT(5, rtt), repeatRTT(10, rtt), s.Dur, -1, 0, every)
+		alone := runMixTraced(seed+1, s.Rate, q, nil, repeatRTT(15, rtt), s.Dur, -1, 0, every)
+		wm := metrics.ColumnMeans(TraceMatrix(with.Traces[5:], warm)) // TCP flows only
+		am := metrics.ColumnMeans(TraceMatrix(alone.Traces, warm))
+		out = append(out, Fig5TracedPoint{
+			RTTms:       float64(rtt) / float64(netsim.Millisecond),
+			T:           metrics.FriendlinessIndex(wm, am),
+			TCPWithMbps: metrics.Mean(wm),
+			FairMbps:    metrics.Mean(am),
+			WithTraces:  with.Traces,
+			AloneTraces: alone.Traces,
+		})
+	}
+	return out
+}

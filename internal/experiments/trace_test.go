@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"udt/internal/metrics"
+	"udt/internal/netsim"
+	"udt/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files in testdata/")
+
+// micro is the fixed-seed scenario behind the golden files: a shrunken
+// Fig. 2/Fig. 4 pair (UDT-only and TCP-only runs over the same dumbbell)
+// traced at a 1 s cadence (every 100 SYN).
+const (
+	microRate  = int64(20_000_000)
+	microEvery = 100
+)
+
+func microTraced(seed int64) (udt, tcp mixResult) {
+	rtt := 10 * netsim.Millisecond
+	q := queueFor(microRate, rtt)
+	dur := 8 * netsim.Second
+	udt = runMixTraced(seed, microRate, q, repeatRTT(2, rtt), nil, dur, -1, 0, microEvery)
+	tcp = runMixTraced(seed+1, microRate, q, nil, repeatRTT(2, rtt), dur, -1, 0, microEvery)
+	return
+}
+
+// TestTracedRunDoesNotPerturb is the determinism guarantee the telemetry
+// layer is built on: attaching per-flow sinks must not change protocol
+// behaviour. A traced and an untraced run of the same seed must agree on
+// every engine counter and every meter sample.
+func TestTracedRunDoesNotPerturb(t *testing.T) {
+	rtt := 10 * netsim.Millisecond
+	q := queueFor(microRate, rtt)
+	dur := 8 * netsim.Second
+	plain := runMixLoss(1, microRate, q, repeatRTT(2, rtt), repeatRTT(2, rtt), dur, -1, 0)
+	traced := runMixTraced(1, microRate, q, repeatRTT(2, rtt), repeatRTT(2, rtt), dur, -1, 0, microEvery)
+
+	for i := range plain.UDT {
+		ps, ts := plain.UDT[i].Dst.Conn().Stats, traced.UDT[i].Dst.Conn().Stats
+		if ps != ts {
+			t.Errorf("UDT flow %d receiver stats diverged:\nplain  %+v\ntraced %+v", i, ps, ts)
+		}
+		ps, ts = plain.UDT[i].Src.Conn().Stats, traced.UDT[i].Src.Conn().Stats
+		if ps != ts {
+			t.Errorf("UDT flow %d sender stats diverged:\nplain  %+v\ntraced %+v", i, ps, ts)
+		}
+	}
+	for i := range plain.TCP {
+		if plain.TCP[i].Src.Stats != traced.TCP[i].Src.Stats {
+			t.Errorf("TCP flow %d sender stats diverged", i)
+		}
+		if plain.TCP[i].Dst.Delivered != traced.TCP[i].Dst.Delivered {
+			t.Errorf("TCP flow %d delivered diverged", i)
+		}
+	}
+	if !reflect.DeepEqual(plain.Meter.Samples, traced.Meter.Samples) {
+		t.Error("meter samples diverged between plain and traced runs")
+	}
+}
+
+// TestGoldenTraceCSV locks the per-flow trace CSVs of the fixed-seed micro
+// scenario bit-for-bit. Regenerate deliberately with:
+//
+//	go test ./internal/experiments -run TestGoldenTraceCSV -args -update
+func TestGoldenTraceCSV(t *testing.T) {
+	u, tc := microTraced(1)
+	for _, g := range []struct {
+		name string
+		ring *trace.Ring
+	}{
+		{"fig24_micro_udt_f0.csv", u.Traces[0]},
+		{"fig24_micro_udt_f1.csv", u.Traces[1]},
+		{"fig24_micro_tcp_f0.csv", tc.Traces[0]},
+		{"fig24_micro_tcp_f1.csv", tc.Traces[1]},
+	} {
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, g.ring.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", g.name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (regenerate with -args -update): %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: trace CSV is not bit-identical to the golden file", g.name)
+		}
+	}
+}
+
+// TestTraceIndicesMatchMeter checks the Fig. 2 / Fig. 4 acceptance route:
+// the Jain and stability indices recomputed from per-flow trace CSVs must
+// agree with the ones the simulator's FlowMeter produces. The two
+// measurement paths integrate over slightly offset windows (the meter
+// samples on exact second boundaries, the engines on their SYN ticks), so
+// means match to a tolerance rather than exactly.
+func TestTraceIndicesMatchMeter(t *testing.T) {
+	const warm = 3
+	u, tc := microTraced(1)
+	for _, c := range []struct {
+		name string
+		r    mixResult
+	}{{"udt", u}, {"tcp", tc}} {
+		tm := TraceMatrix(c.r.Traces, warm)
+		if len(tm) == 0 {
+			t.Fatalf("%s: empty trace matrix", c.name)
+		}
+		traceJain := metrics.JainIndex(metrics.ColumnMeans(tm))
+		meterJain := metrics.JainIndex(metrics.ColumnMeans(c.r.Meter.SeriesAfter(warm)))
+		if math.Abs(traceJain-meterJain) > 0.05 {
+			t.Errorf("%s Jain: trace %.4f vs meter %.4f", c.name, traceJain, meterJain)
+		}
+		traceStab := metrics.StabilityIndex(tm)
+		meterStab := metrics.StabilityIndex(c.r.Meter.SeriesAfter(warm))
+		if math.Abs(traceStab-meterStab) > 0.15 {
+			t.Errorf("%s stability: trace %.4f vs meter %.4f", c.name, traceStab, meterStab)
+		}
+	}
+}
+
+// TestTraceCSVRoundTripIndices proves the full export pipeline is lossless
+// where it matters: indices computed from a ring in memory and from its
+// CSV after a write/read round trip must be exactly equal (the exporter
+// uses shortest-round-trippable float formatting).
+func TestTraceCSVRoundTripIndices(t *testing.T) {
+	const warm = 3
+	u, _ := microTraced(1)
+	direct := TraceMatrix(u.Traces, warm)
+
+	rings := make([]*trace.Ring, len(u.Traces))
+	for i, g := range u.Traces {
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, g.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := trace.ReadCSV(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := trace.NewRing(len(recs))
+		for j := range recs {
+			r.Record(&recs[j])
+		}
+		rings[i] = r
+	}
+	viaCSV := TraceMatrix(rings, warm)
+	if !reflect.DeepEqual(direct, viaCSV) {
+		t.Fatal("goodput matrix changed across a CSV round trip")
+	}
+	if j1, j2 := metrics.JainIndex(metrics.ColumnMeans(direct)), metrics.JainIndex(metrics.ColumnMeans(viaCSV)); j1 != j2 {
+		t.Fatalf("Jain index changed across CSV round trip: %v vs %v", j1, j2)
+	}
+}
+
+// TestFig24TracedShape runs the full traced Fig. 2/Fig. 4 pipeline at test
+// scale and sanity-checks the paper's shape: near-perfect UDT fairness and
+// populated traces for every flow.
+func TestFig24TracedShape(t *testing.T) {
+	pts := Fig24Traced(tiny, 1, 50) // 0.5 s cadence
+	if len(pts) != len(figRTTs(tiny)) {
+		t.Fatalf("got %d points, want %d", len(pts), len(figRTTs(tiny)))
+	}
+	for _, p := range pts {
+		if p.UDTJain < 0.9 {
+			t.Errorf("RTT %.0f ms: UDT Jain %.3f < 0.9", p.RTTms, p.UDTJain)
+		}
+		if p.TCPJain <= 0 || p.TCPJain > 1 {
+			t.Errorf("RTT %.0f ms: TCP Jain %.3f out of range", p.RTTms, p.TCPJain)
+		}
+		if p.UDTStability < 0 || p.TCPStability < 0 {
+			t.Errorf("RTT %.0f ms: negative stability index", p.RTTms)
+		}
+		for i, g := range append(append([]*trace.Ring{}, p.UDTTraces...), p.TCPTraces...) {
+			if g.Len() == 0 {
+				t.Errorf("RTT %.0f ms: flow %d trace is empty", p.RTTms, i)
+			}
+		}
+	}
+}
+
+// TestFig5TracedShape checks the trace-derived friendliness index is
+// well-formed at test scale.
+func TestFig5TracedShape(t *testing.T) {
+	pts := Fig5Traced(tiny, 3, 50)
+	if len(pts) != len(figRTTs(tiny)) {
+		t.Fatalf("got %d points, want %d", len(pts), len(figRTTs(tiny)))
+	}
+	for _, p := range pts {
+		if p.T <= 0 {
+			t.Errorf("RTT %.0f ms: friendliness T=%.3f, want > 0", p.RTTms, p.T)
+		}
+		if len(p.WithTraces) != 15 || len(p.AloneTraces) != 15 {
+			t.Errorf("RTT %.0f ms: trace counts %d/%d, want 15/15", p.RTTms, len(p.WithTraces), len(p.AloneTraces))
+		}
+	}
+}

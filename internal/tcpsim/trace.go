@@ -1,0 +1,71 @@
+package tcpsim
+
+import (
+	"udt/internal/netsim"
+	"udt/internal/trace"
+)
+
+// tracer samples one TCP flow on a fixed simulated interval. The TCP model
+// has no SYN timer, so unlike UDT's engine-driven sampler it is clocked by
+// its own self-rescheduling simulator event. That event only reads sender
+// and receiver state and consumes no randomness, so while it does shift
+// event-queue sequence numbers, it never changes the relative order or the
+// content of protocol events: a traced run behaves identically.
+type tracer struct {
+	f        *Flow
+	sink     trace.Sink
+	interval netsim.Time
+	lastT    netsim.Time
+	prevWire int64 // Sent+Retrans at the previous sample
+	prevGood int64 // Delivered at the previous sample
+	rec      trace.PerfRecord
+}
+
+// Trace attaches a telemetry sink to the flow, sampling every interval of
+// simulated time. Each sample is one RoleFlow PerfRecord combining the
+// sender's congestion state (cwnd as FlowWindow, srtt, flight size) with
+// the receiver's delivery counters, labelled with the variant name
+// ("tcp-sack", "tcp-bic", ...). Call before or after Start; the first
+// sample fires one interval from now.
+func (f *Flow) Trace(sink trace.Sink, interval netsim.Time) {
+	if interval <= 0 {
+		interval = 10 * netsim.Millisecond
+	}
+	t := &tracer{f: f, sink: sink, interval: interval}
+	t.rec.Flow = int32(f.ID)
+	t.rec.Label = "tcp-" + f.Src.variant.String()
+	t.rec.Role = trace.RoleFlow
+	f.Src.sim.AfterCall(interval, tracerTick, t, nil, 0)
+}
+
+func tracerTick(sim *netsim.Sim, arg any, _ *netsim.Packet, _ int64) {
+	t := arg.(*tracer)
+	s, r := t.f.Src, t.f.Dst
+	now := sim.Now()
+	interval := now - t.lastT
+	t.lastT = now
+
+	rec := &t.rec
+	rec.T = int64(now / netsim.Microsecond)
+	rec.IntervalUs = int64(interval / netsim.Microsecond)
+	mssBits := float64(s.mss) * 8
+	wire := s.Stats.Sent + s.Stats.Retrans
+	good := r.Delivered
+	if rec.IntervalUs > 0 {
+		rec.SendMbps = float64(wire-t.prevWire) * mssBits / float64(rec.IntervalUs)
+		rec.RecvMbps = float64(good-t.prevGood) * mssBits / float64(rec.IntervalUs)
+	}
+	t.prevWire, t.prevGood = wire, good
+	rec.RTTUs = int64(s.srtt / netsim.Microsecond)
+	rec.FlowWindow = int32(s.cwnd)
+	rec.InFlight = int32(s.outstanding())
+	rec.PktsSent = s.Stats.Sent
+	rec.PktsRetrans = s.Stats.Retrans
+	rec.PktsRecv = r.Delivered
+	rec.Timeouts = s.Stats.Timeouts
+	// PeriodUs, SendRateMbps, BandwidthMbps, ACK/NAK counters stay zero:
+	// the TCP model is window-controlled and has no rate or RBPP state.
+
+	t.sink.Record(rec)
+	sim.AfterCall(t.interval, tracerTick, t, nil, 0)
+}

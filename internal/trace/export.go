@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// CSVHeader is the column header row written by the CSV exporters. Column
+// order matches AppendCSVRow and the field-by-field mapping documented in
+// EXPERIMENTS.md ("flow_trace CSV columns").
+const CSVHeader = "flow,label,role,t_us,interval_us,period_us,send_rate_mbps,send_mbps,recv_mbps,bandwidth_mbps,rtt_us,flow_window,in_flight,pkts_sent,pkts_retrans,pkts_recv,pkts_dup,acks_sent,acks_recv,naks_sent,naks_recv,loss_detected,timeouts,snd_freezes"
+
+// appendCSVString appends s as a CSV field, quoting it only when it contains
+// a comma, quote, or line break (RFC 4180 minimal quoting).
+func appendCSVString(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return append(dst, s...)
+	}
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			dst = append(dst, '"', '"')
+		} else {
+			dst = append(dst, s[i])
+		}
+	}
+	return append(dst, '"')
+}
+
+// appendFloat appends v in Go's shortest round-trippable decimal form
+// (strconv 'g', precision -1), so exported traces are deterministic and
+// parse back to exactly the recorded value.
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// AppendCSVRow appends r as one CSV row (no trailing newline) to dst and
+// returns the extended slice. Column order matches CSVHeader.
+func AppendCSVRow(dst []byte, r *PerfRecord) []byte {
+	dst = strconv.AppendInt(dst, int64(r.Flow), 10)
+	dst = append(dst, ',')
+	dst = appendCSVString(dst, r.Label)
+	dst = append(dst, ',')
+	dst = appendCSVString(dst, string(r.Role))
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, r.T, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, r.IntervalUs, 10)
+	dst = append(dst, ',')
+	dst = appendFloat(dst, r.PeriodUs)
+	dst = append(dst, ',')
+	dst = appendFloat(dst, r.SendRateMbps)
+	dst = append(dst, ',')
+	dst = appendFloat(dst, r.SendMbps)
+	dst = append(dst, ',')
+	dst = appendFloat(dst, r.RecvMbps)
+	dst = append(dst, ',')
+	dst = appendFloat(dst, r.BandwidthMbps)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, r.RTTUs, 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(r.FlowWindow), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(r.InFlight), 10)
+	for _, v := range [...]int64{
+		r.PktsSent, r.PktsRetrans, r.PktsRecv, r.PktsDup,
+		r.ACKsSent, r.ACKsRecv, r.NAKsSent, r.NAKsRecv,
+		r.LossDetected, r.Timeouts, r.SndFreezes,
+	} {
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, v, 10)
+	}
+	return dst
+}
+
+// WriteCSV writes a header row followed by one row per record.
+func WriteCSV(w io.Writer, recs []PerfRecord) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(CSVHeader)
+	bw.WriteByte('\n')
+	var row []byte
+	for i := range recs {
+		row = AppendCSVRow(row[:0], &recs[i])
+		bw.Write(row)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// CSVSink streams records to an io.Writer as CSV rows as they arrive, for
+// live capture without buffering a history in memory. Create with
+// NewCSVSink and call Flush (or Close) when done.
+type CSVSink struct {
+	w   *bufio.Writer
+	row []byte
+	err error
+}
+
+// NewCSVSink returns a streaming CSV sink that immediately writes the
+// header row to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	s := &CSVSink{w: bufio.NewWriter(w)}
+	s.w.WriteString(CSVHeader)
+	s.w.WriteByte('\n')
+	return s
+}
+
+// Record writes r as one CSV row. Write errors are sticky and reported by
+// Flush.
+func (s *CSVSink) Record(r *PerfRecord) {
+	if s.err != nil {
+		return
+	}
+	s.row = AppendCSVRow(s.row[:0], r)
+	if _, err := s.w.Write(s.row); err != nil {
+		s.err = err
+		return
+	}
+	s.w.WriteByte('\n')
+}
+
+// Flush flushes buffered rows and returns the first error encountered.
+func (s *CSVSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// ReadCSV parses a trace CSV previously produced by WriteCSV or CSVSink
+// (header row required) back into records.
+func ReadCSV(r io.Reader) ([]PerfRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty CSV input")
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != CSVHeader {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	var recs []PerfRecord
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r")
+		if text == "" {
+			continue
+		}
+		fields, err := splitCSV(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		rec, err := parseRecord(fields)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// splitCSV splits one CSV line into fields, handling RFC 4180 quoting.
+func splitCSV(line string) ([]string, error) {
+	var fields []string
+	for i := 0; ; {
+		if i < len(line) && line[i] == '"' {
+			var b strings.Builder
+			i++
+			for {
+				j := strings.IndexByte(line[i:], '"')
+				if j < 0 {
+					return nil, fmt.Errorf("unterminated quoted field")
+				}
+				b.WriteString(line[i : i+j])
+				i += j + 1
+				if i < len(line) && line[i] == '"' {
+					b.WriteByte('"')
+					i++
+					continue
+				}
+				break
+			}
+			fields = append(fields, b.String())
+			if i == len(line) {
+				return fields, nil
+			}
+			if line[i] != ',' {
+				return nil, fmt.Errorf("garbage after quoted field")
+			}
+			i++
+		} else {
+			j := strings.IndexByte(line[i:], ',')
+			if j < 0 {
+				fields = append(fields, line[i:])
+				return fields, nil
+			}
+			fields = append(fields, line[i:i+j])
+			i += j + 1
+		}
+	}
+}
+
+func parseRecord(f []string) (PerfRecord, error) {
+	const nCols = 24
+	var r PerfRecord
+	if len(f) != nCols {
+		return r, fmt.Errorf("got %d fields, want %d", len(f), nCols)
+	}
+	ints := func(s string) (int64, error) { return strconv.ParseInt(s, 10, 64) }
+	var err error
+	geti := func(s string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = ints(s)
+		return v
+	}
+	getf := func(s string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	r.Flow = int32(geti(f[0]))
+	r.Label = f[1]
+	r.Role = Role(f[2])
+	r.T = geti(f[3])
+	r.IntervalUs = geti(f[4])
+	r.PeriodUs = getf(f[5])
+	r.SendRateMbps = getf(f[6])
+	r.SendMbps = getf(f[7])
+	r.RecvMbps = getf(f[8])
+	r.BandwidthMbps = getf(f[9])
+	r.RTTUs = geti(f[10])
+	r.FlowWindow = int32(geti(f[11]))
+	r.InFlight = int32(geti(f[12]))
+	r.PktsSent = geti(f[13])
+	r.PktsRetrans = geti(f[14])
+	r.PktsRecv = geti(f[15])
+	r.PktsDup = geti(f[16])
+	r.ACKsSent = geti(f[17])
+	r.ACKsRecv = geti(f[18])
+	r.NAKsSent = geti(f[19])
+	r.NAKsRecv = geti(f[20])
+	r.LossDetected = geti(f[21])
+	r.Timeouts = geti(f[22])
+	r.SndFreezes = geti(f[23])
+	return r, err
+}
+
+// AppendJSONLine appends r as one JSON object (no trailing newline) to dst
+// and returns the extended slice. Field names match the CSV column names.
+func AppendJSONLine(dst []byte, r *PerfRecord) []byte {
+	dst = append(dst, `{"flow":`...)
+	dst = strconv.AppendInt(dst, int64(r.Flow), 10)
+	dst = append(dst, `,"label":`...)
+	dst = strconv.AppendQuote(dst, r.Label)
+	dst = append(dst, `,"role":`...)
+	dst = strconv.AppendQuote(dst, string(r.Role))
+	dst = append(dst, `,"t_us":`...)
+	dst = strconv.AppendInt(dst, r.T, 10)
+	dst = append(dst, `,"interval_us":`...)
+	dst = strconv.AppendInt(dst, r.IntervalUs, 10)
+	dst = append(dst, `,"period_us":`...)
+	dst = appendFloat(dst, r.PeriodUs)
+	dst = append(dst, `,"send_rate_mbps":`...)
+	dst = appendFloat(dst, r.SendRateMbps)
+	dst = append(dst, `,"send_mbps":`...)
+	dst = appendFloat(dst, r.SendMbps)
+	dst = append(dst, `,"recv_mbps":`...)
+	dst = appendFloat(dst, r.RecvMbps)
+	dst = append(dst, `,"bandwidth_mbps":`...)
+	dst = appendFloat(dst, r.BandwidthMbps)
+	dst = append(dst, `,"rtt_us":`...)
+	dst = strconv.AppendInt(dst, r.RTTUs, 10)
+	dst = append(dst, `,"flow_window":`...)
+	dst = strconv.AppendInt(dst, int64(r.FlowWindow), 10)
+	dst = append(dst, `,"in_flight":`...)
+	dst = strconv.AppendInt(dst, int64(r.InFlight), 10)
+	for _, kv := range [...]struct {
+		k string
+		v int64
+	}{
+		{"pkts_sent", r.PktsSent}, {"pkts_retrans", r.PktsRetrans},
+		{"pkts_recv", r.PktsRecv}, {"pkts_dup", r.PktsDup},
+		{"acks_sent", r.ACKsSent}, {"acks_recv", r.ACKsRecv},
+		{"naks_sent", r.NAKsSent}, {"naks_recv", r.NAKsRecv},
+		{"loss_detected", r.LossDetected}, {"timeouts", r.Timeouts},
+		{"snd_freezes", r.SndFreezes},
+	} {
+		dst = append(dst, ',', '"')
+		dst = append(dst, kv.k...)
+		dst = append(dst, '"', ':')
+		dst = strconv.AppendInt(dst, kv.v, 10)
+	}
+	return append(dst, '}')
+}
+
+// WriteJSONL writes recs as JSON Lines: one object per record per line.
+func WriteJSONL(w io.Writer, recs []PerfRecord) error {
+	bw := bufio.NewWriter(w)
+	var row []byte
+	for i := range recs {
+		row = AppendJSONLine(row[:0], &recs[i])
+		bw.Write(row)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// JSONLSink streams records to w as JSON Lines as they arrive.
+type JSONLSink struct {
+	w   *bufio.Writer
+	row []byte
+	err error
+}
+
+// NewJSONLSink returns a streaming JSON Lines sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// Record writes r as one JSON line. Write errors are sticky and reported by
+// Flush.
+func (s *JSONLSink) Record(r *PerfRecord) {
+	if s.err != nil {
+		return
+	}
+	s.row = AppendJSONLine(s.row[:0], r)
+	if _, err := s.w.Write(s.row); err != nil {
+		s.err = err
+		return
+	}
+	s.w.WriteByte('\n')
+}
+
+// Flush flushes buffered rows and returns the first error encountered.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}

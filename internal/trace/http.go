@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the records produced by snap as a
+// JSON array (one PerfRecord object per element, same field names as the
+// JSONL exporter). snap is called per request and would typically be a
+// lock-protected ring snapshot, e.g. the Conn.Perf method of a connection.
+func Handler(snap func() []PerfRecord) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(marshalRecords(snap()))
+	})
+}
+
+// Publish registers snap under name on the process-wide expvar registry, so
+// the history shows up at /debug/vars alongside the standard runtime vars.
+// Like expvar.Publish it panics if name is already registered; call it at
+// most once per name per process.
+func Publish(name string, snap func() []PerfRecord) {
+	expvar.Publish(name, expvar.Func(func() any {
+		// expvar marshals the returned value with encoding/json, so this
+		// view uses Go field names rather than the CSV/JSONL snake_case.
+		return snap()
+	}))
+}
+
+// marshalRecords renders recs as a JSON array using the same hand-rolled,
+// deterministic encoder as the JSONL exporter.
+func marshalRecords(recs []PerfRecord) []byte {
+	out := []byte{'['}
+	for i := range recs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = AppendJSONLine(out, &recs[i])
+	}
+	return append(out, ']')
+}

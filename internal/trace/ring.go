@@ -1,0 +1,102 @@
+package trace
+
+// Ring is a fixed-capacity circular buffer of PerfRecords. All storage is
+// allocated up front by NewRing; Record copies the sample into the next slot
+// and, once full, overwrites the oldest — so steady-state recording performs
+// zero heap allocations and a long-running connection keeps a bounded,
+// most-recent window of its history.
+//
+// Ring is not safe for concurrent use; the owning connection serializes
+// Record and snapshot calls under its own lock.
+type Ring struct {
+	buf   []PerfRecord
+	next  int   // index of the slot the next Record will fill
+	count int   // number of valid records, ≤ len(buf)
+	total int64 // lifetime number of Record calls (≥ count once wrapped)
+}
+
+// NewRing returns a ring holding at most n records. n ≤ 0 is clamped to 1.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = 1
+	}
+	return &Ring{buf: make([]PerfRecord, n)}
+}
+
+// Record copies r into the ring, overwriting the oldest record when full.
+func (g *Ring) Record(r *PerfRecord) {
+	g.buf[g.next] = *r
+	g.next++
+	if g.next == len(g.buf) {
+		g.next = 0
+	}
+	if g.count < len(g.buf) {
+		g.count++
+	}
+	g.total++
+}
+
+// Len reports the number of records currently held.
+func (g *Ring) Len() int { return g.count }
+
+// Cap reports the ring's fixed capacity.
+func (g *Ring) Cap() int { return len(g.buf) }
+
+// Total reports the lifetime number of records written, including any that
+// have since been overwritten.
+func (g *Ring) Total() int64 { return g.total }
+
+// Snapshot returns the held records ordered oldest to newest. It allocates
+// a fresh slice; the ring is unchanged.
+func (g *Ring) Snapshot() []PerfRecord {
+	out := make([]PerfRecord, g.count)
+	g.copyTo(out)
+	return out
+}
+
+// AppendTo appends the held records, oldest to newest, to dst and returns
+// the extended slice. With pre-grown dst capacity it does not allocate.
+func (g *Ring) AppendTo(dst []PerfRecord) []PerfRecord {
+	n := len(dst)
+	dst = append(dst, make([]PerfRecord, g.count)...)
+	g.copyTo(dst[n:])
+	return dst
+}
+
+func (g *Ring) copyTo(out []PerfRecord) {
+	if g.count < len(g.buf) {
+		copy(out, g.buf[:g.count])
+		return
+	}
+	n := copy(out, g.buf[g.next:])
+	copy(out[n:], g.buf[:g.next])
+}
+
+// Do calls fn on each held record, oldest to newest, without copying. The
+// pointer is only valid during the call.
+func (g *Ring) Do(fn func(*PerfRecord)) {
+	start := 0
+	if g.count == len(g.buf) {
+		start = g.next
+	}
+	for i := 0; i < g.count; i++ {
+		fn(&g.buf[(start+i)%len(g.buf)])
+	}
+}
+
+// Last returns a copy of the most recent record and whether one exists.
+func (g *Ring) Last() (PerfRecord, bool) {
+	if g.count == 0 {
+		return PerfRecord{}, false
+	}
+	i := g.next - 1
+	if i < 0 {
+		i = len(g.buf) - 1
+	}
+	return g.buf[i], true
+}
+
+// Reset empties the ring without releasing its storage.
+func (g *Ring) Reset() {
+	g.next, g.count, g.total = 0, 0, 0
+}

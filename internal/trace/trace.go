@@ -1,0 +1,155 @@
+// Package trace is the perfmon-style telemetry layer shared by the real UDP
+// transport and the network simulator — the observability counterpart of
+// real UDT's perfmon API. The protocol engine (internal/core) and the TCP
+// model (internal/tcpsim) emit one PerfRecord per sampling interval (a
+// SYN-multiple for UDT); sinks consume them.
+//
+// The package is deliberately dependency-free in both directions: it imports
+// nothing from the protocol packages, and the emitters only know the Sink
+// interface. Sinks designed for the hot path (Ring, Multi over them) record
+// with zero steady-state heap allocations, so telemetry can stay attached to
+// the zero-allocation send path gated by TestSenderPathAllocs. Exporters
+// (CSV, JSONL, the expvar/HTTP endpoint) turn recorded histories into the
+// time-series files behind the paper's Fig. 2–5.
+package trace
+
+// Role tags which side of a connection a PerfRecord describes.
+type Role string
+
+// Record roles. A unidirectional simulated flow traces its source engine as
+// RoleSender (rate-control state) and its sink engine as RoleReceiver
+// (goodput); a real duplex connection plays both roles at once and uses
+// RoleFlow, as does the TCP model's combined per-flow sampler.
+const (
+	RoleSender   Role = "snd"
+	RoleReceiver Role = "rcv"
+	RoleFlow     Role = "flow"
+)
+
+// PerfRecord is one telemetry sample: a point-in-time snapshot of a
+// connection's rate-control state plus event-counter deltas over the
+// interval since the previous sample. All times are microseconds, all rates
+// megabits per second, matching the paper's units.
+//
+// Emitters reuse one record and pass a pointer; sinks must copy what they
+// keep and must not retain the pointer past Record's return.
+type PerfRecord struct {
+	// Flow identifies the connection (experiment flow id; 0 for a real
+	// transport connection).
+	Flow int32
+	// Label names the protocol or variant producing the record ("udt",
+	// "tcp-sack", ...). Free-form; exporters escape it.
+	Label string
+	// Role tags the side of the connection being sampled.
+	Role Role
+
+	// T is the sample time in µs on the emitting clock (simulated or
+	// monotonic real time).
+	T int64
+	// IntervalUs is the time covered since the previous sample, µs.
+	IntervalUs int64
+
+	// PeriodUs is the current packet sending period P in µs (0 = unpaced
+	// slow start; meaningless for window-controlled protocols).
+	PeriodUs float64
+	// SendRateMbps is the paced target sending rate implied by PeriodUs.
+	SendRateMbps float64
+	// SendMbps is the measured wire send rate over the interval (new data
+	// plus retransmissions).
+	SendMbps float64
+	// RecvMbps is the measured fresh-data goodput over the interval.
+	RecvMbps float64
+	// BandwidthMbps is the estimated link capacity B from receiver-based
+	// packet-pair probing (§3.4); 0 before the estimator converges.
+	BandwidthMbps float64
+	// RTTUs is the smoothed round-trip time estimate, µs.
+	RTTUs int64
+	// FlowWindow is the effective send window in packets (for TCP, the
+	// congestion window).
+	FlowWindow int32
+	// InFlight is the number of unacknowledged packets.
+	InFlight int32
+
+	// Cumulative engine counters at sample time.
+	PktsSent     int64
+	PktsRetrans  int64
+	PktsRecv     int64
+	PktsDup      int64
+	ACKsSent     int64
+	ACKsRecv     int64
+	NAKsSent     int64
+	NAKsRecv     int64
+	LossDetected int64
+	Timeouts     int64
+	SndFreezes   int64
+}
+
+// Sink consumes telemetry samples. Record is called on the emitter's thread
+// (under the connection lock on the real transport, on the simulator thread
+// in simulations) and must not block; implementations meant for the data
+// hot path must not allocate in steady state.
+type Sink interface {
+	Record(*PerfRecord)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*PerfRecord)
+
+// Record calls f.
+func (f SinkFunc) Record(r *PerfRecord) { f(r) }
+
+// multi fans one record out to several sinks in order.
+type multi []Sink
+
+// Multi returns a sink that forwards every record to each non-nil sink in
+// order. With zero or one usable sink it returns nil or that sink directly,
+// so wrapping is free in the common case.
+func Multi(sinks ...Sink) Sink {
+	var m multi
+	for _, s := range sinks {
+		if s != nil {
+			m = append(m, s)
+		}
+	}
+	switch len(m) {
+	case 0:
+		return nil
+	case 1:
+		return m[0]
+	}
+	return m
+}
+
+// Record forwards r to every sink.
+func (m multi) Record(r *PerfRecord) {
+	for _, s := range m {
+		s.Record(r)
+	}
+}
+
+// GoodputSeries extracts the received-goodput time series (Mb/s per sample)
+// from a record slice: the RecvMbps of every RoleReceiver or RoleFlow
+// record, in order. This is the series the paper's throughput-over-time
+// plots and the fairness/stability indices are computed from.
+func GoodputSeries(recs []PerfRecord) []float64 {
+	var out []float64
+	for i := range recs {
+		if recs[i].Role == RoleReceiver || recs[i].Role == RoleFlow {
+			out = append(out, recs[i].RecvMbps)
+		}
+	}
+	return out
+}
+
+// SenderSeries extracts the sender-side rate-control trace from a record
+// slice: every RoleSender or RoleFlow record, in order. Useful for plotting
+// period/window/bandwidth evolution without the interleaved receiver rows.
+func SenderSeries(recs []PerfRecord) []PerfRecord {
+	var out []PerfRecord
+	for i := range recs {
+		if recs[i].Role == RoleSender || recs[i].Role == RoleFlow {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"udt/internal/core"
 	"udt/internal/netsim"
 	"udt/internal/packet"
+	"udt/internal/trace"
 )
 
 // Packet kinds used in netsim.Packet.Kind. Data packets ride entirely in
@@ -109,6 +110,17 @@ func (f *Flow) Stop() {
 
 // SetMeter routes sink-side goodput accounting to m.
 func (f *Flow) SetMeter(m *netsim.FlowMeter) { f.Dst.meter = m }
+
+// Trace attaches a telemetry sink to both of the flow's protocol engines:
+// the source samples as RoleSender (rate-control state), the sink as
+// RoleReceiver (goodput), each every everySYN SYN intervals, stamped with
+// the flow's ID. Sampling adds no simulator events and consumes no
+// randomness, so a traced run's protocol behaviour is bit-identical to an
+// untraced one. Call before Start.
+func (f *Flow) Trace(sink trace.Sink, everySYN int) {
+	f.Src.conn.SetPerfSink(sink, everySYN, int32(f.ID), "udt", trace.RoleSender)
+	f.Dst.conn.SetPerfSink(sink, everySYN, int32(f.ID), "udt", trace.RoleReceiver)
+}
 
 // ForceWindow pins the source's flow window (Fig. 7 ablation).
 func (f *Flow) ForceWindow(w int32) { f.Src.conn.ForceWindow(w) }

@@ -12,6 +12,10 @@
 #                                             must stay >= 1.5
 #   send_ns_per_packet / send_allocs_per_packet  real transport send path with
 #                                             a stub socket (BenchmarkSenderPacket)
+#   send_traced_ns_per_packet / send_traced_allocs_per_packet  same path with
+#                                             a telemetry ring attached
+#                                             (BenchmarkSenderPacketTraced);
+#                                             allocs must stay exactly zero
 #   loopback_mbps                             memory-to-memory UDP loopback
 #                                             transfer (BenchmarkFig14CPU)
 set -eu
@@ -21,10 +25,12 @@ out="${1:-/dev/stdout}"
 sim=$(go test ./internal/netsim -run XXX -bench 'SimEvents$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSimEvents/ {print $3, $7}')
 old=$(go test ./internal/netsim -run XXX -bench 'SimEventsContainerHeap$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSimEventsContainerHeap/ {print $3}')
 snd=$(go test . -run XXX -bench 'SenderPacket$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacket/ {print $3, $7}')
+sndtr=$(go test . -run XXX -bench 'SenderPacketTraced$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacketTraced/ {print $3, $7}')
 mbps=$(go test . -run XXX -bench 'Fig14CPU$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkFig14CPU/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 
 set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
+set -- $sndtr; sndtr_ns=$1; sndtr_allocs=$2
 
 cat > "$out" <<EOF
 {
@@ -33,6 +39,8 @@ cat > "$out" <<EOF
   "sim_heap_baseline_ns_per_event": $old,
   "send_ns_per_packet": $snd_ns,
   "send_allocs_per_packet": $snd_allocs,
+  "send_traced_ns_per_packet": $sndtr_ns,
+  "send_traced_allocs_per_packet": $sndtr_allocs,
   "loopback_mbps": $mbps
 }
 EOF

@@ -1,8 +1,12 @@
 #!/bin/sh
-# ci.sh — the repository's gate: vet, build, and run every test under the
-# race detector. Run it before sending a change.
+# ci.sh — the repository's gate: vet, build, documentation checks, and every
+# test under the race detector. Run it before sending a change.
 set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
+# Documentation gates: every exported identifier in the audited packages must
+# carry a doc comment, and every relative Markdown link must resolve.
+go run ./scripts/doccheck internal/core internal/metrics internal/trace
+go run ./scripts/mdcheck
 go test -race ./...

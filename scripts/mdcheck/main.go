@@ -1,0 +1,112 @@
+// Command mdcheck validates relative links in the repository's Markdown
+// files: every [text](target) whose target is not an external URL or a bare
+// fragment must point at a file that exists.
+//
+// Usage:
+//
+//	go run ./scripts/mdcheck [file.md ...]
+//
+// With no arguments it checks every *.md in the current directory tree,
+// skipping hidden directories and testdata. External schemes (http:, https:,
+// mailto:) and pure #anchors are ignored; fragments on relative targets are
+// stripped before the existence check. Broken links are printed one per line
+// and the exit status is non-zero if any are found.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links, capturing the target. It
+// deliberately excludes images' extra processing (the ! prefix still parses
+// as a link and is checked the same way).
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		var err error
+		files, err = findMarkdown(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	bad := 0
+	for _, f := range files {
+		bad += checkFile(f)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// findMarkdown walks root collecting *.md paths, skipping hidden
+// directories and testdata.
+func findMarkdown(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// checkFile scans one Markdown file and returns the number of broken
+// relative links.
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+		os.Exit(2)
+	}
+	bad := 0
+	dir := filepath.Dir(path)
+	for i, line := range strings.Split(string(data), "\n") {
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue
+			}
+			if dec, err := url.PathUnescape(target); err == nil {
+				target = dec
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				fmt.Printf("%s:%d: broken link %q\n", path, i+1, m[1])
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// skipTarget reports whether a link target is out of scope for the checker:
+// external URLs and in-page anchors.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:") ||
+		strings.HasPrefix(t, "#")
+}

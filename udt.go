@@ -26,6 +26,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/timing"
+	"udt/internal/trace"
 )
 
 // Config carries the tunable parameters of a UDT endpoint. The zero value
@@ -46,6 +47,18 @@ type Config struct {
 	// Ledger, when non-nil and enabled, attributes wall time to protocol
 	// cost centers (Table 3 / Fig. 14).
 	Ledger *timing.Ledger
+	// PerfHistory is the capacity in records of the perfmon ring buffer
+	// behind Conn.Perf. Default 512 (≈5 s of history at the default SYN and
+	// PerfEverySYN); negative disables per-connection telemetry entirely.
+	PerfHistory int
+	// PerfEverySYN is the telemetry sampling cadence: one PerfRecord every
+	// N SYN intervals. Default 1 (a sample every 10 ms at the default SYN).
+	PerfEverySYN int
+	// Trace, when non-nil, receives every PerfRecord in addition to the
+	// Conn.Perf ring — e.g. a trace.CSVSink streaming to a file. Record is
+	// called under the connection lock; it must not block or call back into
+	// the Conn.
+	Trace TraceSink
 }
 
 func (c *Config) fill() {
@@ -70,6 +83,12 @@ func (c *Config) fill() {
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 3 * time.Second
 	}
+	if c.PerfHistory == 0 {
+		c.PerfHistory = 512
+	}
+	if c.PerfEverySYN == 0 {
+		c.PerfEverySYN = 1
+	}
 }
 
 func (c *Config) coreConfig(isn int32) core.Config {
@@ -90,3 +109,11 @@ type Stats struct {
 	BytesSent    int64
 	BytesRecv    int64
 }
+
+// PerfRecord is one perfmon telemetry sample; see internal/trace for the
+// field-by-field documentation. Conn.Perf returns the recent history and
+// Config.Trace streams records as they are produced.
+type PerfRecord = trace.PerfRecord
+
+// TraceSink consumes PerfRecords; see internal/trace.Sink.
+type TraceSink = trace.Sink
