@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench smoke docs
+.PHONY: all build test race vet ci bench smoke docs chaos
 
 all: build
 
@@ -29,8 +29,16 @@ bench:
 # docs runs the documentation gates: godoc coverage of the audited packages
 # and Markdown link integrity.
 docs:
-	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/trace
+	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/netem internal/netem/chaos internal/trace
 	$(GO) run ./scripts/mdcheck
+
+# chaos runs the fixed-seed fault-injection matrix: full transfers of
+# checksummed payloads through impaired netem paths (loss, bursts,
+# corruption, reordering, partitions), each cell replayed twice under the
+# virtual clock and required to be bit-identical, plus a real-stack smoke
+# pass. Seconds of wall time; see EXPERIMENTS.md.
+chaos:
+	$(GO) run ./cmd/udtchaos -determinism -real
 
 # smoke is the fast correctness pass: the allocation gates plus the simulator
 # determinism suite.

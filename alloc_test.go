@@ -16,7 +16,7 @@ import (
 // sender path can be driven synchronously, without a peer or a goroutine.
 type discardSock struct{ writes int }
 
-func (d *discardSock) writeTo(b []byte, _ *net.UDPAddr) (int, error) {
+func (d *discardSock) writeTo(b []byte, _ net.Addr) (int, error) {
 	d.writes++
 	return len(b), nil
 }

@@ -91,7 +91,9 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 		log.Fatal(err)
 	}
 	defer c.Close()
-	log.Printf("connected to %s (mss %d)", addr, mss)
+	st0 := c.Stats()
+	log.Printf("connected to %s (mss %d, udp buffers rcv=%d snd=%d bytes)",
+		addr, mss, st0.UDPRcvBufBytes, st0.UDPSndBufBytes)
 
 	if expAddr != "" {
 		trace.Publish("udtperf.perf", c.Perf)

@@ -23,10 +23,10 @@ var (
 	errBufferFull = errors.New("udt: receive buffer overrun") // internal
 )
 
-// sockWriter abstracts the UDP socket: a dialed Conn owns its socket; an
-// accepted Conn shares the listener's.
+// sockWriter abstracts the datagram transport: a dialed Conn owns its
+// socket; an accepted Conn shares the listener's.
 type sockWriter interface {
-	writeTo(b []byte, addr *net.UDPAddr) (int, error)
+	writeTo(b []byte, addr net.Addr) (int, error)
 }
 
 // Conn is a UDT connection: a reliable duplex byte stream over UDP.
@@ -34,7 +34,7 @@ type sockWriter interface {
 // supported; use Close from another goroutine to abort).
 type Conn struct {
 	cfg    Config
-	raddr  *net.UDPAddr
+	raddr  net.Addr
 	laddr  net.Addr
 	sock   sockWriter
 	closer func() // tears down socket/listener registration
@@ -65,11 +65,15 @@ type Conn struct {
 	bytesSent int64
 	bytesRecv int64
 
+	// udpRcvBuf and udpSndBuf are the kernel socket buffer sizes the OS
+	// actually granted (0 when the transport is not a UDP socket).
+	udpRcvBuf, udpSndBuf int
+
 	wg sync.WaitGroup
 }
 
 // newConn wires an established connection (post-handshake).
-func newConn(cfg Config, sock sockWriter, closer func(), laddr net.Addr, raddr *net.UDPAddr, isn, peerISN int32) *Conn {
+func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, isn, peerISN int32) *Conn {
 	c := &Conn{
 		cfg:     cfg,
 		raddr:   raddr,
@@ -218,11 +222,13 @@ func (c *Conn) Stats() Stats {
 	defer c.mu.Unlock()
 	rate := c.core.CC().Rate() * float64(c.cfg.MSS) * 8 / 1e6
 	return Stats{
-		Stats:        c.core.Stats,
-		RTT:          time.Duration(c.core.RTT()) * time.Microsecond,
-		SendRateMbps: rate,
-		BytesSent:    c.bytesSent,
-		BytesRecv:    c.bytesRecv,
+		Stats:          c.core.Stats,
+		RTT:            time.Duration(c.core.RTT()) * time.Microsecond,
+		SendRateMbps:   rate,
+		BytesSent:      c.bytesSent,
+		BytesRecv:      c.bytesRecv,
+		UDPRcvBufBytes: c.udpRcvBuf,
+		UDPSndBufBytes: c.udpSndBuf,
 	}
 }
 

@@ -132,6 +132,7 @@ type Conn struct {
 	lastAdvWindow int32 // last advertised flow window
 	ackID         int32
 	sinceACK      int32 // fresh packets since the last ACK emission
+	dupSinceACK   int32 // duplicate packets since the last ACK emission
 
 	// Timers: absolute deadlines in µs.
 	tACK, tNAK, tSYN, tEXP int64
@@ -279,6 +280,13 @@ func (c *Conn) expInterval() int64 {
 		n = 1
 	}
 	iv := n*c.rtt.RTO() + c.cfg.SYN
+	// Ceiling the linear backoff at PeerDeathTime/16 so the 16 expirations
+	// death detection requires fit within the configured limit. Without it,
+	// an unconverged RTO (initial 300 ms) pushes detection to 136·RTO ≈
+	// 40 s — unbounded by PeerDeathTime, which is the knob operators set.
+	if ceil := c.cfg.PeerDeathTime / 16; iv > ceil {
+		iv = ceil
+	}
 	if iv < c.cfg.MinEXP {
 		iv = c.cfg.MinEXP
 	}
@@ -376,9 +384,15 @@ func (c *Conn) sendACK(now int64) {
 	}
 	advanced := seqno.Cmp(ack, c.lastAckSeq) > 0
 	reopened := adv > c.lastAdvWindow && adv-c.lastAdvWindow >= c.cfg.RecvBufPkts/16
-	if !advanced && !reopened {
+	// A duplicate arrival means the peer is retransmitting data we already
+	// acknowledged — our cumulative ACK must have been lost. Re-emit it even
+	// without progress, or the peer retransmits that window forever. This
+	// cannot defeat the EXP tail-loss rescue above: duplicates only arrive
+	// while packets are flowing, and silence is what EXP detects.
+	if !advanced && !reopened && c.dupSinceACK == 0 {
 		return
 	}
+	c.dupSinceACK = 0
 	c.lastAdvWindow = adv
 	c.ackID++
 	a := packet.ACK{
@@ -479,6 +493,7 @@ func (c *Conn) HandleData(now int64, seq int32) (fresh bool) {
 			return true
 		}
 		c.Stats.PktsDup++
+		c.dupSinceACK++
 		return false
 	}
 }

@@ -1,0 +1,155 @@
+// EXP-timer behaviour under a virtual clock: the retransmit-timeout rescue,
+// peer-death timing bounds, and idle keep-alives — no real-time sleeps.
+package core_test
+
+import (
+	"testing"
+
+	"udt/internal/core"
+	"udt/internal/netem"
+)
+
+// stepToNextTimer advances the virtual clock to the engine's next deadline
+// and fires it. It fails the test if the engine stops scheduling work.
+func stepToNextTimer(t *testing.T, vc *netem.VirtualClock, eng *core.Conn) {
+	t.Helper()
+	next := eng.NextTimer()
+	if next <= vc.Now() {
+		next = vc.Now() + 1
+	}
+	vc.AdvanceTo(next)
+	eng.Advance(vc.Now())
+}
+
+// drainOut empties the engine outbox, returning the kinds emitted.
+func drainOut(eng *core.Conn) []core.OutKind {
+	var kinds []core.OutKind
+	for {
+		o, ok := eng.PopOut()
+		if !ok {
+			return kinds
+		}
+		kinds = append(kinds, o.Kind)
+	}
+}
+
+// TestEXPRetransmitTimeout pins §3.3's silence rescue: when every ACK and
+// NAK for in-flight data is lost, the EXP timer must queue the whole
+// unacknowledged window for retransmission — NextSend switches from
+// WaitData to SendRetrans without any peer feedback.
+func TestEXPRetransmitTimeout(t *testing.T) {
+	vc := netem.NewVirtualClock(0)
+	eng := core.NewConn(core.Config{ISN: 100, MinEXP: 50_000, PeerDeathTime: 10_000_000}, 500)
+	eng.Start(vc.Now())
+
+	sent := 0
+	for sent < 4 {
+		seq, d := eng.NextSend(vc.Now(), true)
+		switch d {
+		case core.SendData:
+			sent++
+			if seq != int32(100+sent-1) {
+				t.Fatalf("sent seq %d, want %d", seq, 100+sent-1)
+			}
+		case core.WaitPacing:
+			vc.AdvanceTo(eng.NextSendTime())
+		default:
+			t.Fatalf("unexpected decision %v before the window fills", d)
+		}
+	}
+	if eng.Unacked() != 4 {
+		t.Fatalf("unacked = %d, want 4", eng.Unacked())
+	}
+	drainOut(eng)
+
+	// Silence. Step timers until the EXP rescue kicks in.
+	before := eng.Stats.Timeouts
+	deadline := vc.Now() + 5_000_000
+	for eng.Stats.Timeouts == before {
+		if vc.Now() > deadline {
+			t.Fatal("EXP never fired within 5 virtual seconds of silence")
+		}
+		stepToNextTimer(t, vc, eng)
+	}
+	seq, d := eng.NextSend(vc.Now(), false)
+	for d == core.WaitPacing || d == core.WaitFrozen {
+		vc.AdvanceTo(eng.NextTimer())
+		eng.Advance(vc.Now())
+		seq, d = eng.NextSend(vc.Now(), false)
+	}
+	if d != core.SendRetrans {
+		t.Fatalf("post-EXP decision = %v, want SendRetrans", d)
+	}
+	if seq != 100 {
+		t.Fatalf("retransmission starts at %d, want the oldest unacked (100)", seq)
+	}
+	if eng.Broken() {
+		t.Fatal("engine declared death before PeerDeathTime")
+	}
+}
+
+// TestPeerDeathTiming pins the failure-detection bound: with total silence
+// the engine must break no earlier than PeerDeathTime and not much later —
+// the capped EXP backoff keeps 16 expirations inside the configured limit.
+func TestPeerDeathTiming(t *testing.T) {
+	const deathTime = 2_000_000
+	vc := netem.NewVirtualClock(0)
+	eng := core.NewConn(core.Config{ISN: 0, MinEXP: 50_000, PeerDeathTime: deathTime}, 500)
+	eng.Start(vc.Now())
+
+	// One packet in flight so the EXP path is the data-bearing one.
+	if _, d := eng.NextSend(vc.Now(), true); d != core.SendData {
+		t.Fatalf("decision %v, want SendData", d)
+	}
+
+	for !eng.Broken() {
+		if vc.Now() > 10*deathTime {
+			t.Fatalf("no death after %dµs of silence (configured %dµs)", vc.Now(), deathTime)
+		}
+		stepToNextTimer(t, vc, eng)
+		drainOut(eng)
+	}
+	if vc.Now() < deathTime {
+		t.Fatalf("death at %dµs, before the %dµs silence bound", vc.Now(), deathTime)
+	}
+	if vc.Now() > deathTime*5/2 {
+		t.Fatalf("death at %dµs, beyond 2.5×PeerDeathTime", vc.Now())
+	}
+	kinds := drainOut(eng)
+	foundShutdown := false
+	for _, k := range kinds {
+		if k == core.OutShutdown {
+			foundShutdown = true
+		}
+	}
+	if !foundShutdown && !eng.Closed() {
+		t.Fatal("death did not close the engine")
+	}
+}
+
+// TestKeepAliveWhenIdle pins the other EXP branch: with nothing in flight,
+// expirations probe the peer with keep-alives instead of retransmitting.
+func TestKeepAliveWhenIdle(t *testing.T) {
+	vc := netem.NewVirtualClock(0)
+	eng := core.NewConn(core.Config{ISN: 0, MinEXP: 50_000, PeerDeathTime: 10_000_000}, 500)
+	eng.Start(vc.Now())
+
+	sawKeepAlive := false
+	for i := 0; i < 50 && !sawKeepAlive; i++ {
+		stepToNextTimer(t, vc, eng)
+		for _, k := range drainOut(eng) {
+			if k == core.OutKeepAlive {
+				sawKeepAlive = true
+			}
+			if k == core.OutACK || k == core.OutNAK {
+				t.Fatalf("idle engine emitted %v", k)
+			}
+		}
+	}
+	if !sawKeepAlive {
+		t.Fatal("no keep-alive after 50 idle timer rounds")
+	}
+	if eng.Stats.Timeouts != 0 {
+		t.Fatalf("idle expirations counted as data timeouts: %d", eng.Stats.Timeouts)
+	}
+}

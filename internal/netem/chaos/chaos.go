@@ -1,0 +1,435 @@
+// Package chaos is the fault-injection harness: it drives the real UDT
+// protocol engines (internal/core) over a netem fabric and asserts
+// end-to-end properties — data integrity under impairment, eventual
+// peer-death detection across partitions, bounded recovery times.
+//
+// Two drivers are provided. Run executes both endpoints single-threaded
+// under a netem.VirtualClock, so an entire transfer — every packet
+// arrival, timer expiry and impairment draw — is a deterministic function
+// of the Config: two runs with the same seed produce bit-identical
+// Results, and simulated minutes elapse in milliseconds of real time.
+// RunReal executes the full concurrent udt stack (Dial/Listen, goroutines,
+// wall clock) over the same fabric, trading replayability for coverage of
+// the production code path.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+
+	"udt/internal/core"
+	"udt/internal/netem"
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// Event is a scripted mid-transfer fault: at virtual time At (µs from the
+// start of the run), Do is applied to the fabric. Events fire in At order,
+// on the driver goroutine, so they are part of the deterministic replay.
+type Event struct {
+	// At is the virtual time of the fault, µs from the start of the run.
+	At int64
+	// Do mutates the fabric: partition, heal, change a link's impairments.
+	Do func(nw *netem.Net)
+}
+
+// Config parameterizes one virtual-clock chaos run between two peers named
+// "a" and "b".
+type Config struct {
+	// Seed drives every random choice: the payload bytes, the handshake
+	// sequence numbers and all netem impairment draws.
+	Seed int64
+	// PayloadA and PayloadB are the bytes a and b send (either may be 0).
+	PayloadA, PayloadB int
+	// MSS is the UDT packet size in bytes. Default 1472.
+	MSS int
+	// SndBufPkts and RcvBufPkts size the peer buffers. Default 4096.
+	SndBufPkts, RcvBufPkts int
+	// Link is applied to both directions before the run starts.
+	Link netem.LinkConfig
+	// MinEXP and PeerDeathTime tune failure detection, in µs; zero keeps
+	// the core defaults (300 ms floor, 5 s death).
+	MinEXP, PeerDeathTime int64
+	// Events are scripted faults, fired in At order.
+	Events []Event
+	// MaxVirtualTime aborts the run after this much virtual time, µs.
+	// Default 120 s.
+	MaxVirtualTime int64
+}
+
+func (c *Config) fill() {
+	if c.MSS == 0 {
+		c.MSS = 1472
+	}
+	if c.SndBufPkts == 0 {
+		c.SndBufPkts = 4096
+	}
+	if c.RcvBufPkts == 0 {
+		c.RcvBufPkts = 4096
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 120_000_000
+	}
+}
+
+// PeerResult is one endpoint's outcome.
+type PeerResult struct {
+	// SentBytes is how much of the peer's payload entered the send buffer.
+	SentBytes int
+	// RecvBytes is how many stream bytes were read out of the receiver.
+	RecvBytes int
+	// RecvOK reports the received stream matched the peer's payload
+	// byte-for-byte (FNV-64a over length and content).
+	RecvOK bool
+	// RecvHash is the FNV-64a digest of the received stream.
+	RecvHash uint64
+	// Broken reports the engine declared the peer dead (EXP expiry).
+	Broken bool
+	// BrokenAt is the virtual time of death detection, µs (0 if !Broken).
+	BrokenAt int64
+	// Stats is the engine's final protocol counters.
+	Stats core.Stats
+}
+
+// Result is the outcome of one chaos run. Under the virtual clock it is a
+// pure function of the Config — compare two same-seed Results with
+// reflect.DeepEqual to verify determinism.
+type Result struct {
+	// OK reports both transfers completed with matching checksums.
+	OK bool
+	// TimedOut reports the run hit MaxVirtualTime before finishing.
+	TimedOut bool
+	// Elapsed is the virtual duration of the run, µs.
+	Elapsed int64
+	// A and B are the per-endpoint outcomes.
+	A, B PeerResult
+	// PathAB and PathBA are the fabric's impairment counters per direction.
+	PathAB, PathBA netem.PathStats
+}
+
+// peer is one single-threaded protocol endpoint: the real core engine and
+// buffers, pumped by the driver loop — the deterministic counterpart of
+// udt.Conn's goroutines.
+type peer struct {
+	name     string
+	eng      *core.Conn
+	snd      *core.SndBuffer
+	rcv      *core.RcvBuffer
+	ep       *netem.Endpoint
+	peerAddr net.Addr
+
+	payload  []byte // stream this peer sends
+	sendOff  int
+	wantLen  int // bytes expected from the other side
+	wantHash uint64
+
+	recvBytes int
+	recvHash  hashState
+
+	lastDecision core.SendDecision
+	brokenAt     int64
+
+	scratch []byte
+	rbuf    []byte
+}
+
+// hashState is an incremental FNV-64a.
+type hashState uint64
+
+func newHash() hashState { return hashState(14695981039346656037) }
+
+func (h *hashState) write(p []byte) {
+	x := uint64(*h)
+	for _, b := range p {
+		x ^= uint64(b)
+		x *= 1099511628211
+	}
+	*h = hashState(x)
+}
+
+func hashOf(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p) //nolint:errcheck
+	return h.Sum64()
+}
+
+// finished reports this peer has nothing left to do: everything it wrote
+// is acknowledged and everything it expected has arrived.
+func (p *peer) finished() bool {
+	sentAll := p.sendOff == len(p.payload) && p.snd.Pending() == 0 && p.eng.Unacked() == 0
+	return sentAll && p.recvBytes >= p.wantLen
+}
+
+// Run executes one chaos transfer under a virtual clock and returns its
+// outcome. It is fully deterministic: same Config, same Result.
+func Run(cfg Config) Result {
+	cfg.fill()
+	vc := netem.NewVirtualClock(0)
+	nw := netem.New(cfg.Seed, vc)
+	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // reproducibility, not crypto
+
+	epA, err := nw.Endpoint("a")
+	if err != nil {
+		panic(err) // fresh fabric: cannot collide
+	}
+	epB, _ := nw.Endpoint("b")
+	nw.SetLink("a", "b", cfg.Link)
+
+	payA := make([]byte, cfg.PayloadA)
+	rng.Read(payA) //nolint:errcheck // never fails
+	payB := make([]byte, cfg.PayloadB)
+	rng.Read(payB) //nolint:errcheck
+
+	isnA := rng.Int31() & seqno.Max
+	isnB := rng.Int31() & seqno.Max
+	a := newPeer("a", cfg, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
+	b := newPeer("b", cfg, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+
+	events := append([]Event(nil), cfg.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	a.eng.Start(vc.Now())
+	b.eng.Start(vc.Now())
+
+	res := Result{}
+	peers := [2]*peer{a, b}
+	for {
+		now := vc.Now()
+		progress := false
+		for len(events) > 0 && events[0].At <= now {
+			events[0].Do(nw)
+			events = events[1:]
+			progress = true
+		}
+		for _, p := range peers {
+			if p.pump(now) {
+				progress = true
+			}
+		}
+		done := true
+		for _, p := range peers {
+			if p.eng.Broken() {
+				if p.brokenAt == 0 {
+					p.brokenAt = now
+				}
+				continue
+			}
+			if !p.finished() {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if now >= cfg.MaxVirtualTime {
+			res.TimedOut = true
+			break
+		}
+		if progress {
+			continue // re-pump at the same instant before sleeping
+		}
+		wake := cfg.MaxVirtualTime
+		if len(events) > 0 && events[0].At < wake {
+			wake = events[0].At
+		}
+		for _, p := range peers {
+			if p.eng.Broken() {
+				continue
+			}
+			if t := p.eng.NextTimer(); t < wake {
+				wake = t
+			}
+			if p.lastDecision == core.WaitPacing {
+				if t := p.eng.NextSendTime(); t < wake {
+					wake = t
+				}
+			}
+		}
+		if t, ok := vc.NextEvent(); ok && t < wake {
+			wake = t
+		}
+		if wake <= now {
+			wake = now + 1 // guarantee progress even on zero-delay links
+		}
+		vc.AdvanceTo(wake)
+	}
+
+	res.Elapsed = vc.Now()
+	res.A = a.result()
+	res.B = b.result()
+	res.OK = !res.TimedOut && a.finished() && b.finished() && res.A.RecvOK && res.B.RecvOK
+	res.PathAB = nw.PathStats("a", "b")
+	res.PathBA = nw.PathStats("b", "a")
+	epA.Close() //nolint:errcheck
+	epB.Close() //nolint:errcheck
+	return res
+}
+
+func newPeer(name string, cfg Config, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte) *peer {
+	ccfg := core.Config{
+		MSS:           cfg.MSS,
+		ISN:           isn,
+		RecvBufPkts:   int32(cfg.RcvBufPkts),
+		MinEXP:        cfg.MinEXP,
+		PeerDeathTime: cfg.PeerDeathTime,
+	}
+	p := &peer{
+		name:     name,
+		eng:      core.NewConn(ccfg, peerISN),
+		ep:       ep,
+		peerAddr: peerAddr,
+		payload:  payload,
+		wantLen:  len(expect),
+		wantHash: hashOf(expect),
+		recvHash: newHash(),
+		scratch:  make([]byte, cfg.MSS),
+		rbuf:     make([]byte, 65536),
+	}
+	pl := cfg.MSS - packet.DataHeaderSize
+	p.snd = core.NewSndBuffer(cfg.SndBufPkts, pl, isn)
+	p.rcv = core.NewRcvBuffer(cfg.RcvBufPkts, pl, peerISN)
+	p.eng.AvailBuf = p.rcv.Free
+	return p
+}
+
+// pump runs one scheduling round for the peer at virtual time now:
+// deliver queued datagrams, service timers, flush control emissions, send
+// data as pacing allows, and move application bytes in and out of the
+// buffers. It reports whether anything happened.
+func (p *peer) pump(now int64) (progress bool) {
+	if p.eng.Broken() {
+		return false
+	}
+	for {
+		n, _, ok := p.ep.TryReadFrom(p.rbuf)
+		if !ok {
+			break
+		}
+		p.handleDatagram(now, p.rbuf[:n])
+		progress = true
+	}
+	p.eng.Advance(now)
+	if p.flushOutbox(now) {
+		progress = true
+	}
+	// Feed the send buffer.
+	if p.sendOff < len(p.payload) {
+		if n := p.snd.Write(p.payload[p.sendOff:]); n > 0 {
+			p.sendOff += n
+			progress = true
+		}
+	}
+	// Data path: lost packets first, then new data, as pacing allows.
+	for {
+		newAvail := seqno.Cmp(p.snd.NextWriteSeq(), seqno.Inc(p.eng.CurSeq())) > 0
+		seq, d := p.eng.NextSend(now, newAvail)
+		p.lastDecision = d
+		if d != core.SendData && d != core.SendRetrans {
+			break
+		}
+		pl, ok := p.snd.Packet(seq)
+		if !ok {
+			break
+		}
+		n, err := packet.EncodeData(p.scratch, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
+		if err != nil {
+			panic(fmt.Sprintf("chaos: encode data: %v", err))
+		}
+		p.ep.WriteTo(p.scratch[:n], p.peerAddr) //nolint:errcheck // losses are the point
+		progress = true
+	}
+	// Drain received stream bytes into the running checksum.
+	for p.rcv.Available() > 0 {
+		n := p.rcv.Read(p.rbuf)
+		if n == 0 {
+			break
+		}
+		p.recvHash.write(p.rbuf[:n])
+		p.recvBytes += n
+		progress = true
+	}
+	return progress
+}
+
+// handleDatagram is conn.Conn.handleDatagram without the locks: one
+// arriving datagram through the real engine.
+func (p *peer) handleDatagram(now int64, raw []byte) {
+	if !packet.IsControl(raw) {
+		d, err := packet.DecodeData(raw)
+		if err != nil {
+			return
+		}
+		if p.rcv.Free() == 0 {
+			return // flow-control overrun: treat as a wire loss
+		}
+		if p.eng.HandleData(now, d.Seq) {
+			p.rcv.Store(d.Seq, d.Payload)
+		}
+		return
+	}
+	ctrl, err := packet.DecodeControl(raw)
+	if err != nil {
+		return
+	}
+	switch ctrl.Type {
+	case packet.TypeACK:
+		if a, err := packet.DecodeACK(ctrl); err == nil {
+			if p.eng.HandleACK(now, a) > 0 {
+				p.snd.Release(p.eng.SndLastAck())
+			}
+		}
+	case packet.TypeNAK:
+		if nak, err := packet.DecodeNAK(ctrl); err == nil {
+			p.eng.HandleNAK(now, nak.Losses)
+		}
+	case packet.TypeACK2:
+		p.eng.HandleACK2(now, ctrl.Extra)
+	case packet.TypeKeepAlive:
+		p.eng.HandleKeepAlive(now)
+	case packet.TypeShutdown:
+		p.eng.HandleShutdown(now)
+	}
+}
+
+// flushOutbox serializes and transmits every queued control emission.
+func (p *peer) flushOutbox(now int64) (sent bool) {
+	for {
+		o, ok := p.eng.PopOut()
+		if !ok {
+			return sent
+		}
+		var n int
+		var err error
+		switch o.Kind {
+		case core.OutACK:
+			n, err = packet.EncodeACK(p.scratch, &o.ACK, int32(now))
+		case core.OutNAK:
+			n, err = packet.EncodeNAK(p.scratch, o.Losses, int32(now))
+		case core.OutACK2:
+			n, err = packet.EncodeACK2(p.scratch, o.AckID, int32(now))
+		case core.OutKeepAlive:
+			n, err = packet.EncodeSimple(p.scratch, packet.TypeKeepAlive, int32(now))
+		case core.OutShutdown:
+			n, err = packet.EncodeSimple(p.scratch, packet.TypeShutdown, int32(now))
+		}
+		if err == nil && n > 0 {
+			p.ep.WriteTo(p.scratch[:n], p.peerAddr) //nolint:errcheck
+			sent = true
+		}
+	}
+}
+
+func (p *peer) result() PeerResult {
+	return PeerResult{
+		SentBytes: p.sendOff,
+		RecvBytes: p.recvBytes,
+		RecvOK:    p.recvBytes == p.wantLen && uint64(p.recvHash) == p.wantHash,
+		RecvHash:  uint64(p.recvHash),
+		Broken:    p.eng.Broken(),
+		BrokenAt:  p.brokenAt,
+		Stats:     p.eng.Stats,
+	}
+}

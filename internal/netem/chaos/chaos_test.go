@@ -1,0 +1,115 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"udt/internal/netem"
+)
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{
+		Seed:     99,
+		PayloadA: 512 << 10,
+		PayloadB: 256 << 10,
+		Link:     netem.LinkConfig{Delay: 3000, Jitter: 2000, Loss: 0.02, Dup: 0.002, Corrupt: 0.001},
+	}
+	one, two := Run(cfg), Run(cfg)
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("same-seed runs diverged:\n%+v\n%+v", one, two)
+	}
+	if !one.OK {
+		t.Fatalf("transfer failed: %+v", one)
+	}
+	if one.A.Stats.PktsRetrans == 0 {
+		t.Fatal("2% loss produced no retransmissions")
+	}
+	cfg.Seed = 100
+	other := Run(cfg)
+	if reflect.DeepEqual(one, other) {
+		t.Fatal("different seeds produced identical runs (seed unused?)")
+	}
+}
+
+// TestPartitionPeerDeathBound scripts a permanent mid-transfer partition
+// and requires both engines to detect peer death inside the window
+// [PeerDeathTime, 2.5·PeerDeathTime] after the cut — the silence
+// requirement is a lower bound, and the capped EXP backoff means 16
+// expirations land not far above it.
+func TestPartitionPeerDeathBound(t *testing.T) {
+	const (
+		cutAt     = 30_000
+		deathTime = 2_000_000
+	)
+	r := Run(Config{
+		Seed:           5,
+		PayloadA:       4 << 20,
+		PayloadB:       4 << 20,
+		Link:           netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
+		Events:         PartitionAt(cutAt, 0),
+		MinEXP:         50_000,
+		PeerDeathTime:  deathTime,
+		MaxVirtualTime: 30_000_000,
+	})
+	if r.TimedOut {
+		t.Fatalf("run timed out: %+v", r)
+	}
+	for name, p := range map[string]PeerResult{"a": r.A, "b": r.B} {
+		if !p.Broken {
+			t.Fatalf("peer %s never detected death: %+v", name, p)
+		}
+		since := p.BrokenAt - cutAt
+		if since < deathTime {
+			t.Errorf("peer %s died %dµs after the cut, before the %dµs silence bound", name, since, deathTime)
+		}
+		if since > deathTime*5/2 {
+			t.Errorf("peer %s took %dµs to die, beyond 2.5×PeerDeathTime", name, since)
+		}
+	}
+}
+
+// TestScenarioRecovery pins the two recovery scripts: a healed partition
+// and a transient loss episode must both end in a complete, checksum-clean
+// transfer with no death declared.
+func TestScenarioRecovery(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		events []Event
+	}{
+		{"partition-heal", PartitionAt(20_000, 320_000)},
+		{"loss-episode", LossBurst(15_000, 150_000, 0.3)},
+		{"rtt-step", RTTStep(15_000, 25_000)},
+	} {
+		r := Run(Config{
+			Seed:     21,
+			PayloadA: 512 << 10,
+			PayloadB: 512 << 10,
+			Link:     netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
+			Events:   tc.events,
+		})
+		if !r.OK || r.A.Broken || r.B.Broken {
+			t.Errorf("%s: no recovery: ok=%v timedout=%v a=%+v b=%+v",
+				tc.name, r.OK, r.TimedOut, r.A, r.B)
+		}
+	}
+}
+
+// TestQuickMatrixPasses keeps the CI matrix itself under test: every cell
+// must meet its success criterion at the default seed.
+func TestQuickMatrixPasses(t *testing.T) {
+	for _, cr := range RunMatrix(1, QuickMatrix()) {
+		if !cr.Pass {
+			t.Errorf("%s failed: %+v", cr.Case.Name, cr.Result)
+		}
+	}
+}
+
+func TestRunRealCleanLink(t *testing.T) {
+	res, err := RunReal(RealConfig{Seed: 2, Payload: 1 << 20, Link: netem.LinkConfig{Delay: 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("transfer not bit-exact: %+v", res)
+	}
+}

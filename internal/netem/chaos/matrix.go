@@ -1,0 +1,86 @@
+package chaos
+
+import "udt/internal/netem"
+
+// Case is one cell of the impairment matrix: a named link condition (and
+// optionally a scripted fault sequence) a full transfer must survive.
+type Case struct {
+	// Name identifies the cell in reports.
+	Name string
+	// Link is the impairment applied to both directions.
+	Link netem.LinkConfig
+	// Payload is the per-direction transfer size in bytes.
+	Payload int
+	// Events are scripted mid-transfer faults.
+	Events []Event
+	// MinEXP and PeerDeathTime tune failure detection, µs (0 = defaults).
+	MinEXP, PeerDeathTime int64
+	// ExpectDeath inverts the success criterion: the case passes when both
+	// engines detect peer death instead of completing the transfer.
+	ExpectDeath bool
+	// MaxVirtualTime overrides the run's virtual-time budget, µs.
+	MaxVirtualTime int64
+}
+
+// CaseResult pairs a matrix cell with its outcome.
+type CaseResult struct {
+	// Case is the cell that ran.
+	Case Case
+	// Result is the chaos run outcome.
+	Result Result
+	// Pass applies the cell's success criterion (transfer integrity, or
+	// mutual death detection for ExpectDeath cells).
+	Pass bool
+}
+
+// QuickMatrix is the CI impairment matrix: small payloads, every
+// impairment class, scripted partitions — a few seconds of wall time under
+// the virtual clock.
+func QuickMatrix() []Case {
+	const quarterMB = 256 << 10
+	return []Case{
+		{Name: "clean", Link: netem.LinkConfig{Delay: 2000}, Payload: 4 * quarterMB},
+		{Name: "loss-1pct", Link: netem.LinkConfig{Delay: 5000, Jitter: 2000, Loss: 0.01}, Payload: 2 * quarterMB},
+		{Name: "loss-burst-ge", Link: netem.LinkConfig{Delay: 5000, GE: &netem.GEParams{PGoodBad: 0.01, PBadGood: 0.2, LossBad: 0.7}}, Payload: quarterMB},
+		{Name: "dup-corrupt", Link: netem.LinkConfig{Delay: 2000, Dup: 0.01, Corrupt: 0.005}, Payload: quarterMB},
+		{Name: "reorder", Link: netem.LinkConfig{Delay: 3000, Jitter: 6000, Reorder: 0.05}, Payload: quarterMB},
+		{Name: "rate-capped", Link: netem.LinkConfig{Delay: 2000, RateMbps: 50, QueuePkts: 48}, Payload: quarterMB},
+		// The scenario cells cap the link rate so the transfer is still in
+		// flight when the scripted fault lands (an uncapped virtual link
+		// moves these payloads in tens of virtual milliseconds).
+		{Name: "partition-heal", Link: netem.LinkConfig{Delay: 2000, Loss: 0.005, RateMbps: 100, QueuePkts: 64},
+			Payload: 2 * quarterMB, Events: PartitionAt(20_000, 320_000)},
+		{Name: "rtt-step", Link: netem.LinkConfig{Delay: 1000, RateMbps: 100, QueuePkts: 64},
+			Payload: 2 * quarterMB, Events: RTTStep(15_000, 20_000)},
+		{Name: "loss-episode", Link: netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
+			Payload: 2 * quarterMB, Events: LossBurst(15_000, 150_000, 0.25)},
+		{Name: "partition-permanent", Link: netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
+			Payload: 4 << 20, Events: PartitionAt(30_000, 0), MinEXP: 50_000,
+			PeerDeathTime: 2_000_000, ExpectDeath: true, MaxVirtualTime: 30_000_000},
+	}
+}
+
+// RunMatrix executes every case under the virtual clock with the given
+// seed and applies each cell's success criterion.
+func RunMatrix(seed int64, cases []Case) []CaseResult {
+	out := make([]CaseResult, 0, len(cases))
+	for _, cs := range cases {
+		cfg := Config{
+			Seed:           seed,
+			PayloadA:       cs.Payload,
+			PayloadB:       cs.Payload,
+			Link:           cs.Link,
+			Events:         cs.Events,
+			MinEXP:         cs.MinEXP,
+			PeerDeathTime:  cs.PeerDeathTime,
+			MaxVirtualTime: cs.MaxVirtualTime,
+		}
+		r := Run(cfg)
+		pass := r.OK
+		if cs.ExpectDeath {
+			pass = r.A.Broken && r.B.Broken
+		}
+		out = append(out, CaseResult{Case: cs, Result: r, Pass: pass})
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package chaos
+
+import "udt/internal/netem"
+
+// PartitionAt scripts a mid-transfer partition between the two peers at
+// virtual time at (µs); if healAt > at the partition heals again, otherwise
+// it is permanent and both engines must eventually declare peer death.
+func PartitionAt(at, healAt int64) []Event {
+	ev := []Event{{At: at, Do: func(nw *netem.Net) { nw.Partition("a", "b") }}}
+	if healAt > at {
+		ev = append(ev, Event{At: healAt, Do: func(nw *netem.Net) { nw.Heal("a", "b") }})
+	}
+	return ev
+}
+
+// RTTStep scripts a route change: at virtual time at (µs) the one-way
+// delay of both directions jumps to delayUs. The protocol's RTT estimator
+// and rate control must adapt without losing data.
+func RTTStep(at, delayUs int64) []Event {
+	return []Event{{At: at, Do: func(nw *netem.Net) {
+		set := func(from, to string) {
+			nw.UpdatePath(from, to, func(c *netem.LinkConfig) { c.Delay = delayUs })
+		}
+		set("a", "b")
+		set("b", "a")
+	}}}
+}
+
+// LossBurst scripts a transient loss episode: between virtual times at and
+// until (µs) both directions drop packets i.i.d. with probability loss;
+// afterwards the original loss rates are restored.
+func LossBurst(at, until int64, loss float64) []Event {
+	var savedAB, savedBA float64
+	return []Event{
+		{At: at, Do: func(nw *netem.Net) {
+			nw.UpdatePath("a", "b", func(c *netem.LinkConfig) { savedAB, c.Loss = c.Loss, loss })
+			nw.UpdatePath("b", "a", func(c *netem.LinkConfig) { savedBA, c.Loss = c.Loss, loss })
+		}},
+		{At: until, Do: func(nw *netem.Net) {
+			nw.UpdatePath("a", "b", func(c *netem.LinkConfig) { c.Loss = savedAB })
+			nw.UpdatePath("b", "a", func(c *netem.LinkConfig) { c.Loss = savedBA })
+		}},
+	}
+}

@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source of a fabric: a monotonic microsecond Now plus
+// deferred execution, which the fabric uses to schedule packet deliveries
+// and scenario events. RealClock runs on the runtime clock; VirtualClock
+// runs on a deterministic event loop the test advances by hand, so a whole
+// impairment scenario replays bit-identically from a seed.
+type Clock interface {
+	// Now returns the current time in microseconds (origin arbitrary but
+	// fixed for the clock's lifetime).
+	Now() int64
+	// AfterFunc arranges for f to run once d microseconds from now. f runs
+	// on an unspecified goroutine (RealClock) or synchronously inside an
+	// Advance call (VirtualClock); it must not block.
+	AfterFunc(d int64, f func())
+}
+
+// RealClock implements Clock on the runtime monotonic clock; deferred
+// functions run on timer goroutines. It is the clock a live UDT stack runs
+// over (udt.DialOn / udt.ListenOn endpoints).
+type RealClock struct {
+	base time.Time
+}
+
+// NewRealClock returns a wall clock whose origin is approximately now.
+func NewRealClock() *RealClock { return &RealClock{base: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() int64 { return time.Since(c.base).Microseconds() }
+
+// AfterFunc implements Clock via time.AfterFunc.
+func (c *RealClock) AfterFunc(d int64, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(time.Duration(d)*time.Microsecond, f)
+}
+
+// vcEvent is one scheduled VirtualClock callback.
+type vcEvent struct {
+	at  int64
+	seq int64 // insertion order, for a deterministic tie-break
+	f   func()
+}
+
+// VirtualClock is a deterministic event-driven clock: AfterFunc queues
+// events on a heap and Advance/AdvanceTo executes them in (time, insertion)
+// order while moving Now forward. Nothing happens between Advance calls, so
+// a single-threaded driver stepping the clock replays identically on every
+// run. VirtualClock is safe for concurrent use, but determinism is only
+// guaranteed when one goroutine drives Advance.
+type VirtualClock struct {
+	mu   sync.Mutex
+	now  int64
+	seq  int64
+	heap []vcEvent
+}
+
+// NewVirtualClock returns a virtual clock starting at the given time (µs).
+func NewVirtualClock(start int64) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// AfterFunc implements Clock: f fires when the clock is advanced to or past
+// now+d. Negative d behaves like zero.
+func (c *VirtualClock) AfterFunc(d int64, f func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	c.push(vcEvent{at: c.now + d, seq: c.seq, f: f})
+	c.seq++
+	c.mu.Unlock()
+}
+
+// NextEvent reports the deadline of the earliest queued event, if any.
+func (c *VirtualClock) NextEvent() (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.heap) == 0 {
+		return 0, false
+	}
+	return c.heap[0].at, true
+}
+
+// AdvanceTo runs every event due at or before t in deterministic order and
+// then sets the clock to t (the clock never moves backwards). Events may
+// schedule further events; those are executed too if they fall within t.
+func (c *VirtualClock) AdvanceTo(t int64) {
+	for {
+		c.mu.Lock()
+		if len(c.heap) == 0 || c.heap[0].at > t {
+			if t > c.now {
+				c.now = t
+			}
+			c.mu.Unlock()
+			return
+		}
+		ev := c.pop()
+		if ev.at > c.now {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.f()
+	}
+}
+
+// Advance moves the clock d microseconds forward, running due events.
+func (c *VirtualClock) Advance(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	t := c.now + d
+	c.mu.Unlock()
+	c.AdvanceTo(t)
+}
+
+// less orders events by (time, insertion sequence). Callers hold mu.
+func (c *VirtualClock) less(i, j int) bool {
+	if c.heap[i].at != c.heap[j].at {
+		return c.heap[i].at < c.heap[j].at
+	}
+	return c.heap[i].seq < c.heap[j].seq
+}
+
+// push inserts an event into the heap. Callers hold mu.
+func (c *VirtualClock) push(ev vcEvent) {
+	c.heap = append(c.heap, ev)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.heap[i], c.heap[parent] = c.heap[parent], c.heap[i]
+		i = parent
+	}
+}
+
+// pop removes the earliest event. Callers hold mu.
+func (c *VirtualClock) pop() vcEvent {
+	ev := c.heap[0]
+	last := len(c.heap) - 1
+	c.heap[0] = c.heap[last]
+	c.heap = c.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(c.heap) && c.less(l, min) {
+			min = l
+		}
+		if r < len(c.heap) && c.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+	return ev
+}

@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"math/rand"
+)
+
+// GEParams parameterize the Gilbert–Elliott two-state burst-loss model: the
+// path flips between a good and a bad state with the given per-packet
+// transition probabilities and drops packets with a state-dependent
+// probability. Mean burst length is 1/PBadGood packets; stationary
+// bad-state occupancy is PGoodBad/(PGoodBad+PBadGood).
+type GEParams struct {
+	// PGoodBad is the per-packet probability of entering the bad state.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of leaving the bad state.
+	PBadGood float64
+	// LossGood is the drop probability while in the good state (often 0).
+	LossGood float64
+	// LossBad is the drop probability while in the bad state (often ≥ 0.5).
+	LossBad float64
+}
+
+// LinkConfig describes the impairments of one path direction. The zero
+// value is a perfect link: no loss, no delay, infinite bandwidth. All
+// probabilities are per-packet in [0,1]; all times are microseconds.
+type LinkConfig struct {
+	// Delay is the fixed one-way propagation delay.
+	Delay int64
+	// Jitter adds a uniform extra delay in [0, Jitter] per packet. Because
+	// deliveries are ordered by arrival time, jitter wider than the
+	// inter-packet gap reorders packets naturally.
+	Jitter int64
+	// Loss is the i.i.d. per-packet drop probability (applied in addition
+	// to GE when both are set).
+	Loss float64
+	// GE, when non-nil, enables Gilbert–Elliott burst loss.
+	GE *GEParams
+	// Dup is the probability a packet is delivered twice; the copy draws
+	// its own jitter, so duplicates typically arrive out of order.
+	Dup float64
+	// Corrupt is the probability a delivered copy has 1–3 random bits
+	// flipped. By default a corrupted copy is counted and then discarded at
+	// the receiving edge, emulating the UDP checksum: real receivers never
+	// see a corrupted datagram, they see a loss. Set CorruptDeliver to hand
+	// the mangled bytes to the endpoint instead (decoder-robustness tests).
+	Corrupt float64
+	// CorruptDeliver delivers corrupted bytes instead of dropping them.
+	CorruptDeliver bool
+	// Reorder is the probability a packet is held back by ReorderExtra
+	// microseconds, forcing out-of-order arrival beyond what jitter does.
+	Reorder float64
+	// ReorderExtra is the hold-back applied to reordered packets; when
+	// zero, 2*Jitter+1000 µs is used.
+	ReorderExtra int64
+	// RateMbps caps the path bandwidth; packets serialize through a
+	// bounded FIFO queue ahead of the propagation delay. Zero = infinite.
+	RateMbps float64
+	// QueuePkts bounds the serialization queue in packets (tail drop on
+	// overflow). Zero means 64 when RateMbps is set.
+	QueuePkts int
+}
+
+// pathKey names one direction between two endpoints.
+type pathKey struct {
+	from, to string
+}
+
+// path is the runtime state of one direction: its configuration, its seeded
+// PRNG (all impairment draws come from here, in offer order), the
+// Gilbert–Elliott state, the serialization queue, and counters.
+type path struct {
+	cfg     LinkConfig
+	rng     *rand.Rand
+	blocked bool // partition/blackhole: drop everything until healed
+
+	geBad     bool
+	busyUntil int64 // when the serialization "wire" frees up
+	queued    int   // packets in the serialization queue
+
+	stats PathStats
+}
+
+// PathStats counts what one path direction did to the packets offered to
+// it. Drops are split by cause; Offered = Delivered + all drop counters −
+// Duplicated (duplicates add deliveries without an extra offer).
+type PathStats struct {
+	// Offered is the number of datagrams written into this direction.
+	Offered int64
+	// Delivered is the number of datagram copies handed to the receiver.
+	Delivered int64
+	// Lost counts random and burst-model drops (LostBurst ⊆ Lost).
+	Lost int64
+	// LostBurst counts drops that happened in the Gilbert–Elliott bad state.
+	LostBurst int64
+	// DroppedQueue counts tail drops at the bandwidth-cap queue.
+	DroppedQueue int64
+	// DroppedPartition counts packets swallowed while the path was blocked.
+	DroppedPartition int64
+	// DroppedInboxFull counts deliveries discarded because the destination
+	// endpoint's receive queue was full (the emulated socket buffer).
+	DroppedInboxFull int64
+	// Corrupted counts copies that had bits flipped; unless the path is
+	// configured with CorruptDeliver these were discarded at the receiving
+	// edge, emulating the UDP checksum.
+	Corrupted int64
+	// Duplicated counts packets delivered twice.
+	Duplicated int64
+	// Reordered counts packets held back by the explicit reorder knob.
+	Reordered int64
+	// BytesOffered and BytesDelivered total the datagram sizes.
+	BytesOffered, BytesDelivered int64
+}

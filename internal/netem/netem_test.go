@@ -1,0 +1,276 @@
+package netem
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// testPair returns a virtual-clock fabric with endpoints "a" and "b".
+func testPair(t *testing.T, seed int64, cfg LinkConfig) (*Net, *VirtualClock, *Endpoint, *Endpoint) {
+	t.Helper()
+	vc := NewVirtualClock(0)
+	nw := New(seed, vc)
+	a, err := nw.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetLink("a", "b", cfg)
+	return nw, vc, a, b
+}
+
+// drain reads every queued datagram at b.
+func drain(b *Endpoint) [][]byte {
+	var out [][]byte
+	buf := make([]byte, 65536)
+	for {
+		n, _, ok := b.TryReadFrom(buf)
+		if !ok {
+			return out
+		}
+		out = append(out, append([]byte(nil), buf[:n]...))
+	}
+}
+
+func TestPerfectLinkFIFO(t *testing.T) {
+	_, vc, a, b := testPair(t, 1, LinkConfig{Delay: 1000})
+	for i := 0; i < 100; i++ {
+		if _, err := a.WriteTo([]byte(fmt.Sprintf("pkt-%03d", i)), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vc.Advance(2000)
+	got := drain(b)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d, want 100", len(got))
+	}
+	for i, g := range got {
+		if want := fmt.Sprintf("pkt-%03d", i); string(g) != want {
+			t.Fatalf("packet %d = %q, want %q (FIFO violated on a jitter-free link)", i, g, want)
+		}
+	}
+}
+
+func TestSameSeedSameDecisions(t *testing.T) {
+	deliver := func(seed int64) []int {
+		_, vc, a, b := testPair(t, seed, LinkConfig{Loss: 0.3, Dup: 0.1})
+		for i := 0; i < 500; i++ {
+			a.WriteTo([]byte{byte(i), byte(i >> 8)}, b.LocalAddr()) //nolint:errcheck
+		}
+		vc.Advance(1)
+		var idx []int
+		for _, g := range drain(b) {
+			idx = append(idx, int(g[0])|int(g[1])<<8)
+		}
+		return idx
+	}
+	one, two := deliver(42), deliver(42)
+	if fmt.Sprint(one) != fmt.Sprint(two) {
+		t.Fatal("same seed produced different loss/dup decisions")
+	}
+	other := deliver(43)
+	if fmt.Sprint(one) == fmt.Sprint(other) {
+		t.Fatal("different seeds produced identical decisions (seed unused?)")
+	}
+}
+
+func TestJitterReordersButLosesNothing(t *testing.T) {
+	nw, vc, a, b := testPair(t, 7, LinkConfig{Delay: 1000, Jitter: 5000})
+	const pkts = 200
+	for i := 0; i < pkts; i++ {
+		a.WriteTo([]byte{byte(i)}, b.LocalAddr()) //nolint:errcheck
+		vc.Advance(10)                            // tight inter-packet gap vs. wide jitter
+	}
+	vc.Advance(20000)
+	got := drain(b)
+	if len(got) != pkts {
+		t.Fatalf("delivered %d, want %d", len(got), pkts)
+	}
+	inOrder := true
+	seen := make([]bool, pkts)
+	for i, g := range got {
+		seen[g[0]] = true
+		if int(g[0]) != i {
+			inOrder = false
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("packet %d never delivered", i)
+		}
+	}
+	if inOrder {
+		t.Fatal("5 ms jitter over 10 µs gaps delivered perfectly in order")
+	}
+	if st := nw.PathStats("a", "b"); st.Offered != pkts || st.Delivered != pkts {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestGilbertElliottBurstLoss(t *testing.T) {
+	nw, vc, a, b := testPair(t, 3, LinkConfig{
+		GE: &GEParams{PGoodBad: 0.05, PBadGood: 0.3, LossGood: 0, LossBad: 0.9},
+	})
+	for i := 0; i < 2000; i++ {
+		a.WriteTo([]byte{0}, b.LocalAddr()) //nolint:errcheck
+	}
+	vc.Advance(1)
+	st := nw.PathStats("a", "b")
+	if st.LostBurst == 0 {
+		t.Fatal("no burst losses from the bad state")
+	}
+	if st.Lost != st.LostBurst {
+		t.Fatalf("good-state losses with LossGood=0: %+v", st)
+	}
+	if st.Delivered+st.Lost != st.Offered {
+		t.Fatalf("accounting: %+v", st)
+	}
+}
+
+func TestCorruptionDetectedAndDropped(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 100)
+	nw, vc, a, b := testPair(t, 11, LinkConfig{Corrupt: 0.3})
+	for i := 0; i < 500; i++ {
+		a.WriteTo(payload, b.LocalAddr()) //nolint:errcheck
+	}
+	vc.Advance(1)
+	st := nw.PathStats("a", "b")
+	if st.Corrupted == 0 {
+		t.Fatal("nothing corrupted at 30%")
+	}
+	got := drain(b)
+	if int64(len(got)) != st.Delivered || st.Delivered != st.Offered-st.Corrupted {
+		t.Fatalf("delivered %d, stats %+v", len(got), st)
+	}
+	for _, g := range got {
+		if !bytes.Equal(g, payload) {
+			t.Fatal("a corrupted datagram leaked past the emulated UDP checksum")
+		}
+	}
+}
+
+func TestCorruptDeliverHandsOverMangledBytes(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 100)
+	_, vc, a, b := testPair(t, 11, LinkConfig{Corrupt: 1, CorruptDeliver: true})
+	a.WriteTo(payload, b.LocalAddr()) //nolint:errcheck
+	vc.Advance(1)
+	got := drain(b)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(got))
+	}
+	if bytes.Equal(got[0], payload) {
+		t.Fatal("CorruptDeliver delivered pristine bytes")
+	}
+}
+
+func TestRateCapQueueTailDrop(t *testing.T) {
+	// 1 Mb/s, 100-byte packets → 800 µs serialization each; queue of 4.
+	nw, vc, a, b := testPair(t, 5, LinkConfig{RateMbps: 1, QueuePkts: 4})
+	for i := 0; i < 50; i++ {
+		a.WriteTo(make([]byte, 100), b.LocalAddr()) //nolint:errcheck
+	}
+	vc.Advance(60000)
+	st := nw.PathStats("a", "b")
+	if st.DroppedQueue == 0 {
+		t.Fatal("no tail drops from a 4-packet queue under a 50-packet burst")
+	}
+	if st.Delivered+st.DroppedQueue != st.Offered {
+		t.Fatalf("accounting: %+v", st)
+	}
+	if st.Delivered < 4 {
+		t.Fatalf("queue should have delivered at least its depth: %+v", st)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	nw, vc, a, b := testPair(t, 9, LinkConfig{})
+	a.WriteTo([]byte("before"), b.LocalAddr()) //nolint:errcheck
+	nw.Partition("a", "b")
+	a.WriteTo([]byte("during"), b.LocalAddr()) //nolint:errcheck
+	b.WriteTo([]byte("during"), a.LocalAddr()) //nolint:errcheck
+	nw.Heal("a", "b")
+	a.WriteTo([]byte("after"), b.LocalAddr()) //nolint:errcheck
+	vc.Advance(1)
+	got := drain(b)
+	if len(got) != 2 || string(got[0]) != "before" || string(got[1]) != "after" {
+		t.Fatalf("got %q", got)
+	}
+	if st := nw.PathStats("a", "b"); st.DroppedPartition != 1 {
+		t.Fatalf("a→b partition drops = %d, want 1", st.DroppedPartition)
+	}
+	if st := nw.PathStats("b", "a"); st.DroppedPartition != 1 {
+		t.Fatalf("b→a partition drops = %d, want 1", st.DroppedPartition)
+	}
+}
+
+func TestReadDeadlineTimesOut(t *testing.T) {
+	nw := New(1, nil) // real clock
+	a, _ := nw.Endpoint("a")
+	if err := a.SetReadDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err := a.ReadFrom(make([]byte, 16))
+	ne, ok := err.(net.Error)
+	if !ok || !ne.Timeout() {
+		t.Fatalf("err = %v, want a net.Error timeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline ignored")
+	}
+}
+
+func TestCloseUnblocksRead(t *testing.T) {
+	nw := New(1, nil)
+	a, _ := nw.Endpoint("a")
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := a.ReadFrom(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != net.ErrClosed {
+			t.Fatalf("err = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not unblock ReadFrom")
+	}
+	if _, err := a.WriteTo([]byte("x"), a.LocalAddr()); err != net.ErrClosed {
+		t.Fatalf("write on closed endpoint: %v", err)
+	}
+}
+
+func TestWriteToUnknownEndpointFails(t *testing.T) {
+	nw := New(1, NewVirtualClock(0))
+	a, _ := nw.Endpoint("a")
+	if _, err := a.WriteTo([]byte("x"), &Addr{name: "ghost"}); err == nil {
+		t.Fatal("write to unknown endpoint succeeded")
+	}
+}
+
+func TestVirtualClockOrderAndReentrancy(t *testing.T) {
+	vc := NewVirtualClock(0)
+	var order []int
+	vc.AfterFunc(100, func() {
+		order = append(order, 2)
+		vc.AfterFunc(50, func() { order = append(order, 3) }) // lands at 150
+	})
+	vc.AfterFunc(10, func() { order = append(order, 1) })
+	vc.AfterFunc(100, func() { order = append(order, 20) }) // same time as 2: insertion order
+	vc.Advance(200)
+	if fmt.Sprint(order) != "[1 2 20 3]" {
+		t.Fatalf("event order %v", order)
+	}
+	if vc.Now() != 200 {
+		t.Fatalf("now = %d", vc.Now())
+	}
+}

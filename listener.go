@@ -2,7 +2,7 @@ package udt
 
 import (
 	"fmt"
-	"math/rand"
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -11,23 +11,19 @@ import (
 	"udt/internal/seqno"
 )
 
-// ownedSock is a dialed connection's private UDP socket.
+// ownedSock is a dialed connection's private transport.
 type ownedSock struct {
-	c *net.UDPConn
+	c PacketConn
 }
 
-func (s *ownedSock) writeTo(b []byte, addr *net.UDPAddr) (int, error) {
-	return s.c.WriteToUDP(b, addr)
+func (s *ownedSock) writeTo(b []byte, addr net.Addr) (int, error) {
+	return s.c.WriteTo(b, addr)
 }
 
 // Dial connects to a UDT listener at the given UDP address ("host:port").
-// cfg may be nil for defaults.
+// cfg may be nil for defaults. To dial over a different transport (a
+// pre-tuned socket, or a netem fault-injection fabric), use DialOn.
 func Dial(address string, cfg *Config) (*Conn, error) {
-	var c Config
-	if cfg != nil {
-		c = *cfg
-	}
-	c.fill()
 	raddr, err := net.ResolveUDPAddr("udp", address)
 	if err != nil {
 		return nil, fmt.Errorf("udt: dial %s: %w", address, err)
@@ -36,122 +32,56 @@ func Dial(address string, cfg *Config) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udt: dial %s: %w", address, err)
 	}
-	tuneUDPBuffers(sock)
-
-	isn := rand.Int31() & seqno.Max
-	connID := rand.Int31()
-	req := packet.Handshake{
-		Version:    packet.Version,
-		SockType:   0,
-		InitSeq:    isn,
-		MSS:        int32(c.MSS),
-		FlowWindow: int32(c.MaxFlowWindow),
-		ReqType:    1,
-		ConnID:     connID,
-	}
-	buf := make([]byte, 64)
-	n, err := packet.EncodeHandshake(buf, &req, 0)
+	rcvBuf, sndBuf := tuneUDPBuffers(sock)
+	conn, err := DialOn(sock, raddr, cfg)
 	if err != nil {
-		sock.Close()
 		return nil, err
 	}
-
-	// Send the request, retrying every 250 ms until the response arrives.
-	deadline := time.Now().Add(c.HandshakeTimeout)
-	rbuf := make([]byte, 65536)
-	var resp packet.Handshake
-	for {
-		if time.Now().After(deadline) {
-			sock.Close()
-			return nil, ErrTimeout
-		}
-		if _, err := sock.WriteToUDP(buf[:n], raddr); err != nil {
-			sock.Close()
-			return nil, fmt.Errorf("udt: handshake: %w", err)
-		}
-		sock.SetReadDeadline(time.Now().Add(250 * time.Millisecond)) //nolint:errcheck
-		rn, from, err := sock.ReadFromUDP(rbuf)
-		if err != nil {
-			continue // timeout or transient: retry
-		}
-		if !udpAddrEqual(from, raddr) || !packet.IsControl(rbuf[:rn]) {
-			continue
-		}
-		ctrl, err := packet.DecodeControl(rbuf[:rn])
-		if err != nil || ctrl.Type != packet.TypeHandshake {
-			continue
-		}
-		hs, err := packet.DecodeHandshake(ctrl)
-		if err != nil || hs.ReqType != -1 || hs.ConnID != connID {
-			continue
-		}
-		resp = hs
-		break
-	}
-	sock.SetReadDeadline(time.Time{}) //nolint:errcheck
-
-	// Negotiate downwards.
-	if int(resp.MSS) < c.MSS && resp.MSS >= 96 {
-		c.MSS = int(resp.MSS)
-	}
-	if int(resp.FlowWindow) < c.MaxFlowWindow && resp.FlowWindow > 0 {
-		c.MaxFlowWindow = int(resp.FlowWindow)
-	}
-
-	conn := newConn(c, &ownedSock{c: sock}, func() { sock.Close() }, sock.LocalAddr(), raddr, isn, resp.InitSeq)
-	go dialedReadLoop(sock, conn)
+	conn.mu.Lock()
+	conn.udpRcvBuf, conn.udpSndBuf = rcvBuf, sndBuf
+	conn.mu.Unlock()
 	return conn, nil
-}
-
-// dialedReadLoop feeds a dialed connection from its private socket.
-func dialedReadLoop(sock *net.UDPConn, conn *Conn) {
-	buf := make([]byte, 65536)
-	for i := 0; ; i++ {
-		// A bounded read deadline stands in for RCV_TIMEO (§4.8): timers
-		// are serviced by the sender loop, so the read may simply retry.
-		// Refreshing it only periodically keeps the syscall off the
-		// per-packet hot path (§4.1).
-		if i%16 == 0 {
-			sock.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
-		}
-		n, from, err := sock.ReadFromUDP(buf)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				select {
-				case <-conn.closed:
-					return
-				default:
-					continue
-				}
-			}
-			return // socket closed
-		}
-		if !udpAddrEqual(from, conn.raddr) {
-			continue
-		}
-		conn.handleDatagram(buf[:n])
-	}
 }
 
 func udpAddrEqual(a, b *net.UDPAddr) bool {
 	return a.Port == b.Port && a.IP.Equal(b.IP)
 }
 
-// tuneUDPBuffers requests large kernel socket buffers. At gigabit packet
-// rates the default (~200 KB ≈ 10 ms of traffic) drops bursts long before
-// the protocol can react; UDT deployments tune this (paper §5's testbeds).
-// Failures are ignored — the kernel clamps to its configured maximum.
-func tuneUDPBuffers(sock *net.UDPConn) {
-	const want = 8 << 20
-	sock.SetReadBuffer(want)  //nolint:errcheck
-	sock.SetWriteBuffer(want) //nolint:errcheck
+// wantUDPBuf is the kernel socket buffer size tuneUDPBuffers requests.
+const wantUDPBuf = 8 << 20
+
+// udpBufWarnOnce rate-limits the buffer-clamp warning to once per process.
+var udpBufWarnOnce sync.Once
+
+// tuneUDPBuffers requests large kernel socket buffers and reports the sizes
+// the OS actually granted (in bytes, as read back from the socket; zero
+// when the platform cannot report them). At gigabit packet rates the
+// default (~200 KB ≈ 10 ms of traffic) drops bursts long before the
+// protocol can react; UDT deployments tune this (paper §5's testbeds).
+// When the OS clamps the request — rmem_max/wmem_max below the target — a
+// one-line warning is logged, once per process.
+func tuneUDPBuffers(sock *net.UDPConn) (rcvBytes, sndBytes int) {
+	rerr := sock.SetReadBuffer(wantUDPBuf)
+	werr := sock.SetWriteBuffer(wantUDPBuf)
+	rcvBytes, sndBytes = socketBufferSizes(sock)
+	clamped := rerr != nil || werr != nil ||
+		(rcvBytes > 0 && rcvBytes < wantUDPBuf) || (sndBytes > 0 && sndBytes < wantUDPBuf)
+	if clamped {
+		udpBufWarnOnce.Do(func() {
+			log.Printf("udt: OS clamped UDP socket buffers to rcv=%d snd=%d bytes (wanted %d); raise net.core.rmem_max/wmem_max for high-bandwidth paths",
+				rcvBytes, sndBytes, wantUDPBuf)
+		})
+	}
+	return rcvBytes, sndBytes
 }
 
-// Listener accepts incoming UDT connections on one UDP socket, which all
-// accepted connections share (demultiplexed by peer address).
+// Listener accepts incoming UDT connections on one datagram transport,
+// which all accepted connections share (demultiplexed by peer address).
 type Listener struct {
 	cfg  Config
-	sock *net.UDPConn
+	sock PacketConn
+
+	udpRcvBuf, udpSndBuf int // achieved socket buffer sizes (0 off-UDP)
 
 	mu      sync.Mutex
 	conns   map[string]*Conn
@@ -162,12 +92,8 @@ type Listener struct {
 }
 
 // Listen starts a UDT listener on the given UDP address. cfg may be nil.
+// To listen on a different transport, use ListenOn.
 func Listen(address string, cfg *Config) (*Listener, error) {
-	var c Config
-	if cfg != nil {
-		c = *cfg
-	}
-	c.fill()
 	laddr, err := net.ResolveUDPAddr("udp", address)
 	if err != nil {
 		return nil, fmt.Errorf("udt: listen %s: %w", address, err)
@@ -176,20 +102,11 @@ func Listen(address string, cfg *Config) (*Listener, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udt: listen %s: %w", address, err)
 	}
-	tuneUDPBuffers(sock)
-	l := &Listener{
-		cfg:     c,
-		sock:    sock,
-		conns:   make(map[string]*Conn),
-		pending: make(map[string]int32),
-		backlog: make(chan *Conn, 64),
-		done:    make(chan struct{}),
-	}
-	go l.readLoop()
-	return l, nil
+	rcvBuf, sndBuf := tuneUDPBuffers(sock)
+	return listenOn(sock, cfg, rcvBuf, sndBuf)
 }
 
-// Addr returns the listening UDP address.
+// Addr returns the listening transport address.
 func (l *Listener) Addr() net.Addr { return l.sock.LocalAddr() }
 
 // Accept blocks for the next incoming connection.
@@ -222,18 +139,18 @@ func (l *Listener) Close() error {
 	return l.sock.Close()
 }
 
-func (l *Listener) writeTo(b []byte, addr *net.UDPAddr) (int, error) {
-	return l.sock.WriteToUDP(b, addr)
+func (l *Listener) writeTo(b []byte, addr net.Addr) (int, error) {
+	return l.sock.WriteTo(b, addr)
 }
 
-// readLoop demultiplexes every datagram on the shared socket.
+// readLoop demultiplexes every datagram on the shared transport.
 func (l *Listener) readLoop() {
 	buf := make([]byte, 65536)
 	for i := 0; ; i++ {
 		if i%16 == 0 {
 			l.sock.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
 		}
-		n, from, err := l.sock.ReadFromUDP(buf)
+		n, from, err := l.sock.ReadFrom(buf)
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				select {
@@ -258,7 +175,7 @@ func (l *Listener) readLoop() {
 }
 
 // maybeHandshake answers a connection request from an unknown peer.
-func (l *Listener) maybeHandshake(raw []byte, from *net.UDPAddr) {
+func (l *Listener) maybeHandshake(raw []byte, from net.Addr) {
 	if !packet.IsControl(raw) {
 		return
 	}
@@ -279,7 +196,7 @@ func (l *Listener) maybeHandshake(raw []byte, from *net.UDPAddr) {
 	}
 	isn, dup := l.pending[key]
 	if !dup {
-		isn = rand.Int31() & seqno.Max
+		isn = l.cfg.randInt31() & seqno.Max
 		l.pending[key] = isn
 	}
 	cfg := l.cfg
@@ -293,6 +210,7 @@ func (l *Listener) maybeHandshake(raw []byte, from *net.UDPAddr) {
 	if !dup {
 		peer := key
 		conn = newConn(cfg, l, func() { l.forget(peer) }, l.sock.LocalAddr(), from, isn, hs.InitSeq)
+		conn.udpRcvBuf, conn.udpSndBuf = l.udpRcvBuf, l.udpSndBuf
 		l.conns[key] = conn
 	}
 	l.mu.Unlock()
@@ -308,7 +226,7 @@ func (l *Listener) maybeHandshake(raw []byte, from *net.UDPAddr) {
 	}
 	out := make([]byte, 64)
 	if n, err := packet.EncodeHandshake(out, &resp, 0); err == nil {
-		l.sock.WriteToUDP(out[:n], from) //nolint:errcheck // client retries on loss
+		l.sock.WriteTo(out[:n], from) //nolint:errcheck // client retries on loss
 	}
 	if conn != nil {
 		select {

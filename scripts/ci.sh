@@ -7,6 +7,9 @@ go vet ./...
 go build ./...
 # Documentation gates: every exported identifier in the audited packages must
 # carry a doc comment, and every relative Markdown link must resolve.
-go run ./scripts/doccheck internal/core internal/metrics internal/trace
+go run ./scripts/doccheck internal/core internal/metrics internal/netem internal/netem/chaos internal/trace
 go run ./scripts/mdcheck
 go test -race ./...
+# Fault-injection gate: the fixed-seed chaos matrix with determinism replay
+# and a real-stack smoke pass (a few seconds under the virtual clock).
+go run ./cmd/udtchaos -determinism -real

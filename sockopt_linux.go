@@ -1,0 +1,23 @@
+//go:build linux
+
+package udt
+
+import (
+	"net"
+	"syscall"
+)
+
+// socketBufferSizes reads SO_RCVBUF/SO_SNDBUF back from the socket,
+// reporting the sizes the kernel actually granted (on Linux these include
+// the kernel's bookkeeping doubling). Zero on any failure.
+func socketBufferSizes(sock *net.UDPConn) (rcv, snd int) {
+	raw, err := sock.SyscallConn()
+	if err != nil {
+		return 0, 0
+	}
+	raw.Control(func(fd uintptr) { //nolint:errcheck
+		rcv, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+		snd, _ = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF)
+	})
+	return rcv, snd
+}

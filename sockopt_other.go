@@ -1,0 +1,9 @@
+//go:build !linux
+
+package udt
+
+import "net"
+
+// socketBufferSizes reports the kernel socket buffer sizes when the
+// platform can read them back; this stub returns zeros elsewhere.
+func socketBufferSizes(*net.UDPConn) (rcv, snd int) { return 0, 0 }

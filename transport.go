@@ -1,0 +1,199 @@
+package udt
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// PacketConn is the datagram transport a UDT endpoint runs over. It is the
+// subset of net.PacketConn the stack needs, so a *net.UDPConn satisfies it
+// directly; internal/netem provides an in-process implementation with
+// configurable loss, delay, reordering, corruption and partitions for
+// deterministic fault-injection testing. Implementations must allow
+// concurrent ReadFrom and WriteTo calls.
+type PacketConn interface {
+	// ReadFrom reads one datagram, reporting its source address.
+	ReadFrom(p []byte) (n int, addr net.Addr, err error)
+	// WriteTo sends one datagram to addr.
+	WriteTo(p []byte, addr net.Addr) (n int, err error)
+	// Close tears the transport down, unblocking pending reads.
+	Close() error
+	// LocalAddr returns the local transport address.
+	LocalAddr() net.Addr
+	// SetReadDeadline bounds future ReadFrom calls; expiry must surface as
+	// a net.Error whose Timeout() is true.
+	SetReadDeadline(t time.Time) error
+}
+
+// addrEqual reports whether two transport addresses denote the same peer:
+// by interface identity (netem endpoints hand out one *Addr for life), by
+// UDP host:port, or — across other implementations — by network and string
+// form.
+func addrEqual(a, b net.Addr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if au, ok := a.(*net.UDPAddr); ok {
+		bu, ok := b.(*net.UDPAddr)
+		return ok && udpAddrEqual(au, bu)
+	}
+	return a.Network() == b.Network() && a.String() == b.String()
+}
+
+// DialOn performs the UDT client handshake to raddr over the supplied
+// transport and returns the established connection. It is Dial for
+// arbitrary datagram fabrics: pass a *net.UDPConn for a custom-tuned
+// socket, or a netem endpoint for fault-injection tests.
+//
+// DialOn takes ownership of pc: it is closed when the returned Conn closes,
+// and also when the handshake fails. cfg may be nil for defaults.
+func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		pc.Close() //nolint:errcheck
+		return nil, err
+	}
+	c.fill()
+
+	isn := c.randInt31() & seqno.Max
+	connID := c.randInt31()
+	req := packet.Handshake{
+		Version:    packet.Version,
+		SockType:   0,
+		InitSeq:    isn,
+		MSS:        int32(c.MSS),
+		FlowWindow: int32(c.MaxFlowWindow),
+		ReqType:    1,
+		ConnID:     connID,
+	}
+	buf := make([]byte, 64)
+	n, err := packet.EncodeHandshake(buf, &req, 0)
+	if err != nil {
+		pc.Close() //nolint:errcheck
+		return nil, err
+	}
+
+	// Send the request, retrying every 250 ms until the response arrives.
+	deadline := time.Now().Add(c.HandshakeTimeout)
+	rbuf := make([]byte, 65536)
+	var resp packet.Handshake
+	for {
+		if time.Now().After(deadline) {
+			pc.Close() //nolint:errcheck
+			return nil, ErrTimeout
+		}
+		if _, err := pc.WriteTo(buf[:n], raddr); err != nil {
+			pc.Close() //nolint:errcheck
+			return nil, fmt.Errorf("udt: handshake: %w", err)
+		}
+		pc.SetReadDeadline(time.Now().Add(250 * time.Millisecond)) //nolint:errcheck
+		rn, from, err := pc.ReadFrom(rbuf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // retry the handshake
+			}
+			pc.Close() //nolint:errcheck
+			return nil, fmt.Errorf("udt: handshake: %w", err)
+		}
+		if !addrEqual(from, raddr) || !packet.IsControl(rbuf[:rn]) {
+			continue
+		}
+		ctrl, err := packet.DecodeControl(rbuf[:rn])
+		if err != nil || ctrl.Type != packet.TypeHandshake {
+			continue
+		}
+		hs, err := packet.DecodeHandshake(ctrl)
+		if err != nil || hs.ReqType != -1 || hs.ConnID != connID {
+			continue
+		}
+		resp = hs
+		break
+	}
+	pc.SetReadDeadline(time.Time{}) //nolint:errcheck
+
+	// Negotiate downwards.
+	if int(resp.MSS) < c.MSS && resp.MSS >= 96 {
+		c.MSS = int(resp.MSS)
+	}
+	if int(resp.FlowWindow) < c.MaxFlowWindow && resp.FlowWindow > 0 {
+		c.MaxFlowWindow = int(resp.FlowWindow)
+	}
+
+	conn := newConn(c, &ownedSock{c: pc}, func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq)
+	go dialedReadLoop(pc, conn)
+	return conn, nil
+}
+
+// ListenOn starts a UDT listener on the supplied transport. It is Listen
+// for arbitrary datagram fabrics; all accepted connections share pc,
+// demultiplexed by peer address. ListenOn takes ownership of pc — it is
+// closed by Listener.Close — and cfg may be nil for defaults.
+func ListenOn(pc PacketConn, cfg *Config) (*Listener, error) {
+	return listenOn(pc, cfg, 0, 0)
+}
+
+// listenOn builds the Listener; the socket buffer sizes must be known
+// before the read loop starts, since accepted connections copy them.
+func listenOn(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Listener, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		pc.Close() //nolint:errcheck
+		return nil, err
+	}
+	c.fill()
+	l := &Listener{
+		cfg:       c,
+		sock:      pc,
+		udpRcvBuf: rcvBuf,
+		udpSndBuf: sndBuf,
+		conns:     make(map[string]*Conn),
+		pending:   make(map[string]int32),
+		backlog:   make(chan *Conn, 64),
+		done:      make(chan struct{}),
+	}
+	go l.readLoop()
+	return l, nil
+}
+
+// dialedReadLoop feeds a dialed connection from its private transport.
+func dialedReadLoop(pc PacketConn, conn *Conn) {
+	buf := make([]byte, 65536)
+	for i := 0; ; i++ {
+		// A bounded read deadline stands in for RCV_TIMEO (§4.8): timers
+		// are serviced by the sender loop, so the read may simply retry.
+		// Refreshing it only periodically keeps the syscall off the
+		// per-packet hot path (§4.1).
+		if i%16 == 0 {
+			pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+		}
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-conn.closed:
+					return
+				default:
+					continue
+				}
+			}
+			return // transport closed
+		}
+		if !addrEqual(from, conn.raddr) {
+			continue
+		}
+		conn.handleDatagram(buf[:n])
+	}
+}

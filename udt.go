@@ -22,6 +22,9 @@
 package udt
 
 import (
+	"fmt"
+	"math/rand"
+	randv2 "math/rand/v2"
 	"time"
 
 	"udt/internal/core"
@@ -44,6 +47,19 @@ type Config struct {
 	SndBuf, RcvBuf int
 	// HandshakeTimeout bounds connection setup. Default 3 s.
 	HandshakeTimeout time.Duration
+	// PeerDeathTimeout is how long without any packet from the peer before
+	// the connection is declared broken (§3.3's EXP timer; death also
+	// requires 16 consecutive EXP expirations). Default 5 s.
+	PeerDeathTimeout time.Duration
+	// MinEXPInterval floors the EXP timer period. Default 300 ms. Lowering
+	// it (with PeerDeathTimeout) makes failure detection proportionally
+	// faster — useful in tests and emulated networks.
+	MinEXPInterval time.Duration
+	// Rand, when non-nil, supplies the handshake randomness (initial
+	// sequence numbers and connection IDs), making connection setup
+	// reproducible. Nil uses the process-global generator. The source is
+	// only read during Dial/Accept, never on the data path.
+	Rand *rand.Rand
 	// Ledger, when non-nil and enabled, attributes wall time to protocol
 	// cost centers (Table 3 / Fig. 14).
 	Ledger *timing.Ledger
@@ -59,6 +75,57 @@ type Config struct {
 	// called under the connection lock; it must not block or call back into
 	// the Conn.
 	Trace TraceSink
+}
+
+// Validate rejects configurations that would misbehave silently: negative
+// or nonsensical sizes, intervals and timeouts. It checks the fields as
+// given — zero always means "use the default" and passes. Dial/Listen (and
+// their *On variants) call it before touching the network, so a bad Config
+// fails fast with a descriptive error instead of a stalled transfer.
+func (c *Config) Validate() error {
+	if c.MSS < 0 {
+		return fmt.Errorf("udt: config: MSS %d is negative", c.MSS)
+	}
+	if c.MSS > 0 && c.MSS < 96 {
+		return fmt.Errorf("udt: config: MSS %d below the 96-byte minimum", c.MSS)
+	}
+	if c.MSS > 65507 {
+		return fmt.Errorf("udt: config: MSS %d exceeds the 65507-byte UDP payload limit", c.MSS)
+	}
+	if c.SYN < 0 {
+		return fmt.Errorf("udt: config: SYN interval %v is negative", c.SYN)
+	}
+	if c.SYN > 0 && c.SYN < 100*time.Microsecond {
+		return fmt.Errorf("udt: config: SYN interval %v below 100µs", c.SYN)
+	}
+	if c.MaxFlowWindow < 0 {
+		return fmt.Errorf("udt: config: MaxFlowWindow %d is negative", c.MaxFlowWindow)
+	}
+	if c.SndBuf < 0 || c.RcvBuf < 0 {
+		return fmt.Errorf("udt: config: buffer sizes must be non-negative (SndBuf %d, RcvBuf %d)", c.SndBuf, c.RcvBuf)
+	}
+	if c.HandshakeTimeout < 0 {
+		return fmt.Errorf("udt: config: HandshakeTimeout %v is negative", c.HandshakeTimeout)
+	}
+	if c.PeerDeathTimeout < 0 {
+		return fmt.Errorf("udt: config: PeerDeathTimeout %v is negative", c.PeerDeathTimeout)
+	}
+	if c.MinEXPInterval < 0 {
+		return fmt.Errorf("udt: config: MinEXPInterval %v is negative", c.MinEXPInterval)
+	}
+	if c.PerfEverySYN < 0 {
+		return fmt.Errorf("udt: config: PerfEverySYN %d is negative", c.PerfEverySYN)
+	}
+	return nil
+}
+
+// randInt31 draws handshake randomness from Config.Rand, falling back to
+// the process-global generator.
+func (c *Config) randInt31() int32 {
+	if c.Rand != nil {
+		return c.Rand.Int31()
+	}
+	return randv2.Int32()
 }
 
 func (c *Config) fill() {
@@ -98,6 +165,8 @@ func (c *Config) coreConfig(isn int32) core.Config {
 		ISN:           isn,
 		MaxFlowWindow: int32(c.MaxFlowWindow),
 		RecvBufPkts:   int32(c.RcvBuf),
+		MinEXP:        c.MinEXPInterval.Microseconds(),
+		PeerDeathTime: c.PeerDeathTimeout.Microseconds(),
 	}
 }
 
@@ -108,6 +177,12 @@ type Stats struct {
 	SendRateMbps float64 // current paced sending rate
 	BytesSent    int64
 	BytesRecv    int64
+	// UDPRcvBufBytes and UDPSndBufBytes are the kernel socket buffer sizes
+	// the OS actually granted (which may be below what was requested — see
+	// tuneUDPBuffers). Zero when the connection runs over a non-UDP
+	// transport such as netem.
+	UDPRcvBufBytes int
+	UDPSndBufBytes int
 }
 
 // PerfRecord is one perfmon telemetry sample; see internal/trace for the
