@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench smoke docs chaos
+.PHONY: all build test race muxrace vet ci bench smoke docs chaos
 
 all: build
 
@@ -12,6 +12,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# muxrace is the quick concurrency gate: the shared-socket demultiplexer and
+# the chaos harness under the race detector in short mode (the full 1000-flow
+# stress runs in `make race`).
+muxrace:
+	$(GO) vet ./internal/mux ./internal/netem/chaos
+	$(GO) test -race -short ./internal/mux ./internal/netem/chaos
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +36,7 @@ bench:
 # docs runs the documentation gates: godoc coverage of the audited packages
 # and Markdown link integrity.
 docs:
-	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/netem internal/netem/chaos internal/trace
+	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
 	$(GO) run ./scripts/mdcheck
 
 # chaos runs the fixed-seed fault-injection matrix: full transfers of

@@ -21,6 +21,8 @@ func (d *discardSock) writeTo(b []byte, _ net.Addr) (int, error) {
 	return len(b), nil
 }
 
+func (d *discardSock) headroom() int { return 0 }
+
 // newSendPathConn assembles a Conn exactly as newConn does, minus the
 // sender goroutine, so tests can drive claimBurstLocked/drainOutboxLocked
 // deterministically from one goroutine. With traced set, a perfmon ring is
@@ -33,6 +35,8 @@ func newSendPathConn(sock sockWriter, traced bool) *Conn {
 		sock:  sock,
 		clock: timing.NewSysClock(),
 	}
+	c.hr = sock.headroom()
+	c.bw, _ = sock.(batchWriter)
 	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(0), 0)
 	payload := cfg.MSS - packet.DataHeaderSize
@@ -61,8 +65,9 @@ func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens *[se
 	c.snd.Write(data)
 	n, _, _ := c.claimBurstLocked(now, scratch, lens)
 	c.mu.Unlock()
+	stride := c.hr + c.cfg.MSS
 	for i := 0; i < n; i++ {
-		c.sockWrite(scratch[i*c.cfg.MSS : i*c.cfg.MSS+lens[i]]) //nolint:errcheck
+		c.sockWrite(scratch[i*stride : i*stride+c.hr+lens[i]]) //nolint:errcheck
 	}
 	c.mu.Lock()
 	ack := packet.ACK{
@@ -92,7 +97,7 @@ func TestSenderPathAllocs(t *testing.T) {
 	sock := &discardSock{}
 	c := newSendPathConn(sock, true)
 	var batch sendBatch
-	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
 	var lens [sendBurst]int
 	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
 
@@ -140,7 +145,7 @@ func benchmarkSenderPacket(b *testing.B, traced bool) {
 	sock := &discardSock{}
 	c := newSendPathConn(sock, traced)
 	var batch sendBatch
-	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
 	var lens [sendBurst]int
 	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
 	for i := 0; i < 64; i++ {

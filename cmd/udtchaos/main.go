@@ -45,12 +45,25 @@ func main() {
 		}
 		det := ""
 		if *determinism {
-			if reflect.DeepEqual(cr.Result, second[i].Result) {
+			identical := reflect.DeepEqual(cr.Result, second[i].Result) &&
+				reflect.DeepEqual(cr.Mux, second[i].Mux)
+			if identical {
 				det = " replay=identical"
 			} else {
 				det = " replay=DIVERGED"
 				failed++
 			}
+		}
+		if cr.Mux != nil {
+			m := cr.Mux
+			fmt.Printf("%-22s %-4s virtual=%8.3fs flows=%d/%d demux-drops a=(%d,%d) b=(%d,%d)%s\n",
+				cr.Case.Name, status, float64(m.Elapsed)/1e6,
+				m.FlowsOK, len(m.Flows),
+				m.UnknownDestA, m.ShortA, m.UnknownDestB, m.ShortB, det)
+			if *verbose {
+				fmt.Printf("    a->b: %+v\n    b->a: %+v\n", m.PathAB, m.PathBA)
+			}
+			continue
 		}
 		r := cr.Result
 		fmt.Printf("%-22s %-4s virtual=%8.3fs a{recv=%s dead=%v} b{recv=%s dead=%v}%s\n",

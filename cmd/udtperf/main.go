@@ -2,15 +2,19 @@
 // the UDT library.
 //
 // Server:  udtperf -s [-addr :9000]
-// Client:  udtperf -c host:9000 [-t 10s] [-mss 1472] [-interval 1s]
+// Client:  udtperf -c host:9000 [-t 10s] [-mss 1472] [-interval 1s] [-streams 4]
 //
 // The client streams random data for the duration and prints periodic and
 // final throughput plus protocol statistics (retransmissions, RTT, loss).
+// With -streams N the client multiplexes N concurrent UDT flows over one
+// shared UDP socket (udt.Mux) and reports aggregate throughput — the
+// listener side always accepts multiplexed flows.
 //
 // With -monitor the client instead prints a live perfmon readout: one line
-// per telemetry sample straight from the connection's PerfRecord stream
+// per telemetry sample straight from the first flow's PerfRecord stream
 // (sending period, paced and measured rates, flow window, in-flight, RTT,
-// bandwidth estimate, loss counters). With -expvar ADDR it also serves the
+// bandwidth estimate, loss counters), plus the shared socket's demux drop
+// counters when -streams is in play. With -expvar ADDR it also serves the
 // rolling history as JSON at http://ADDR/perf and via expvar /debug/vars.
 package main
 
@@ -20,8 +24,11 @@ import (
 	"io"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"udt"
@@ -35,6 +42,7 @@ func main() {
 	dur := flag.Duration("t", 10*time.Second, "client transfer duration")
 	mss := flag.Int("mss", 1472, "packet size (UDP payload bytes)")
 	interval := flag.Duration("interval", time.Second, "client report interval")
+	streams := flag.Int("streams", 1, "concurrent flows multiplexed over one UDP socket")
 	monitor := flag.Bool("monitor", false, "print a live one-line-per-interval perfmon readout")
 	expAddr := flag.String("expvar", "", "serve perf history as JSON on this HTTP address (/perf, /debug/vars)")
 	flag.Parse()
@@ -43,7 +51,10 @@ func main() {
 	case *server:
 		runServer(*addr, *mss)
 	case *client != "":
-		runClient(*client, *dur, *mss, *interval, *monitor, *expAddr)
+		if *streams < 1 {
+			log.Fatalf("-streams %d: need at least one flow", *streams)
+		}
+		runClient(*client, *dur, *mss, *interval, *streams, *monitor, *expAddr)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -75,7 +86,39 @@ func runServer(addr string, mss int) {
 	}
 }
 
-func runClient(addr string, dur time.Duration, mss int, interval time.Duration, monitor bool, expAddr string) {
+// dialFlows establishes the client flows: one private-socket connection,
+// or N flows multiplexed over one shared UDP socket. The second return is
+// the Mux when one is in play (for its demux drop counters).
+func dialFlows(addr string, cfg *udt.Config, streams int) ([]*udt.Conn, *udt.Mux) {
+	if streams == 1 {
+		c, err := udt.Dial(addr, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return []*udt.Conn{c}, nil
+	}
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pc, err := net.ListenUDP("udp", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := udt.NewMux(pc, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conns := make([]*udt.Conn, streams)
+	for i := range conns {
+		if conns[i], err = m.Dial(raddr); err != nil {
+			log.Fatalf("stream %d: %v", i, err)
+		}
+	}
+	return conns, m
+}
+
+func runClient(addr string, dur time.Duration, mss int, interval time.Duration, streams int, monitor bool, expAddr string) {
 	cfg := &udt.Config{MSS: mss}
 	if monitor {
 		// One perf sample per report interval: sample every
@@ -86,14 +129,19 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 		}
 		cfg.PerfEverySYN = every
 	}
-	c, err := udt.Dial(addr, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer c.Close()
+	conns, m := dialFlows(addr, cfg, streams)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+		if m != nil {
+			m.Close()
+		}
+	}()
+	c := conns[0] // stats/monitor anchor
 	st0 := c.Stats()
-	log.Printf("connected to %s (mss %d, udp buffers rcv=%d snd=%d bytes)",
-		addr, mss, st0.UDPRcvBufBytes, st0.UDPSndBufBytes)
+	log.Printf("connected to %s (mss %d, %d stream(s), udp buffers rcv=%d snd=%d bytes)",
+		addr, mss, streams, st0.UDPRcvBufBytes, st0.UDPSndBufBytes)
 
 	if expAddr != "" {
 		trace.Publish("udtperf.perf", c.Perf)
@@ -106,62 +154,102 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 		log.Printf("perf history at http://%s/perf", expAddr)
 	}
 
-	buf := make([]byte, 1<<20)
-	rand.New(rand.NewSource(time.Now().UnixNano())).Read(buf)
 	stop := time.Now().Add(dur)
 	start := time.Now()
-	var total int64
+	var total, failed atomic.Int64
+	var wg sync.WaitGroup
+	for _, c := range conns {
+		wg.Add(1)
+		go func(c *udt.Conn) {
+			defer wg.Done()
+			buf := make([]byte, 1<<20)
+			rand.New(rand.NewSource(time.Now().UnixNano())).Read(buf)
+			for time.Now().Before(stop) {
+				n, err := c.Write(buf)
+				total.Add(int64(n))
+				if err != nil {
+					log.Printf("write: %v", err)
+					failed.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+
 	lastBytes, lastAt := int64(0), time.Now()
-	nextReport := time.Now().Add(interval)
 	if monitor {
 		fmt.Println(monitorHeader)
 	}
 	var lastSample int64 = -1
-	for time.Now().Before(stop) {
-		n, err := c.Write(buf)
-		total += int64(n)
-		if err != nil {
-			log.Fatalf("write: %v", err)
+	tick := time.NewTicker(interval / 10)
+	defer tick.Stop()
+	for now := range tick.C {
+		if !now.Before(stop) {
+			break
 		}
-		now := time.Now()
+		if failed.Load() == int64(len(conns)) {
+			break // every stream is dead; stop reporting zeros
+		}
 		if monitor {
 			if r, ok := c.LastPerf(); ok && r.T != lastSample {
 				lastSample = r.T
-				fmt.Println(monitorLine(&r))
+				st := c.Stats()
+				fmt.Println(monitorLine(&r, st.MuxUnknownDest, st.MuxShortDatagram))
 			}
 			continue
 		}
-		if now.After(nextReport) {
+		if now.Sub(lastAt) >= interval {
 			st := c.Stats()
+			cur := total.Load()
 			fmt.Printf("%6.1fs  %8.1f Mb/s  rtt %8v  retrans %6d  rate %7.1f Mb/s\n",
 				now.Sub(start).Seconds(),
-				float64((total-lastBytes)*8)/now.Sub(lastAt).Seconds()/1e6,
+				float64((cur-lastBytes)*8)/now.Sub(lastAt).Seconds()/1e6,
 				st.RTT.Round(10*time.Microsecond), st.PktsRetrans, st.SendRateMbps)
-			lastBytes, lastAt = total, now
-			nextReport = now.Add(interval)
+			lastBytes, lastAt = cur, now
 		}
 	}
+	wg.Wait()
 	// Drain before closing.
-	for !c.Drained() {
-		time.Sleep(10 * time.Millisecond)
+	for _, c := range conns {
+		for !c.Drained() {
+			time.Sleep(10 * time.Millisecond)
+		}
 	}
-	st := c.Stats()
+	var sent, retrans, acks, naks, freezes int64
+	for _, c := range conns {
+		st := c.Stats()
+		sent += st.PktsSent
+		retrans += st.PktsRetrans
+		acks += st.ACKsRecv
+		naks += st.NAKsRecv
+		freezes += st.SndFreezes
+	}
 	el := dur.Seconds()
+	tot := total.Load()
 	fmt.Printf("----\nsent %.1f MB in %.1fs = %.1f Mb/s; pkts %d (+%d retrans), ACKs %d, NAKs %d, freezes %d\n",
-		float64(total)/1e6, el, float64(total*8)/el/1e6,
-		st.PktsSent, st.PktsRetrans, st.ACKsRecv, st.NAKsRecv, st.SndFreezes)
+		float64(tot)/1e6, el, float64(tot*8)/el/1e6,
+		sent, retrans, acks, naks, freezes)
+	if m != nil {
+		unknown, short := m.Counters()
+		fmt.Printf("mux: %d flows on one socket; demux drops: unknown-dest %d, short %d\n",
+			streams, unknown, short)
+	}
+	if failed.Load() == int64(len(conns)) {
+		log.Fatalf("all %d stream(s) failed", len(conns))
+	}
 }
 
 // monitorHeader labels the -monitor columns.
-const monitorHeader = "      t     period      pace      wire    win  inflight      rtt    bw-est  retrans   naks"
+const monitorHeader = "      t     period      pace      wire    win  inflight      rtt    bw-est  retrans   naks  mux-unk  mux-short"
 
 // monitorLine formats one PerfRecord as a perfmon readout line:
 // time, sending period, paced target rate, measured wire rate, flow window,
 // packets in flight, smoothed RTT, estimated link bandwidth, cumulative
-// retransmissions and NAKs received.
-func monitorLine(r *udt.PerfRecord) string {
-	return fmt.Sprintf("%6.1fs %7.1fµs %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d",
+// retransmissions and NAKs received, and the shared socket's demux drop
+// counters (zero on a private socket).
+func monitorLine(r *udt.PerfRecord, muxUnknown, muxShort uint64) string {
+	return fmt.Sprintf("%6.1fs %7.1fµs %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d %8d %10d",
 		float64(r.T)/1e6, r.PeriodUs, r.SendRateMbps, r.SendMbps,
 		r.FlowWindow, r.InFlight, float64(r.RTTUs)/1e3, r.BandwidthMbps,
-		r.PktsRetrans, r.NAKsRecv)
+		r.PktsRetrans, r.NAKsRecv, muxUnknown, muxShort)
 }

@@ -24,9 +24,23 @@ var (
 )
 
 // sockWriter abstracts the datagram transport: a dialed Conn owns its
-// socket; an accepted Conn shares the listener's.
+// socket; a multiplexed Conn shares its Mux's.
+//
+// headroom is the number of bytes the transport needs reserved at the
+// front of every datagram buffer, ahead of the encoded UDT packet — a
+// multiplexed flow stamps the peer's destination socket ID there. The
+// connection reserves it when sizing and encoding, and passes the whole
+// buffer (headroom included) to writeTo.
 type sockWriter interface {
 	writeTo(b []byte, addr net.Addr) (int, error)
+	headroom() int
+}
+
+// batchWriter is an optional sockWriter upgrade: transports that can
+// submit many datagrams to the kernel in one syscall (sendmmsg) implement
+// it. writeBatch sends every buffer or returns the first error.
+type batchWriter interface {
+	writeBatch(bufs [][]byte, addr net.Addr) error
 }
 
 // Conn is a UDT connection: a reliable duplex byte stream over UDP.
@@ -37,7 +51,9 @@ type Conn struct {
 	raddr  net.Addr
 	laddr  net.Addr
 	sock   sockWriter
-	closer func() // tears down socket/listener registration
+	bw     batchWriter // non-nil when sock supports batched sends
+	hr     int         // sock.headroom(), cached: bytes reserved per datagram
+	closer func()      // tears down socket/listener registration
 
 	clock  *timing.SysClock
 	pacer  *timing.Pacer
@@ -85,6 +101,8 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 		sndKick: make(chan struct{}, 1),
 		closed:  make(chan struct{}),
 	}
+	c.hr = sock.headroom()
+	c.bw, _ = sock.(batchWriter)
 	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(isn), peerISN)
 	payload := cfg.MSS - packet.DataHeaderSize
@@ -97,7 +115,7 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 		ringSink = c.perfRing
 	}
 	if sink := trace.Multi(ringSink, cfg.Trace); sink != nil {
-		c.core.SetPerfSink(sink, cfg.PerfEverySYN, 0, "udt", trace.RoleFlow)
+		c.core.SetPerfSink(sink, cfg.PerfEverySYN, cfg.sockID, "udt", trace.RoleFlow)
 	}
 	c.rdReady = sync.NewCond(&c.mu)
 	c.wrReady = sync.NewCond(&c.mu)
@@ -216,12 +234,17 @@ func (c *Conn) Read(p []byte) (int, error) {
 	}
 }
 
+// muxCounterSource lets multiplexed flows surface their shared socket's
+// demultiplexer drop counters in Stats.
+type muxCounterSource interface {
+	muxCounters() (unknownDest, shortDatagram uint64)
+}
+
 // Stats returns a snapshot of the connection's protocol counters.
 func (c *Conn) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	rate := c.core.CC().Rate() * float64(c.cfg.MSS) * 8 / 1e6
-	return Stats{
+	s := Stats{
 		Stats:          c.core.Stats,
 		RTT:            time.Duration(c.core.RTT()) * time.Microsecond,
 		SendRateMbps:   rate,
@@ -230,6 +253,11 @@ func (c *Conn) Stats() Stats {
 		UDPRcvBufBytes: c.udpRcvBuf,
 		UDPSndBufBytes: c.udpSndBuf,
 	}
+	c.mu.Unlock()
+	if mc, ok := c.sock.(muxCounterSource); ok {
+		s.MuxUnknownDest, s.MuxShortDatagram = mc.muxCounters()
+	}
+	return s
 }
 
 // Perf returns the connection's recent telemetry history, oldest to newest:
@@ -286,10 +314,13 @@ func (b *sendBatch) grab(n int) []byte {
 // drainOutboxLocked encodes all queued control emissions into b, each
 // sized exactly per emission kind (a bare control header for
 // ACK2/keep-alive/shutdown, header+24 for a full ACK, the compressed
-// loss-list length for a NAK). Callers hold mu; the batch is transmitted
-// after unlock so the socket write never runs under the connection lock.
+// loss-list length for a NAK) plus the transport's headroom, into which a
+// multiplexed flow later stamps the destination socket ID. Callers hold
+// mu; the batch is transmitted after unlock so the socket write never runs
+// under the connection lock.
 func (c *Conn) drainOutboxLocked(b *sendBatch) {
 	now32 := int32(c.clock.Now())
+	hr := c.hr
 	for {
 		o, ok := c.core.PopOut()
 		if !ok {
@@ -304,23 +335,23 @@ func (c *Conn) drainOutboxLocked(b *sendBatch) {
 		default: // ACK2, keep-alive, shutdown: bare control header
 			size = packet.CtrlHeaderSize
 		}
-		buf := b.grab(size)
+		buf := b.grab(hr + size)
 		var n int
 		var err error
 		switch o.Kind {
 		case core.OutACK:
-			n, err = packet.EncodeACK(buf, &o.ACK, now32)
+			n, err = packet.EncodeACK(buf[hr:], &o.ACK, now32)
 		case core.OutNAK:
-			n, err = packet.EncodeNAK(buf, o.Losses, now32)
+			n, err = packet.EncodeNAK(buf[hr:], o.Losses, now32)
 		case core.OutACK2:
-			n, err = packet.EncodeACK2(buf, o.AckID, now32)
+			n, err = packet.EncodeACK2(buf[hr:], o.AckID, now32)
 		case core.OutKeepAlive:
-			n, err = packet.EncodeSimple(buf, packet.TypeKeepAlive, now32)
+			n, err = packet.EncodeSimple(buf[hr:], packet.TypeKeepAlive, now32)
 		case core.OutShutdown:
-			n, err = packet.EncodeSimple(buf, packet.TypeShutdown, now32)
+			n, err = packet.EncodeSimple(buf[hr:], packet.TypeShutdown, now32)
 		}
 		if err == nil && n > 0 {
-			b.msgs = append(b.msgs, buf[:n])
+			b.msgs = append(b.msgs, buf[:hr+n])
 		}
 	}
 }
@@ -330,7 +361,8 @@ func (c *Conn) drainOutboxLocked(b *sendBatch) {
 const sendBurst = 8
 
 // claimBurstLocked claims and encodes up to sendBurst data packets into
-// scratch (packet i at offset i*MSS, encoded length in lens[i]). The first
+// scratch (packet i at offset i*(headroom+MSS), encoded after the
+// transport's headroom bytes, encoded length in lens[i]). The first
 // packet follows §4.1's one-packet-per-iteration rule; further packets are
 // claimed only while the pacing schedule is already due within the measured
 // cost of one UDP send — at that point the syscall, not the pacer, is the
@@ -339,7 +371,7 @@ const sendBurst = 8
 // the last engine decision (meaningful when n == 0). Callers hold mu.
 func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens *[sendBurst]int) (n int, wake int64, d core.SendDecision) {
 	wake = c.core.NextTimer()
-	mss := c.cfg.MSS
+	stride := c.hr + c.cfg.MSS
 	for n < sendBurst {
 		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
 		seq, decision := c.core.NextSend(now, newAvail)
@@ -363,7 +395,7 @@ func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens *[sendBurst]int)
 			// reconsider immediately.
 			return n, now, decision
 		}
-		buf := scratch[n*mss : (n+1)*mss]
+		buf := scratch[n*stride+c.hr : (n+1)*stride]
 		c.ledger.Time(timing.BucketPack, func() {
 			m, _ := packet.EncodeData(buf, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
 			lens[n] = m
@@ -386,7 +418,9 @@ func (c *Conn) senderLoop() {
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	var batch sendBatch
-	scratch := make([]byte, sendBurst*c.cfg.MSS)
+	stride := c.hr + c.cfg.MSS
+	scratch := make([]byte, sendBurst*stride)
+	burst := make([][]byte, 0, sendBurst)
 	var lens [sendBurst]int
 	for {
 		c.mu.Lock()
@@ -403,26 +437,36 @@ func (c *Conn) senderLoop() {
 		closedNow := c.core.Closed() && c.snd.Pending() == 0
 		c.mu.Unlock()
 
-		for _, b := range batch.msgs {
-			if _, err := c.sockWrite(b); err != nil {
-				c.mu.Lock()
-				c.failLocked(fmt.Errorf("udt: send: %w", err))
-				c.mu.Unlock()
-				return
-			}
+		if err := c.sendCtrlBatch(&batch); err != nil {
+			c.mu.Lock()
+			c.failLocked(fmt.Errorf("udt: send: %w", err))
+			c.mu.Unlock()
+			return
 		}
 		if nData > 0 {
 			t0 := time.Now()
 			sent := 0
-			for i := 0; i < nData; i++ {
-				b := scratch[i*c.cfg.MSS : i*c.cfg.MSS+lens[i]]
-				if _, err := c.sockWrite(b); err != nil {
-					c.mu.Lock()
-					c.failLocked(fmt.Errorf("udt: send: %w", err))
-					c.mu.Unlock()
-					return
+			var err error
+			if c.bw != nil && nData > 1 {
+				burst = burst[:0]
+				for i := 0; i < nData; i++ {
+					burst = append(burst, scratch[i*stride:i*stride+c.hr+lens[i]])
+					sent += lens[i]
 				}
-				sent += lens[i]
+				c.ledger.Time(timing.BucketUDPWrite, func() { err = c.bw.writeBatch(burst, c.raddr) })
+			} else {
+				for i := 0; i < nData; i++ {
+					if _, err = c.sockWrite(scratch[i*stride : i*stride+c.hr+lens[i]]); err != nil {
+						break
+					}
+					sent += lens[i]
+				}
+			}
+			if err != nil {
+				c.mu.Lock()
+				c.failLocked(fmt.Errorf("udt: send: %w", err))
+				c.mu.Unlock()
+				return
 			}
 			cost := float64(time.Since(t0).Microseconds()) / float64(nData)
 			c.mu.Lock()
@@ -477,6 +521,22 @@ func (c *Conn) sockWrite(b []byte) (int, error) {
 	return n, err
 }
 
+// sendCtrlBatch transmits a drained control batch — one sendmmsg when the
+// transport supports batching and there is more than one datagram.
+func (c *Conn) sendCtrlBatch(b *sendBatch) error {
+	if c.bw != nil && len(b.msgs) > 1 {
+		var err error
+		c.ledger.Time(timing.BucketUDPWrite, func() { err = c.bw.writeBatch(b.msgs, c.raddr) })
+		return err
+	}
+	for _, m := range b.msgs {
+		if _, err := c.sockWrite(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // handleDatagram processes one UDP datagram addressed to this connection.
 // It is called by the socket reader goroutine (dialed) or the listener's
 // demultiplexer (accepted).
@@ -509,9 +569,7 @@ func (c *Conn) handleDatagram(raw []byte) {
 		c.rcvBatch.reset()
 		c.drainOutboxLocked(&c.rcvBatch)
 		c.mu.Unlock()
-		for _, b := range c.rcvBatch.msgs {
-			c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
-		}
+		c.sendCtrlBatch(&c.rcvBatch) //nolint:errcheck // control losses are repaired by timers
 		return
 	}
 
@@ -549,9 +607,7 @@ func (c *Conn) handleDatagram(raw []byte) {
 	c.drainOutboxLocked(&c.rcvBatch)
 	peerClosed := c.core.Closed()
 	c.mu.Unlock()
-	for _, b := range c.rcvBatch.msgs {
-		c.sock.writeTo(b, c.raddr) //nolint:errcheck // control losses are repaired by timers
-	}
+	c.sendCtrlBatch(&c.rcvBatch) //nolint:errcheck // control losses are repaired by timers
 	if peerClosed && c.closer != nil {
 		c.closer()
 	}
@@ -559,9 +615,14 @@ func (c *Conn) handleDatagram(raw []byte) {
 }
 
 // Drained reports whether every written byte has been sent and
-// acknowledged — useful before an abrupt Close.
+// acknowledged — useful before an abrupt Close. A failed connection
+// (closed, or peer declared dead) reports drained: no further progress is
+// possible, so waiting on it would never terminate.
 func (c *Conn) Drained() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return true
+	}
 	return c.snd.Pending() == 0 && c.core.Unacked() == 0
 }

@@ -30,6 +30,11 @@ type Config struct {
 	// PeerDeathTime is how long without any peer packet before the
 	// connection is declared broken. Default 5 s (with ≥16 expirations).
 	PeerDeathTime int64
+	// SockID names this endpoint on a shared (multiplexed) socket; zero
+	// means the connection has a private socket. The engine never acts on
+	// it — it is carried through for telemetry and debugging, so transports
+	// and tools can correlate engine state with demultiplexer entries.
+	SockID int32
 }
 
 func (c *Config) fill() {
@@ -203,6 +208,10 @@ func (c *Conn) RTT() int64 { return c.rtt.Smoothed() }
 
 // Config returns the (filled) connection configuration.
 func (c *Conn) Config() Config { return c.cfg }
+
+// SockID returns this endpoint's socket ID on a shared (multiplexed)
+// socket, or zero for a private socket. See Config.SockID.
+func (c *Conn) SockID() int32 { return c.cfg.SockID }
 
 // Closed reports whether the connection was shut down locally or by the peer.
 func (c *Conn) Closed() bool { return c.closed }

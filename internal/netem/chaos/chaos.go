@@ -120,6 +120,7 @@ type peer struct {
 	rcv      *core.RcvBuffer
 	ep       *netem.Endpoint
 	peerAddr net.Addr
+	out      func(b []byte) // transmit one datagram (RunMux stamps a socket-ID prefix)
 
 	payload  []byte // stream this peer sends
 	sendOff  int
@@ -292,6 +293,7 @@ func newPeer(name string, cfg Config, isn, peerISN int32, ep *netem.Endpoint, pe
 	p.snd = core.NewSndBuffer(cfg.SndBufPkts, pl, isn)
 	p.rcv = core.NewRcvBuffer(cfg.RcvBufPkts, pl, peerISN)
 	p.eng.AvailBuf = p.rcv.Free
+	p.out = func(b []byte) { p.ep.WriteTo(b, p.peerAddr) } //nolint:errcheck // losses are the point
 	return p
 }
 
@@ -310,6 +312,17 @@ func (p *peer) pump(now int64) (progress bool) {
 		}
 		p.handleDatagram(now, p.rbuf[:n])
 		progress = true
+	}
+	return p.service(now) || progress
+}
+
+// service runs the non-I/O half of a scheduling round: timers, control
+// emissions, pacing-gated data sends, and buffer movement. RunMux calls it
+// directly — there the datagrams arrive through the demultiplexer, not
+// from the peer's own endpoint.
+func (p *peer) service(now int64) (progress bool) {
+	if p.eng.Broken() {
+		return false
 	}
 	p.eng.Advance(now)
 	if p.flushOutbox(now) {
@@ -338,7 +351,7 @@ func (p *peer) pump(now int64) (progress bool) {
 		if err != nil {
 			panic(fmt.Sprintf("chaos: encode data: %v", err))
 		}
-		p.ep.WriteTo(p.scratch[:n], p.peerAddr) //nolint:errcheck // losses are the point
+		p.out(p.scratch[:n])
 		progress = true
 	}
 	// Drain received stream bytes into the running checksum.
@@ -416,7 +429,7 @@ func (p *peer) flushOutbox(now int64) (sent bool) {
 			n, err = packet.EncodeSimple(p.scratch, packet.TypeShutdown, int32(now))
 		}
 		if err == nil && n > 0 {
-			p.ep.WriteTo(p.scratch[:n], p.peerAddr) //nolint:errcheck
+			p.out(p.scratch[:n])
 			sent = true
 		}
 	}

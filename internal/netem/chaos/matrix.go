@@ -20,14 +20,21 @@ type Case struct {
 	ExpectDeath bool
 	// MaxVirtualTime overrides the run's virtual-time budget, µs.
 	MaxVirtualTime int64
+	// MuxFlows switches the cell to the multiplexed driver (RunMux): that
+	// many flow pairs share the impaired path, each sending Payload bytes
+	// per direction, demultiplexed by socket ID. Zero runs the ordinary
+	// two-peer driver.
+	MuxFlows int
 }
 
 // CaseResult pairs a matrix cell with its outcome.
 type CaseResult struct {
 	// Case is the cell that ran.
 	Case Case
-	// Result is the chaos run outcome.
+	// Result is the chaos run outcome (two-peer cells).
 	Result Result
+	// Mux is the multiplexed run outcome (cells with MuxFlows > 0).
+	Mux *MuxResult
 	// Pass applies the cell's success criterion (transfer integrity, or
 	// mutual death detection for ExpectDeath cells).
 	Pass bool
@@ -57,6 +64,11 @@ func QuickMatrix() []Case {
 		{Name: "partition-permanent", Link: netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
 			Payload: 4 << 20, Events: PartitionAt(30_000, 0), MinEXP: 50_000,
 			PeerDeathTime: 2_000_000, ExpectDeath: true, MaxVirtualTime: 30_000_000},
+		// 64 socket-ID-demultiplexed flow pairs interleaved on one lossy
+		// path: every packet of every flow must come back out of the shared
+		// fabric to the right engine.
+		{Name: "mux-64flows", Link: netem.LinkConfig{Delay: 3000, Jitter: 1000, Loss: 0.005},
+			Payload: 4096, MuxFlows: 64},
 	}
 }
 
@@ -65,6 +77,20 @@ func QuickMatrix() []Case {
 func RunMatrix(seed int64, cases []Case) []CaseResult {
 	out := make([]CaseResult, 0, len(cases))
 	for _, cs := range cases {
+		if cs.MuxFlows > 0 {
+			mr := RunMux(MuxConfig{
+				Seed:           seed,
+				Flows:          cs.MuxFlows,
+				PayloadPerFlow: cs.Payload,
+				Link:           cs.Link,
+				Events:         cs.Events,
+				MinEXP:         cs.MinEXP,
+				PeerDeathTime:  cs.PeerDeathTime,
+				MaxVirtualTime: cs.MaxVirtualTime,
+			})
+			out = append(out, CaseResult{Case: cs, Mux: &mr, Pass: mr.OK})
+			continue
+		}
 		cfg := Config{
 			Seed:           seed,
 			PayloadA:       cs.Payload,

@@ -1,0 +1,306 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+
+	"udt/internal/core"
+	"udt/internal/mux"
+	"udt/internal/netem"
+	"udt/internal/seqno"
+)
+
+// MuxConfig parameterizes one deterministic multiplexed chaos run: Flows
+// bidirectional flow pairs share a single netem path, demultiplexed by
+// pre-assigned socket IDs through one mux.Core per side — the same demux
+// the production udt.Mux uses, driven under a virtual clock.
+type MuxConfig struct {
+	// Seed drives every random choice: payloads, ISNs, impairment draws.
+	Seed int64
+	// Flows is the number of concurrent flow pairs. Default 64.
+	Flows int
+	// PayloadPerFlow is how many bytes each side of each flow sends.
+	// Default 2048.
+	PayloadPerFlow int
+	// MSS is the UDT packet size; the socket-ID prefix rides in front of
+	// it on the wire. Default 576 (many engines → small buffers).
+	MSS int
+	// SndBufPkts and RcvBufPkts size each flow's buffers. Default 64.
+	SndBufPkts, RcvBufPkts int
+	// Link is applied to both directions before the run starts.
+	Link netem.LinkConfig
+	// MinEXP and PeerDeathTime tune failure detection, in µs; zero keeps
+	// the core defaults.
+	MinEXP, PeerDeathTime int64
+	// Events are scripted faults, fired in At order.
+	Events []Event
+	// MaxVirtualTime aborts the run after this much virtual time, µs.
+	// Default 120 s.
+	MaxVirtualTime int64
+}
+
+func (c *MuxConfig) fill() {
+	if c.Flows == 0 {
+		c.Flows = 64
+	}
+	if c.PayloadPerFlow == 0 {
+		c.PayloadPerFlow = 2048
+	}
+	if c.MSS == 0 {
+		c.MSS = 576
+	}
+	if c.SndBufPkts == 0 {
+		c.SndBufPkts = 64
+	}
+	if c.RcvBufPkts == 0 {
+		c.RcvBufPkts = 64
+	}
+	if c.MaxVirtualTime == 0 {
+		c.MaxVirtualTime = 120_000_000
+	}
+}
+
+// FlowResult is one flow pair's outcome.
+type FlowResult struct {
+	A, B PeerResult
+}
+
+// MuxResult is the outcome of one multiplexed chaos run. Under the virtual
+// clock it is a pure function of the MuxConfig — compare two same-seed
+// MuxResults with reflect.DeepEqual to verify determinism.
+type MuxResult struct {
+	// OK reports every flow finished with matching checksums in both
+	// directions.
+	OK bool
+	// TimedOut reports the run hit MaxVirtualTime before finishing.
+	TimedOut bool
+	// Elapsed is the virtual duration of the run, µs.
+	Elapsed int64
+	// FlowsOK counts flows whose both directions verified.
+	FlowsOK int
+	// Flows are the per-flow outcomes, in flow order.
+	Flows []FlowResult
+	// UnknownDestA/B and ShortA/B are each side's demultiplexer drop
+	// counters; nonzero UnknownDest under impairment-free links indicates
+	// a routing bug.
+	UnknownDestA, ShortA uint64
+	UnknownDestB, ShortB uint64
+	// PathAB and PathBA are the fabric's impairment counters per direction.
+	PathAB, PathBA netem.PathStats
+}
+
+// muxFlowPeer adapts one chaos peer to the demultiplexer: dispatched
+// datagrams are queued (copied — Dispatch's buffer is reused) and drained
+// on the flow's next scheduling round.
+type muxFlowPeer struct {
+	*peer
+	inbox [][]byte
+}
+
+// HandleDatagram implements mux.Flow: the demultiplexed datagram is copied
+// into the inbox for the single-threaded driver to replay deterministically.
+func (f *muxFlowPeer) HandleDatagram(raw []byte) {
+	f.inbox = append(f.inbox, append([]byte(nil), raw...))
+}
+
+// drain feeds queued datagrams through the engine.
+func (f *muxFlowPeer) drain(now int64) (progress bool) {
+	if len(f.inbox) == 0 {
+		return false
+	}
+	if !f.eng.Broken() {
+		for _, m := range f.inbox {
+			f.handleDatagram(now, m)
+		}
+		progress = true
+	}
+	f.inbox = f.inbox[:0]
+	return progress
+}
+
+// prefixedWriter returns an out hook that stamps dest into a socket-ID
+// prefix ahead of every datagram — the multiplexed wire format.
+func prefixedWriter(ep *netem.Endpoint, to net.Addr, dest int32, mss int) func([]byte) {
+	buf := make([]byte, mux.DestPrefix+mss)
+	return func(b []byte) {
+		n := copy(buf[mux.DestPrefix:], b)
+		mux.PutDest(buf, dest)
+		ep.WriteTo(buf[:mux.DestPrefix+n], to) //nolint:errcheck // losses are the point
+	}
+}
+
+// RunMux executes one multiplexed chaos run under a virtual clock: every
+// flow's packets traverse the same impaired path, interleaved, and each
+// side's mux.Core routes them back to the right engine by socket ID. It is
+// fully deterministic: same MuxConfig, same MuxResult.
+//
+// Socket IDs are pre-assigned (side a's flow i speaks to side b's flow i),
+// standing in for the extended-handshake exchange the production Mux
+// performs; the run exercises the data-plane demux, not connection setup.
+func RunMux(cfg MuxConfig) MuxResult {
+	cfg.fill()
+	vc := netem.NewVirtualClock(0)
+	nw := netem.New(cfg.Seed, vc)
+	rng := rand.New(rand.NewSource(cfg.Seed)) //nolint:gosec // reproducibility, not crypto
+
+	epA, err := nw.Endpoint("a")
+	if err != nil {
+		panic(err) // fresh fabric: cannot collide
+	}
+	epB, _ := nw.Endpoint("b")
+	nw.SetLink("a", "b", cfg.Link)
+
+	// No bare traffic in this harness: a handshake or unroutable datagram
+	// reaching the cores' fallback paths counts as a drop, which the
+	// result surfaces.
+	coreA := mux.NewCore(func([]byte, net.Addr) {})
+	coreB := mux.NewCore(func([]byte, net.Addr) {})
+
+	base := Config{
+		MSS:           cfg.MSS,
+		SndBufPkts:    cfg.SndBufPkts,
+		RcvBufPkts:    cfg.RcvBufPkts,
+		MinEXP:        cfg.MinEXP,
+		PeerDeathTime: cfg.PeerDeathTime,
+	}
+	flowsA := make([]*muxFlowPeer, cfg.Flows)
+	flowsB := make([]*muxFlowPeer, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		payA := make([]byte, cfg.PayloadPerFlow)
+		rng.Read(payA) //nolint:errcheck // never fails
+		payB := make([]byte, cfg.PayloadPerFlow)
+		rng.Read(payB) //nolint:errcheck
+		isnA := rng.Int31() & seqno.Max
+		isnB := rng.Int31() & seqno.Max
+		idA := mux.MakeID(int32(0x1000_0000 + i))
+		idB := mux.MakeID(int32(0x2000_0000 + i))
+		pa := newPeer(fmt.Sprintf("a%d", i), base, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
+		pb := newPeer(fmt.Sprintf("b%d", i), base, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+		pa.out = prefixedWriter(epA, epB.LocalAddr(), idB, cfg.MSS)
+		pb.out = prefixedWriter(epB, epA.LocalAddr(), idA, cfg.MSS)
+		fa := &muxFlowPeer{peer: pa}
+		fb := &muxFlowPeer{peer: pb}
+		if !coreA.Register(idA, fa) || !coreB.Register(idB, fb) {
+			panic(fmt.Sprintf("chaos: socket ID collision at flow %d", i))
+		}
+		flowsA[i], flowsB[i] = fa, fb
+	}
+
+	events := append([]Event(nil), cfg.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	for i := range flowsA {
+		flowsA[i].eng.Start(vc.Now())
+		flowsB[i].eng.Start(vc.Now())
+	}
+
+	res := MuxResult{Flows: make([]FlowResult, cfg.Flows)}
+	rbuf := make([]byte, 65536)
+	sides := [2]struct {
+		ep    *netem.Endpoint
+		core  *mux.Core
+		flows []*muxFlowPeer
+	}{
+		{epA, coreA, flowsA},
+		{epB, coreB, flowsB},
+	}
+	for {
+		now := vc.Now()
+		progress := false
+		for len(events) > 0 && events[0].At <= now {
+			events[0].Do(nw)
+			events = events[1:]
+			progress = true
+		}
+		for _, s := range sides {
+			for {
+				n, from, ok := s.ep.TryReadFrom(rbuf)
+				if !ok {
+					break
+				}
+				s.core.Dispatch(rbuf[:n], from)
+				progress = true
+			}
+			for _, f := range s.flows {
+				if f.drain(now) {
+					progress = true
+				}
+				if f.service(now) {
+					progress = true
+				}
+			}
+		}
+		done := true
+		for _, s := range sides {
+			for _, f := range s.flows {
+				if f.eng.Broken() {
+					if f.brokenAt == 0 {
+						f.brokenAt = now
+					}
+					continue
+				}
+				if !f.finished() {
+					done = false
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if now >= cfg.MaxVirtualTime {
+			res.TimedOut = true
+			break
+		}
+		if progress {
+			continue // re-pump at the same instant before sleeping
+		}
+		wake := cfg.MaxVirtualTime
+		if len(events) > 0 && events[0].At < wake {
+			wake = events[0].At
+		}
+		for _, s := range sides {
+			for _, f := range s.flows {
+				if f.eng.Broken() {
+					continue
+				}
+				if t := f.eng.NextTimer(); t < wake {
+					wake = t
+				}
+				if f.lastDecision == core.WaitPacing {
+					if t := f.eng.NextSendTime(); t < wake {
+						wake = t
+					}
+				}
+			}
+		}
+		if t, ok := vc.NextEvent(); ok && t < wake {
+			wake = t
+		}
+		if wake <= now {
+			wake = now + 1 // guarantee progress even on zero-delay links
+		}
+		vc.AdvanceTo(wake)
+	}
+
+	res.Elapsed = vc.Now()
+	res.OK = !res.TimedOut
+	for i := range res.Flows {
+		fr := FlowResult{A: flowsA[i].result(), B: flowsB[i].result()}
+		res.Flows[i] = fr
+		flowOK := flowsA[i].finished() && flowsB[i].finished() && fr.A.RecvOK && fr.B.RecvOK
+		if flowOK {
+			res.FlowsOK++
+		} else {
+			res.OK = false
+		}
+	}
+	res.UnknownDestA, res.ShortA = coreA.Counters()
+	res.UnknownDestB, res.ShortB = coreB.Counters()
+	res.PathAB = nw.PathStats("a", "b")
+	res.PathBA = nw.PathStats("b", "a")
+	epA.Close() //nolint:errcheck
+	epB.Close() //nolint:errcheck
+	return res
+}

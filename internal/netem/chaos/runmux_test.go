@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"udt/internal/netem"
+)
+
+// TestMuxDeterministicReplay runs 64 interleaved flows over an impaired
+// path twice with the same seed and requires bit-identical results — the
+// demultiplexer, all 128 engines, and every impairment draw replay exactly.
+func TestMuxDeterministicReplay(t *testing.T) {
+	cfg := MuxConfig{
+		Seed: 7,
+		Link: netem.LinkConfig{Delay: 3000, Jitter: 2000, Loss: 0.02, Dup: 0.002, Corrupt: 0.001},
+	}
+	one, two := RunMux(cfg), RunMux(cfg)
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("same-seed mux runs diverged:\n%+v\n%+v", one, two)
+	}
+	if !one.OK {
+		t.Fatalf("mux transfer failed: FlowsOK=%d/%d TimedOut=%v", one.FlowsOK, len(one.Flows), one.TimedOut)
+	}
+	retrans := int64(0)
+	for _, f := range one.Flows {
+		retrans += f.A.Stats.PktsRetrans + f.B.Stats.PktsRetrans
+	}
+	if retrans == 0 {
+		t.Fatal("2% loss across 64 flows produced no retransmissions")
+	}
+	cfg.Seed = 8
+	other := RunMux(cfg)
+	if reflect.DeepEqual(one, other) {
+		t.Fatal("different seeds produced identical mux runs (seed unused?)")
+	}
+}
+
+// TestMuxCleanLinkNoDrops requires a loss-free shared path to deliver
+// every flow with zero demultiplexer drops: corruption is the only way a
+// datagram can become unroutable, and there is none.
+func TestMuxCleanLinkNoDrops(t *testing.T) {
+	res := RunMux(MuxConfig{Seed: 11, Flows: 64, Link: netem.LinkConfig{Delay: 1000}})
+	if !res.OK || res.FlowsOK != 64 {
+		t.Fatalf("clean mux run failed: FlowsOK=%d TimedOut=%v", res.FlowsOK, res.TimedOut)
+	}
+	if res.UnknownDestA != 0 || res.UnknownDestB != 0 || res.ShortA != 0 || res.ShortB != 0 {
+		t.Fatalf("clean link produced demux drops: A=(%d,%d) B=(%d,%d)",
+			res.UnknownDestA, res.ShortA, res.UnknownDestB, res.ShortB)
+	}
+}
+
+// TestMuxSurvivesPartition scripts a heal-after-cut partition under the
+// multiplexed driver: every one of the flows sharing the path must recover.
+func TestMuxSurvivesPartition(t *testing.T) {
+	res := RunMux(MuxConfig{
+		Seed:           13,
+		Flows:          64,
+		PayloadPerFlow: 8192,
+		Link:           netem.LinkConfig{Delay: 2000, RateMbps: 100, QueuePkts: 64},
+		Events:         PartitionAt(20_000, 300_000),
+	})
+	if !res.OK {
+		t.Fatalf("mux partition run failed: FlowsOK=%d/%d TimedOut=%v",
+			res.FlowsOK, len(res.Flows), res.TimedOut)
+	}
+}

@@ -120,6 +120,13 @@ func DecodeData(raw []byte) (Data, error) {
 }
 
 // Handshake is the connection setup control packet body.
+//
+// The paper-era body is seven 32-bit words. A multiplexing endpoint appends
+// a socket-ID pair (two more words, the extension UDT v4 later folded into
+// its header): SockID names the sender's endpoint on its shared socket and
+// PeerSockID echoes the destination's, once known. Old peers ignore the
+// extra words and answer with the 28-byte body, which decodes with both IDs
+// zero — the negotiated-down, address-demultiplexed mode.
 type Handshake struct {
 	Version    int32 // protocol version; this implementation speaks 4
 	SockType   int32 // 0 = stream (the only mode the paper's UDT supports)
@@ -128,7 +135,19 @@ type Handshake struct {
 	FlowWindow int32 // maximum flow window (packets)
 	ReqType    int32 // 1 = request, -1 = response
 	ConnID     int32 // connection identifier chosen by the initiator
+	SockID     int32 // sender's socket ID on its shared socket (0 = none)
+	PeerSockID int32 // destination's socket ID as known to the sender (0 = unknown)
 }
+
+// Ext reports whether the handshake carries the socket-ID extension.
+func (h *Handshake) Ext() bool { return h.SockID != 0 }
+
+// Handshake body sizes in bytes: the paper-era seven words and the
+// socket-ID-extended nine words.
+const (
+	HandshakeBody    = 28
+	HandshakeExtBody = 36
+)
 
 // Version is the protocol version this package speaks.
 const Version = 4
@@ -204,8 +223,14 @@ func putCtrlHeader(dst []byte, t ControlType, extra, ts int32) {
 }
 
 // EncodeHandshake writes a handshake control packet and returns its length.
+// The socket-ID extension words are appended only when h.SockID is nonzero,
+// so non-multiplexed endpoints emit the paper-era 28-byte body unchanged.
 func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
-	n := CtrlHeaderSize + 28
+	body := HandshakeBody
+	if h.Ext() {
+		body = HandshakeExtBody
+	}
+	n := CtrlHeaderSize + body
 	if len(dst) < n {
 		return 0, fmt.Errorf("packet: buffer too small for handshake: %d < %d", len(dst), n)
 	}
@@ -214,19 +239,26 @@ func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 	for i, v := range []int32{h.Version, h.SockType, h.InitSeq, h.MSS, h.FlowWindow, h.ReqType, h.ConnID} {
 		binary.BigEndian.PutUint32(b[i*4:], uint32(v))
 	}
+	if h.Ext() {
+		binary.BigEndian.PutUint32(b[28:], uint32(h.SockID))
+		binary.BigEndian.PutUint32(b[32:], uint32(h.PeerSockID))
+	}
 	return n, nil
 }
 
-// DecodeHandshake interprets the body of a handshake control packet.
+// DecodeHandshake interprets the body of a handshake control packet. A
+// 28-byte body (an old peer, or an endpoint without a shared socket) yields
+// zero for both socket IDs — the signal to fall back to per-peer-address
+// demultiplexing.
 func DecodeHandshake(c Control) (Handshake, error) {
 	if c.Type != TypeHandshake {
 		return Handshake{}, fmt.Errorf("packet: %v is not a handshake", c.Type)
 	}
-	if len(c.Body) < 28 {
+	if len(c.Body) < HandshakeBody {
 		return Handshake{}, ErrShort
 	}
 	get := func(i int) int32 { return int32(binary.BigEndian.Uint32(c.Body[i*4:])) }
-	return Handshake{
+	h := Handshake{
 		Version:    get(0),
 		SockType:   get(1),
 		InitSeq:    get(2),
@@ -234,7 +266,23 @@ func DecodeHandshake(c Control) (Handshake, error) {
 		FlowWindow: get(4),
 		ReqType:    get(5),
 		ConnID:     get(6),
-	}, nil
+	}
+	if len(c.Body) >= HandshakeExtBody {
+		h.SockID = get(7)
+		h.PeerSockID = get(8)
+	}
+	return h, nil
+}
+
+// IsHandshake reports whether the raw datagram is a handshake control
+// packet, without decoding it — the cheap test demultiplexers run on every
+// bare (non-socket-ID-prefixed) datagram from an unknown flow.
+func IsHandshake(raw []byte) bool {
+	if len(raw) < 4 {
+		return false
+	}
+	w0 := binary.BigEndian.Uint32(raw)
+	return w0&ctrlFlag != 0 && ControlType((w0>>16)&0x7FFF) == TypeHandshake
 }
 
 // EncodeACK writes a full ACK control packet and returns its length.

@@ -321,3 +321,144 @@ func TestControlTypeString(t *testing.T) {
 		t.Error("unknown type must still stringify")
 	}
 }
+
+// TestHandshakeSockIDRoundTrip quick-checks the socket-ID extension in both
+// directions: any extended handshake (SockID != 0) must encode to the
+// 36-byte body and decode back field-for-field, and any plain handshake
+// (SockID == 0) must stay on the paper-era 28-byte body.
+func TestHandshakeSockIDRoundTrip(t *testing.T) {
+	roundTrip := func(h Handshake) bool {
+		buf := make([]byte, 128)
+		n, err := EncodeHandshake(buf, &h, 7)
+		if err != nil {
+			return false
+		}
+		wantBody := HandshakeBody
+		if h.SockID != 0 {
+			wantBody = HandshakeExtBody
+		}
+		if n != CtrlHeaderSize+wantBody {
+			return false
+		}
+		if !IsHandshake(buf[:n]) {
+			return false
+		}
+		c, err := DecodeControl(buf[:n])
+		if err != nil {
+			return false
+		}
+		got, err := DecodeHandshake(c)
+		if err != nil {
+			return false
+		}
+		want := h
+		if h.SockID == 0 {
+			want.PeerSockID = 0 // never on the wire without the extension
+		}
+		return got == want
+	}
+	// Extended direction: force a nonzero SockID.
+	ext := func(h Handshake, id int32) bool {
+		if id == 0 {
+			id = 1
+		}
+		h.SockID = id
+		return roundTrip(h)
+	}
+	// Plain direction: force the extension off.
+	plain := func(h Handshake) bool {
+		h.SockID = 0
+		return roundTrip(h)
+	}
+	if err := quick.Check(ext, nil); err != nil {
+		t.Errorf("extended handshake round trip: %v", err)
+	}
+	if err := quick.Check(plain, nil); err != nil {
+		t.Errorf("plain handshake round trip: %v", err)
+	}
+}
+
+// TestHandshakeOldNewCompat pins the negotiation matrix between paper-era
+// (28-byte) and extended (36-byte) handshake speakers: an old decoder must
+// accept an extended body (ignoring the extension), and a new decoder must
+// accept an old body, reporting both socket IDs as zero.
+func TestHandshakeOldNewCompat(t *testing.T) {
+	h := Handshake{
+		Version: Version, InitSeq: 99, MSS: 1472, FlowWindow: 25600,
+		ReqType: 1, ConnID: 31337, SockID: -0x7ff70000, PeerSockID: 12,
+	}
+	buf := make([]byte, 128)
+	n, err := EncodeHandshake(buf, &h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != CtrlHeaderSize+HandshakeExtBody {
+		t.Fatalf("extended encode length %d, want %d", n, CtrlHeaderSize+HandshakeExtBody)
+	}
+
+	// Old peer reading a new handshake: it only knows the first 28 body
+	// bytes; the words it does read must be unchanged by the extension.
+	c, err := DecodeControl(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Body = c.Body[:HandshakeBody] // what an old decoder interprets
+	old, err := DecodeHandshake(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.SockID != 0 || old.PeerSockID != 0 {
+		t.Fatalf("truncated body produced socket IDs: %+v", old)
+	}
+	want := h
+	want.SockID, want.PeerSockID = 0, 0
+	if old != want {
+		t.Fatalf("paper-era fields changed by extension: got %+v want %+v", old, want)
+	}
+
+	// New peer reading an old handshake: a 28-byte body must decode with
+	// both IDs zero (address-demux fallback).
+	h.SockID, h.PeerSockID = 0, 0
+	n, err = EncodeHandshake(buf, &h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != CtrlHeaderSize+HandshakeBody {
+		t.Fatalf("plain encode length %d, want %d", n, CtrlHeaderSize+HandshakeBody)
+	}
+	c, err = DecodeControl(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHandshake(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("old body decode mismatch: got %+v want %+v", got, h)
+	}
+	if got.Ext() {
+		t.Fatal("plain handshake reported the extension")
+	}
+}
+
+// TestIsHandshake checks the demultiplexer's cheap classifier against every
+// control type and a data packet.
+func TestIsHandshake(t *testing.T) {
+	buf := make([]byte, 64)
+	n, _ := EncodeHandshake(buf, &Handshake{Version: Version, SockID: 0}, 0)
+	if !IsHandshake(buf[:n]) {
+		t.Fatal("handshake not recognized")
+	}
+	n, _ = EncodeSimple(buf, TypeKeepAlive, 0)
+	if IsHandshake(buf[:n]) {
+		t.Fatal("keep-alive classified as handshake")
+	}
+	n, _ = EncodeData(buf, &Data{Seq: 0, Payload: []byte("x")})
+	if IsHandshake(buf[:n]) {
+		t.Fatal("data packet classified as handshake")
+	}
+	if IsHandshake(buf[:3]) {
+		t.Fatal("short datagram classified as handshake")
+	}
+}

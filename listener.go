@@ -5,10 +5,6 @@ import (
 	"log"
 	"net"
 	"sync"
-	"time"
-
-	"udt/internal/packet"
-	"udt/internal/seqno"
 )
 
 // ownedSock is a dialed connection's private transport.
@@ -19,6 +15,8 @@ type ownedSock struct {
 func (s *ownedSock) writeTo(b []byte, addr net.Addr) (int, error) {
 	return s.c.WriteTo(b, addr)
 }
+
+func (s *ownedSock) headroom() int { return 0 }
 
 // Dial connects to a UDT listener at the given UDP address ("host:port").
 // cfg may be nil for defaults. To dial over a different transport (a
@@ -76,19 +74,20 @@ func tuneUDPBuffers(sock *net.UDPConn) (rcvBytes, sndBytes int) {
 }
 
 // Listener accepts incoming UDT connections on one datagram transport,
-// which all accepted connections share (demultiplexed by peer address).
+// which all accepted connections share. It sits on a Mux's demultiplexer:
+// multiplexing clients are routed by socket ID (many flows per client
+// address), paper-era clients by peer address. A Listener made by
+// Listen/ListenOn owns its Mux and tears the whole socket down on Close;
+// one made by Mux.Listen only stops accepting and closes the accepted
+// connections, leaving the Mux's dialed flows running.
 type Listener struct {
-	cfg  Config
-	sock PacketConn
-
-	udpRcvBuf, udpSndBuf int // achieved socket buffer sizes (0 off-UDP)
-
-	mu      sync.Mutex
-	conns   map[string]*Conn
-	pending map[string]int32 // peer → our ISN, for duplicate handshakes
+	m       *Mux
+	ownsMux bool
 	backlog chan *Conn
-	closed  bool
-	done    chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
 }
 
 // Listen starts a UDT listener on the given UDP address. cfg may be nil.
@@ -107,7 +106,7 @@ func Listen(address string, cfg *Config) (*Listener, error) {
 }
 
 // Addr returns the listening transport address.
-func (l *Listener) Addr() net.Addr { return l.sock.LocalAddr() }
+func (l *Listener) Addr() net.Addr { return l.m.sock.LocalAddr() }
 
 // Accept blocks for the next incoming connection.
 func (l *Listener) Accept() (*Conn, error) {
@@ -116,133 +115,54 @@ func (l *Listener) Accept() (*Conn, error) {
 		return c, nil
 	case <-l.done:
 		return nil, ErrClosed
+	case <-l.m.done:
+		return nil, ErrClosed
 	}
 }
 
-// Close stops the listener and closes every accepted connection.
+// Close stops the listener and closes every accepted connection; when the
+// listener owns its Mux (Listen/ListenOn), the shared socket and any
+// other flows on it are torn down too.
 func (l *Listener) Close() error {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return nil
-	}
-	l.closed = true
-	conns := make([]*Conn, 0, len(l.conns))
-	for _, c := range l.conns {
-		conns = append(conns, c)
+	alreadyClosed := l.closed
+	if !l.closed {
+		l.closed = true
+		close(l.done)
 	}
 	l.mu.Unlock()
-	close(l.done)
+	if alreadyClosed {
+		if l.ownsMux {
+			return l.m.Close()
+		}
+		return nil
+	}
+	m := l.m
+	m.mu.Lock()
+	if m.listener == l {
+		m.listener = nil
+	}
+	conns := make([]*Conn, 0, len(m.accepted))
+	for _, e := range m.accepted {
+		conns = append(conns, e.conn)
+	}
+	m.mu.Unlock()
 	for _, c := range conns {
 		c.Close() //nolint:errcheck
 	}
-	return l.sock.Close()
+	if l.ownsMux {
+		return m.Close()
+	}
+	return nil
 }
 
-func (l *Listener) writeTo(b []byte, addr net.Addr) (int, error) {
-	return l.sock.WriteTo(b, addr)
-}
-
-// readLoop demultiplexes every datagram on the shared transport.
-func (l *Listener) readLoop() {
-	buf := make([]byte, 65536)
-	for i := 0; ; i++ {
-		if i%16 == 0 {
-			l.sock.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
-		}
-		n, from, err := l.sock.ReadFrom(buf)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				select {
-				case <-l.done:
-					return
-				default:
-					continue
-				}
-			}
-			return
-		}
-		key := from.String()
-		l.mu.Lock()
-		conn := l.conns[key]
-		l.mu.Unlock()
-		if conn != nil {
-			conn.handleDatagram(buf[:n])
-			continue
-		}
-		l.maybeHandshake(buf[:n], from)
-	}
-}
-
-// maybeHandshake answers a connection request from an unknown peer.
-func (l *Listener) maybeHandshake(raw []byte, from net.Addr) {
-	if !packet.IsControl(raw) {
-		return
-	}
-	ctrl, err := packet.DecodeControl(raw)
-	if err != nil || ctrl.Type != packet.TypeHandshake {
-		return
-	}
-	hs, err := packet.DecodeHandshake(ctrl)
-	if err != nil || hs.ReqType != 1 || hs.Version != packet.Version {
-		return
-	}
-	key := from.String()
-
+// closeAccepting marks the listener closed without touching connections —
+// Mux.Close calls it before closing every flow itself.
+func (l *Listener) closeAccepting() {
 	l.mu.Lock()
-	if l.closed {
-		l.mu.Unlock()
-		return
+	if !l.closed {
+		l.closed = true
+		close(l.done)
 	}
-	isn, dup := l.pending[key]
-	if !dup {
-		isn = l.cfg.randInt31() & seqno.Max
-		l.pending[key] = isn
-	}
-	cfg := l.cfg
-	if int(hs.MSS) < cfg.MSS && hs.MSS >= 96 {
-		cfg.MSS = int(hs.MSS)
-	}
-	if int(hs.FlowWindow) < cfg.MaxFlowWindow && hs.FlowWindow > 0 {
-		cfg.MaxFlowWindow = int(hs.FlowWindow)
-	}
-	var conn *Conn
-	if !dup {
-		peer := key
-		conn = newConn(cfg, l, func() { l.forget(peer) }, l.sock.LocalAddr(), from, isn, hs.InitSeq)
-		conn.udpRcvBuf, conn.udpSndBuf = l.udpRcvBuf, l.udpSndBuf
-		l.conns[key] = conn
-	}
-	l.mu.Unlock()
-
-	resp := packet.Handshake{
-		Version:    packet.Version,
-		SockType:   0,
-		InitSeq:    isn,
-		MSS:        int32(cfg.MSS),
-		FlowWindow: int32(cfg.MaxFlowWindow),
-		ReqType:    -1,
-		ConnID:     hs.ConnID,
-	}
-	out := make([]byte, 64)
-	if n, err := packet.EncodeHandshake(out, &resp, 0); err == nil {
-		l.sock.WriteTo(out[:n], from) //nolint:errcheck // client retries on loss
-	}
-	if conn != nil {
-		select {
-		case l.backlog <- conn:
-		default:
-			// Backlog overflow: drop the connection; the peer's handshake
-			// retries will find the slot again after forget().
-			conn.Close() //nolint:errcheck
-		}
-	}
-}
-
-// forget removes a torn-down connection from the demultiplexer.
-func (l *Listener) forget(key string) {
-	l.mu.Lock()
-	delete(l.conns, key)
-	delete(l.pending, key)
 	l.mu.Unlock()
 }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package udt
+
+// recvmmsg/sendmmsg syscall numbers for linux/amd64. The frozen syscall
+// package predates sendmmsg (kernel 3.0), so both are spelled out here.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

@@ -1,0 +1,255 @@
+//go:build linux && (amd64 || arm64)
+
+package udt
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Batched datagram I/O for the shared (Mux) socket: recvmmsg moves up to
+// mmsgBatch datagrams from the kernel per syscall on the read path, and
+// sendmmsg submits a whole control batch or data burst in one call on the
+// write path. Both run non-blocking inside the runtime poller
+// (RawConn.Read/Write), so Go deadlines and Close still work.
+
+// mmsgBatch is how many datagrams one recvmmsg/sendmmsg call moves.
+const mmsgBatch = 16
+
+// mmsghdr mirrors the kernel's struct mmsghdr. The trailing padding is
+// computed from Msghdr's layout so the array stride is correct on every
+// linux architecture.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [(msghdrAlign - (unsafe.Sizeof(syscall.Msghdr{})+4)%msghdrAlign) % msghdrAlign]byte
+}
+
+const msghdrAlign = unsafe.Alignof(syscall.Msghdr{})
+
+// mmsgReader is the recvmmsg read path. All per-message state — buffers,
+// iovecs, raw sockaddrs, and the net.UDPAddr values handed to deliver —
+// is preallocated and reused across batches, so steady-state reads
+// allocate nothing. Consumers that retain an address must clone it
+// (cloneAddr); the slot is overwritten by the next batch.
+type mmsgReader struct {
+	u  *net.UDPConn
+	rc syscall.RawConn
+	i  int
+
+	hdrs  [mmsgBatch]mmsghdr
+	iovs  [mmsgBatch]syscall.Iovec
+	names [mmsgBatch]syscall.RawSockaddrAny
+	bufs  [mmsgBatch][]byte
+	addrs [mmsgBatch]net.UDPAddr
+}
+
+// newBatchReader returns the recvmmsg reader for a real UDP socket, or
+// nil (→ portable single-datagram path) for other transports.
+func newBatchReader(pc PacketConn) batchReader {
+	u, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := u.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	r := &mmsgReader{u: u, rc: rc}
+	for i := range r.bufs {
+		r.bufs[i] = make([]byte, 65536)
+		r.iovs[i].Base = &r.bufs[i][0]
+		r.hdrs[i].hdr.Iov = &r.iovs[i]
+		r.hdrs[i].hdr.Iovlen = 1
+	}
+	return r
+}
+
+func (r *mmsgReader) readBatch(deliver func([]byte, net.Addr)) error {
+	// Refresh the deadline only periodically, keeping the syscall off the
+	// per-batch hot path (§4.1) while still letting the loop notice Close.
+	if r.i%16 == 0 {
+		r.u.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	}
+	r.i++
+	for i := range r.hdrs {
+		r.hdrs[i].hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		r.hdrs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+		r.iovs[i].SetLen(len(r.bufs[i]))
+		r.hdrs[i].n = 0
+	}
+	var got int
+	var serr error
+	err := r.rc.Read(func(fd uintptr) bool {
+		n, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+			uintptr(unsafe.Pointer(&r.hdrs[0])), mmsgBatch,
+			syscall.MSG_DONTWAIT, 0, 0)
+		if e == syscall.EAGAIN {
+			return false // wait for readability in the poller
+		}
+		if e != 0 {
+			serr = e
+		} else {
+			got = int(n)
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if serr != nil {
+		return serr
+	}
+	for i := 0; i < got; i++ {
+		from := r.sockaddr(i)
+		if from == nil {
+			continue // unknown address family; nothing to route by
+		}
+		deliver(r.bufs[i][:r.hdrs[i].n], from)
+	}
+	return nil
+}
+
+// sockaddr decodes message i's source address into its reusable slot.
+// Ports are read byte-wise (network order) so the decode is endianness
+// independent. IPv6 zone names are not recovered (link-local peers over a
+// Mux are out of scope — mapping Scope_id to a name allocates).
+func (r *mmsgReader) sockaddr(i int) net.Addr {
+	a := &r.addrs[i]
+	switch r.names[i].Addr.Family {
+	case syscall.AF_INET:
+		p := (*syscall.RawSockaddrInet4)(unsafe.Pointer(&r.names[i]))
+		a.IP = append(a.IP[:0], p.Addr[:]...)
+		a.Port = int(binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&p.Port))[:]))
+	case syscall.AF_INET6:
+		p := (*syscall.RawSockaddrInet6)(unsafe.Pointer(&r.names[i]))
+		a.IP = append(a.IP[:0], p.Addr[:]...)
+		a.Port = int(binary.BigEndian.Uint16((*[2]byte)(unsafe.Pointer(&p.Port))[:]))
+	default:
+		return nil
+	}
+	a.Zone = ""
+	return a
+}
+
+// mmsgWriter is the sendmmsg write path. One writer serves every flow on
+// the Mux, so the reusable header state is mutex guarded; headers and
+// iovecs grow to the largest batch seen and are then reused.
+type mmsgWriter struct {
+	u  *net.UDPConn
+	rc syscall.RawConn
+
+	mu   sync.Mutex
+	hdrs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  syscall.RawSockaddrInet4
+	sa6  syscall.RawSockaddrInet6
+}
+
+// newBatchSender returns the sendmmsg writer for a real UDP socket, or
+// nil (→ WriteTo loop) for other transports.
+func newBatchSender(pc PacketConn) batchWriter {
+	u, ok := pc.(*net.UDPConn)
+	if !ok {
+		return nil
+	}
+	rc, err := u.SyscallConn()
+	if err != nil {
+		return nil
+	}
+	return &mmsgWriter{u: u, rc: rc}
+}
+
+func (w *mmsgWriter) writeBatch(bufs [][]byte, addr net.Addr) error {
+	ua, ok := addr.(*net.UDPAddr)
+	if !ok {
+		for _, b := range bufs {
+			if _, err := w.u.WriteTo(b, addr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	var name *byte
+	var namelen uint32
+	if ip4 := ua.IP.To4(); ip4 != nil {
+		w.sa4.Family = syscall.AF_INET
+		copy(w.sa4.Addr[:], ip4)
+		binary.BigEndian.PutUint16((*[2]byte)(unsafe.Pointer(&w.sa4.Port))[:], uint16(ua.Port))
+		name = (*byte)(unsafe.Pointer(&w.sa4))
+		namelen = syscall.SizeofSockaddrInet4
+	} else {
+		w.sa6.Family = syscall.AF_INET6
+		copy(w.sa6.Addr[:], ua.IP.To16())
+		binary.BigEndian.PutUint16((*[2]byte)(unsafe.Pointer(&w.sa6.Port))[:], uint16(ua.Port))
+		name = (*byte)(unsafe.Pointer(&w.sa6))
+		namelen = syscall.SizeofSockaddrInet6
+	}
+
+	if cap(w.hdrs) < len(bufs) {
+		w.hdrs = make([]mmsghdr, len(bufs))
+		w.iovs = make([]syscall.Iovec, len(bufs))
+	}
+	hdrs := w.hdrs[:len(bufs)]
+	iovs := w.iovs[:len(bufs)]
+	for i, b := range bufs {
+		iovs[i].Base = &b[0]
+		iovs[i].SetLen(len(b))
+		hdrs[i].hdr.Name = name
+		hdrs[i].hdr.Namelen = namelen
+		hdrs[i].hdr.Iov = &iovs[i]
+		hdrs[i].hdr.Iovlen = 1
+		hdrs[i].n = 0
+	}
+
+	// sendmmsg may send a prefix of the batch; resubmit the rest until
+	// everything is out or the socket reports a real error.
+	transients := 0
+	for off := 0; off < len(hdrs); {
+		sent := 0
+		var serr error
+		err := w.rc.Write(func(fd uintptr) bool {
+			n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&hdrs[off])), uintptr(len(hdrs)-off),
+				syscall.MSG_DONTWAIT, 0, 0)
+			if e == syscall.EAGAIN {
+				return false // wait for writability in the poller
+			}
+			if e != 0 {
+				serr = e
+			} else {
+				sent = int(n)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if serr != nil {
+			if transientNetErr(serr) {
+				// sendmmsg reported a queued ICMP error (a departed
+				// peer's port unreachable — possibly another flow's)
+				// instead of sending; the report consumed it. Retry, and
+				// if the condition persists treat the rest of the batch
+				// as network loss rather than killing the connection.
+				if transients++; transients <= 4 {
+					continue
+				}
+				return nil
+			}
+			return serr
+		}
+		if sent <= 0 {
+			return syscall.EIO
+		}
+		off += sent
+	}
+	return nil
+}

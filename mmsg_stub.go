@@ -1,0 +1,10 @@
+//go:build !linux || !(amd64 || arm64)
+
+package udt
+
+// Platforms without the recvmmsg/sendmmsg fast path: the Mux falls back
+// to the portable single-datagram read loop and a WriteTo send loop.
+
+func newBatchReader(PacketConn) batchReader { return nil }
+
+func newBatchSender(PacketConn) batchWriter { return nil }

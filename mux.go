@@ -1,0 +1,603 @@
+package udt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"udt/internal/mux"
+	"udt/internal/packet"
+	"udt/internal/seqno"
+)
+
+// Mux multiplexes many concurrent UDT flows — outbound dials, a listener,
+// or both — over one shared datagram transport: one socket, one read
+// loop, N endpoints. Flows between two Mux-backed endpoints carry a
+// 4-byte destination-socket-ID prefix ahead of each (unchanged) UDT
+// packet, negotiated through the extended handshake; a peer speaking the
+// paper-era wire format is detected during the handshake and served bare
+// datagrams demultiplexed by its address instead (see internal/mux for
+// the dispatch rules).
+//
+// On Linux the read and write paths use recvmmsg/sendmmsg to move batches
+// of datagrams per syscall; elsewhere a portable single-datagram path is
+// used.
+type Mux struct {
+	cfg  Config // validated and filled; the defaults every flow inherits
+	sock PacketConn
+	core *mux.Core
+
+	udpRcvBuf, udpSndBuf int // achieved kernel buffer sizes (0 off-UDP)
+
+	reader batchReader // platform read path
+	sender batchWriter // platform batched write path; nil → WriteTo loop
+
+	randMu sync.Mutex // serializes cfg.randInt31 (cfg.Rand is not goroutine safe)
+
+	mu       sync.Mutex
+	pending  map[int32]*pendingDial  // our socket ID → dial awaiting response
+	accepted map[string]*acceptEntry // addr|connID|sockID → answered request
+	conns    map[*Conn]struct{}
+	listener *Listener
+	closed   bool
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// pendingDial tracks one in-flight Mux.Dial handshake.
+type pendingDial struct {
+	connID int32
+	raddr  net.Addr
+	resp   chan hsResp // buffered 1; first response wins
+}
+
+// hsResp is a handshake response routed to a pending dial.
+type hsResp struct {
+	hs      packet.Handshake
+	fromKey string // response source address in String() form
+}
+
+// acceptEntry pins the exact handshake response for one accepted request,
+// so duplicate requests (ours lost on the way back) are re-answered with
+// identical parameters instead of ignored.
+type acceptEntry struct {
+	resp packet.Handshake
+	conn *Conn
+}
+
+// batchReader is the platform read path: one call reads one or more
+// datagrams, invoking deliver for each. Buffers and addresses passed to
+// deliver are only valid during that call.
+type batchReader interface {
+	readBatch(deliver func(raw []byte, from net.Addr)) error
+}
+
+// NewMux wraps pc as a shared multi-flow socket and starts its read loop.
+// It takes ownership of pc — the transport is closed by Mux.Close — and
+// cfg (nil for defaults) supplies the parameters every flow inherits.
+func NewMux(pc PacketConn, cfg *Config) (*Mux, error) {
+	rcv, snd := 0, 0
+	if u, ok := pc.(*net.UDPConn); ok {
+		rcv, snd = tuneUDPBuffers(u)
+	}
+	return newMux(pc, cfg, rcv, snd)
+}
+
+func newMux(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Mux, error) {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		pc.Close() //nolint:errcheck
+		return nil, err
+	}
+	c.fill()
+	m := &Mux{
+		cfg:       c,
+		sock:      pc,
+		udpRcvBuf: rcvBuf,
+		udpSndBuf: sndBuf,
+		pending:   make(map[int32]*pendingDial),
+		accepted:  make(map[string]*acceptEntry),
+		conns:     make(map[*Conn]struct{}),
+		done:      make(chan struct{}),
+	}
+	m.core = mux.NewCore(m.handleHandshake)
+	m.reader = newBatchReader(pc)
+	if m.reader == nil {
+		m.reader = &singleReader{pc: pc, buf: make([]byte, 65536)}
+	}
+	m.sender = newBatchSender(pc)
+	m.wg.Add(1)
+	go m.readLoop()
+	return m, nil
+}
+
+// Addr returns the shared transport's local address.
+func (m *Mux) Addr() net.Addr { return m.sock.LocalAddr() }
+
+// Counters reports the demultiplexer's drop totals: datagrams whose
+// destination socket ID (or, for bare traffic, source address) was
+// unknown, and datagrams too short to classify. The same totals surface
+// per-connection as Stats.MuxUnknownDest / Stats.MuxShortDatagram.
+func (m *Mux) Counters() (unknownDest, shortDatagram uint64) {
+	return m.core.Counters()
+}
+
+// Flows returns the number of socket-ID-routed flows currently resident.
+func (m *Mux) Flows() int { return m.core.Flows() }
+
+// randInt31 draws handshake randomness under the rand lock: dials run
+// concurrently and Config.Rand is a bare *rand.Rand.
+func (m *Mux) randInt31() int32 {
+	m.randMu.Lock()
+	defer m.randMu.Unlock()
+	return m.cfg.randInt31()
+}
+
+// transientNetErr reports whether a socket error is a transient
+// datagram-level condition rather than a dead transport. Linux queues ICMP
+// errors (port unreachable from a peer whose process exited, a routing
+// blip, an iptables drop) on the socket and reports them as errno on the
+// *next* syscall; on a shared socket that error belongs to at most one
+// flow, so the socket must keep serving the others. The datagram involved
+// is simply lost, which the protocol already repairs.
+func transientNetErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EHOSTUNREACH) ||
+		errors.Is(err, syscall.ENETUNREACH) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EPERM)
+}
+
+// readLoop pumps the shared socket into the demultiplexer until the
+// transport closes. One flow's dead peer must not take the loop down:
+// queued ICMP errors are skipped, not treated as a closed transport.
+func (m *Mux) readLoop() {
+	defer m.wg.Done()
+	deliver := func(raw []byte, from net.Addr) { m.core.Dispatch(raw, from) }
+	for {
+		if err := m.reader.readBatch(deliver); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				select {
+				case <-m.done:
+					return
+				default:
+					continue
+				}
+			}
+			if transientNetErr(err) {
+				continue
+			}
+			return // transport closed
+		}
+	}
+}
+
+// singleReader is the portable read path: one ReadFrom per call, with a
+// periodically refreshed deadline so the loop notices Close.
+type singleReader struct {
+	pc  PacketConn
+	buf []byte
+	i   int
+}
+
+func (r *singleReader) readBatch(deliver func([]byte, net.Addr)) error {
+	if r.i%16 == 0 {
+		r.pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
+	}
+	r.i++
+	n, from, err := r.pc.ReadFrom(r.buf)
+	if err != nil {
+		return err
+	}
+	deliver(r.buf[:n], from)
+	return nil
+}
+
+// muxFlow is one endpoint's seat on the shared socket: the sockWriter a
+// multiplexed Conn sends through, and the mux.Flow its datagrams are
+// delivered to. peerID selects the wire format — nonzero stamps the
+// peer's socket ID into the headroom of every outgoing datagram; zero
+// (an old peer) sends bare packets and receives by address.
+type muxFlow struct {
+	m         *Mux
+	raddr     net.Addr
+	id        int32  // our socket ID (0 only for bare accepted flows)
+	peerID    int32  // peer's socket ID; 0 = paper-era bare wire format
+	addrKey   string // bare-traffic routing key, when registered
+	acceptKey string // accepted-map key, for teardown
+	conn      atomic.Pointer[Conn]
+}
+
+// HandleDatagram delivers one demultiplexed datagram to the connection.
+// Packets racing ahead of connection setup (the peer answers before our
+// Conn is wired) are dropped; the protocol's timers repair the loss.
+func (f *muxFlow) HandleDatagram(raw []byte) {
+	if c := f.conn.Load(); c != nil {
+		c.handleDatagram(raw)
+	}
+}
+
+func (f *muxFlow) headroom() int {
+	if f.peerID != 0 {
+		return mux.DestPrefix
+	}
+	return 0
+}
+
+func (f *muxFlow) writeTo(b []byte, addr net.Addr) (int, error) {
+	if f.peerID != 0 {
+		mux.PutDest(b, f.peerID)
+	}
+	n, err := f.m.sock.WriteTo(b, addr)
+	if err != nil && transientNetErr(err) {
+		// A queued ICMP error (possibly another flow's) consumed this
+		// send; count the datagram as lost, not the connection as dead.
+		return len(b), nil
+	}
+	return n, err
+}
+
+func (f *muxFlow) writeBatch(bufs [][]byte, addr net.Addr) error {
+	if f.peerID != 0 {
+		for _, b := range bufs {
+			mux.PutDest(b, f.peerID)
+		}
+	}
+	if s := f.m.sender; s != nil {
+		return s.writeBatch(bufs, addr)
+	}
+	for _, b := range bufs {
+		if _, err := f.m.sock.WriteTo(b, addr); err != nil {
+			if transientNetErr(err) {
+				continue // this datagram is lost; the socket is fine
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *muxFlow) muxCounters() (uint64, uint64) { return f.m.core.Counters() }
+
+// release tears one flow out of every table; it is each Conn's closer.
+func (m *Mux) release(f *muxFlow) {
+	if f.id != 0 {
+		m.core.Unregister(f.id)
+	}
+	if f.addrKey != "" {
+		m.core.UnregisterAddr(f.addrKey, f)
+	}
+	m.mu.Lock()
+	if c := f.conn.Load(); c != nil {
+		delete(m.conns, c)
+	}
+	if f.acceptKey != "" {
+		delete(m.accepted, f.acceptKey)
+	}
+	delete(m.pending, f.id)
+	m.mu.Unlock()
+}
+
+// cloneAddr copies an address that may alias reusable reader state (the
+// recvmmsg path reuses its address slots across batches). Non-UDP
+// transports (netem) hand out one stable *Addr per peer, safe to retain.
+func cloneAddr(a net.Addr) net.Addr {
+	if u, ok := a.(*net.UDPAddr); ok {
+		c := *u
+		c.IP = append(net.IP(nil), u.IP...)
+		return &c
+	}
+	return a
+}
+
+// Dial opens a UDT connection to raddr over the shared socket. The
+// handshake advertises our socket ID; a Mux-backed peer answers with its
+// own and both directions switch to socket-ID-prefixed datagrams, so any
+// number of flows can share one address pair. An old peer answers with
+// the paper-era handshake and the flow falls back to bare datagrams
+// routed by the peer's address — at most one such flow per peer address.
+func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
+	if raddr == nil {
+		return nil, errors.New("udt: mux dial: nil remote address")
+	}
+	cfg := m.cfg
+	// Leave room in each datagram for the destination prefix; the reduced
+	// MSS is advertised so the peer's packets also fit under the path MTU.
+	cfg.MSS -= mux.DestPrefix
+	if cfg.MSS < 96 {
+		cfg.MSS = 96
+	}
+
+	flow := &muxFlow{m: m, raddr: cloneAddr(raddr)}
+	id := m.core.AllocID(m.randInt31, flow)
+	flow.id = id
+	isn := m.randInt31() & seqno.Max
+	connID := m.randInt31()
+	pd := &pendingDial{connID: connID, raddr: flow.raddr, resp: make(chan hsResp, 1)}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.core.Unregister(id)
+		return nil, ErrClosed
+	}
+	m.pending[id] = pd
+	m.mu.Unlock()
+	fail := func(err error) (*Conn, error) {
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		m.core.Unregister(id)
+		return nil, err
+	}
+
+	req := packet.Handshake{
+		Version:    packet.Version,
+		InitSeq:    isn,
+		MSS:        int32(cfg.MSS),
+		FlowWindow: int32(cfg.MaxFlowWindow),
+		ReqType:    1,
+		ConnID:     connID,
+		SockID:     id,
+	}
+	buf := make([]byte, 64)
+	n, err := packet.EncodeHandshake(buf, &req, 0)
+	if err != nil {
+		return fail(err)
+	}
+
+	// Send the request, retrying until the read loop routes a response
+	// back to us (responses arrive bare; internal/mux hands them to
+	// handleHandshake, which matches them by our socket ID or, for old
+	// peers, by connection ID and address).
+	if _, err := m.sock.WriteTo(buf[:n], raddr); err != nil {
+		return fail(fmt.Errorf("udt: handshake: %w", err))
+	}
+	deadline := time.NewTimer(cfg.HandshakeTimeout)
+	defer deadline.Stop()
+	retry := time.NewTicker(250 * time.Millisecond)
+	defer retry.Stop()
+	var r hsResp
+wait:
+	for {
+		select {
+		case r = <-pd.resp:
+			break wait
+		case <-retry.C:
+			if _, err := m.sock.WriteTo(buf[:n], raddr); err != nil {
+				return fail(fmt.Errorf("udt: handshake: %w", err))
+			}
+		case <-deadline.C:
+			return fail(ErrTimeout)
+		case <-m.done:
+			return fail(ErrClosed)
+		}
+	}
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+
+	hs := r.hs
+	// Negotiate downwards.
+	if int(hs.MSS) < cfg.MSS && hs.MSS >= 96 {
+		cfg.MSS = int(hs.MSS)
+	}
+	if int(hs.FlowWindow) < cfg.MaxFlowWindow && hs.FlowWindow > 0 {
+		cfg.MaxFlowWindow = int(hs.FlowWindow)
+	}
+	flow.peerID = hs.SockID
+	if flow.peerID == 0 {
+		// Old peer: its datagrams arrive bare; route them by address.
+		flow.addrKey = r.fromKey
+		m.core.RegisterAddr(flow.addrKey, flow)
+	}
+	cfg.sockID = id
+	conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq)
+	conn.mu.Lock()
+	conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
+	conn.mu.Unlock()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close() //nolint:errcheck
+		return nil, ErrClosed
+	}
+	m.conns[conn] = struct{}{}
+	m.mu.Unlock()
+	flow.conn.Store(conn)
+	return conn, nil
+}
+
+// Listen starts accepting incoming connections on the shared socket. A
+// Mux carries at most one listener; dialed flows are unaffected by it.
+func (m *Mux) Listen() (*Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if m.listener != nil {
+		return nil, errors.New("udt: mux already has a listener")
+	}
+	l := &Listener{
+		m:       m,
+		backlog: make(chan *Conn, 256),
+		done:    make(chan struct{}),
+	}
+	m.listener = l
+	return l, nil
+}
+
+// Close tears the whole shared socket down: every flow, the listener, and
+// the transport.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]*Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	l := m.listener
+	m.mu.Unlock()
+	close(m.done)
+	if l != nil {
+		l.closeAccepting()
+	}
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	err := m.sock.Close()
+	m.wg.Wait()
+	return err
+}
+
+// handleHandshake receives every bare handshake control packet on the
+// shared socket, on the read-loop goroutine.
+func (m *Mux) handleHandshake(raw []byte, from net.Addr) {
+	ctrl, err := packet.DecodeControl(raw)
+	if err != nil {
+		return
+	}
+	hs, err := packet.DecodeHandshake(ctrl)
+	if err != nil || hs.Version != packet.Version {
+		return
+	}
+	switch hs.ReqType {
+	case -1:
+		m.completeDial(hs, from)
+	case 1:
+		m.answerRequest(hs, from)
+	}
+}
+
+// completeDial routes a handshake response to the dial waiting for it. A
+// Mux-backed peer echoes our socket ID in PeerSockID — an exact table
+// match; an old peer's 28-byte response is matched by connection ID and
+// source address.
+func (m *Mux) completeDial(hs packet.Handshake, from net.Addr) {
+	m.mu.Lock()
+	var pd *pendingDial
+	if hs.PeerSockID != 0 {
+		if p := m.pending[hs.PeerSockID]; p != nil && p.connID == hs.ConnID {
+			pd = p
+		}
+	} else {
+		for _, p := range m.pending {
+			if p.connID == hs.ConnID && addrEqual(from, p.raddr) {
+				pd = p
+				break
+			}
+		}
+	}
+	m.mu.Unlock()
+	if pd == nil {
+		return
+	}
+	select {
+	case pd.resp <- hsResp{hs: hs, fromKey: from.String()}:
+	default: // duplicate response; the first one won
+	}
+}
+
+// answerRequest accepts (or re-answers) a connection request. Requests
+// are deduplicated by (address, connection ID, peer socket ID), so one
+// client address can carry many multiplexed flows, and a request whose
+// response was lost is answered again with identical parameters — the
+// retry is indistinguishable from the original on the client side.
+func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr) {
+	key := from.String() + "|" + strconv.FormatInt(int64(hs.ConnID), 10) +
+		"|" + strconv.FormatInt(int64(hs.SockID), 10)
+	m.mu.Lock()
+	if m.closed || m.listener == nil {
+		m.mu.Unlock()
+		return
+	}
+	backlog := m.listener.backlog
+	var fresh *Conn
+	e := m.accepted[key]
+	if e == nil && len(backlog) == cap(backlog) {
+		// Backlog full: drop the request unanswered, like a full TCP listen
+		// queue. Answering first and closing on overflow would tear the
+		// flow down microseconds after the client completed its dial — its
+		// retry converges, a lost shutdown notice does not.
+		m.mu.Unlock()
+		return
+	}
+	if e == nil {
+		cfg := m.cfg
+		if hs.Ext() {
+			// Both sides will prefix; shrink the packet to keep prefix +
+			// packet within the same datagram budget.
+			cfg.MSS -= mux.DestPrefix
+			if cfg.MSS < 96 {
+				cfg.MSS = 96
+			}
+		}
+		if int(hs.MSS) < cfg.MSS && hs.MSS >= 96 {
+			cfg.MSS = int(hs.MSS)
+		}
+		if int(hs.FlowWindow) < cfg.MaxFlowWindow && hs.FlowWindow > 0 {
+			cfg.MaxFlowWindow = int(hs.FlowWindow)
+		}
+		isn := m.randInt31() & seqno.Max
+		flow := &muxFlow{m: m, raddr: cloneAddr(from), peerID: hs.SockID, acceptKey: key}
+		if hs.Ext() {
+			flow.id = m.core.AllocID(m.randInt31, flow)
+		} else {
+			// Old client: everything it sends is bare; route by address.
+			flow.addrKey = from.String()
+			m.core.RegisterAddr(flow.addrKey, flow)
+		}
+		cfg.sockID = flow.id
+		conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq)
+		conn.mu.Lock()
+		conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
+		conn.mu.Unlock()
+		e = &acceptEntry{
+			resp: packet.Handshake{
+				Version:    packet.Version,
+				InitSeq:    isn,
+				MSS:        int32(cfg.MSS),
+				FlowWindow: int32(cfg.MaxFlowWindow),
+				ReqType:    -1,
+				ConnID:     hs.ConnID,
+				SockID:     flow.id, // zero for old clients → 28-byte reply
+				PeerSockID: hs.SockID,
+			},
+			conn: conn,
+		}
+		m.accepted[key] = e
+		m.conns[conn] = struct{}{}
+		flow.conn.Store(conn)
+		fresh = conn
+	}
+	resp := e.resp
+	m.mu.Unlock()
+
+	out := make([]byte, 64)
+	if n, err := packet.EncodeHandshake(out, &resp, 0); err == nil {
+		m.sock.WriteTo(out[:n], from) //nolint:errcheck // client retries on loss
+	}
+	if fresh != nil {
+		select {
+		case backlog <- fresh:
+		default:
+			// Backlog overflow: drop the connection; the client's retries
+			// will find the slot again after release().
+			fresh.Close() //nolint:errcheck
+		}
+	}
+}

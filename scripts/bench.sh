@@ -18,6 +18,13 @@
 #                                             allocs must stay exactly zero
 #   loopback_mbps                             memory-to-memory UDP loopback
 #                                             transfer (BenchmarkFig14CPU)
+#   mux_demux_ns_per_packet / mux_demux_allocs_per_packet  shared-socket
+#                                             socket-ID dispatch, one flow
+#                                             (BenchmarkMuxDemux); allocs must
+#                                             stay exactly zero
+#   mux_demux_4096flows_ns_per_packet         same dispatch with 4096 flows
+#                                             resident on the socket
+#                                             (BenchmarkMuxDemuxFlows)
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-/dev/stdout}"
@@ -27,10 +34,13 @@ old=$(go test ./internal/netsim -run XXX -bench 'SimEventsContainerHeap$' -bench
 snd=$(go test . -run XXX -bench 'SenderPacket$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacket/ {print $3, $7}')
 sndtr=$(go test . -run XXX -bench 'SenderPacketTraced$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacketTraced/ {print $3, $7}')
 mbps=$(go test . -run XXX -bench 'Fig14CPU$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkFig14CPU/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+mux=$(go test ./internal/mux -run XXX -bench 'MuxDemux$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemux/ {print $3, $7}')
+muxwide=$(go test ./internal/mux -run XXX -bench 'MuxDemuxFlows/flows=4096$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemuxFlows/ {print $3}')
 
 set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
 set -- $sndtr; sndtr_ns=$1; sndtr_allocs=$2
+set -- $mux; mux_ns=$1; mux_allocs=$2
 
 cat > "$out" <<EOF
 {
@@ -41,6 +51,9 @@ cat > "$out" <<EOF
   "send_allocs_per_packet": $snd_allocs,
   "send_traced_ns_per_packet": $sndtr_ns,
   "send_traced_allocs_per_packet": $sndtr_allocs,
-  "loopback_mbps": $mbps
+  "loopback_mbps": $mbps,
+  "mux_demux_ns_per_packet": $mux_ns,
+  "mux_demux_allocs_per_packet": $mux_allocs,
+  "mux_demux_4096flows_ns_per_packet": $muxwide
 }
 EOF

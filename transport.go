@@ -29,10 +29,19 @@ type PacketConn interface {
 	SetReadDeadline(t time.Time) error
 }
 
-// addrEqual reports whether two transport addresses denote the same peer:
-// by interface identity (netem endpoints hand out one *Addr for life), by
-// UDP host:port, or — across other implementations — by network and string
-// form.
+// addrEqual reports whether two transport addresses denote the same peer.
+// It is symmetric in all cases:
+//
+//   - interface identity (netem endpoints hand out one *Addr for life);
+//   - two *net.UDPAddr compare by port and net.IP.Equal, so an
+//     IPv4-in-IPv6 mapped address (::ffff:127.0.0.1) equals its IPv4 form
+//     regardless of which side of the comparison it appears on;
+//   - otherwise — mixed *net.UDPAddr vs another implementation, or two
+//     non-UDP implementations — by Network() and String() form. A non-UDP
+//     addr can therefore deliberately impersonate a UDP peer by reporting
+//     network "udp" and the same host:port string (proxied transports rely
+//     on this), but zone-less string forms of mapped addresses still match
+//     because net.IP.String() prints them in dotted-quad form.
 func addrEqual(a, b net.Addr) bool {
 	if a == b {
 		return true
@@ -40,9 +49,10 @@ func addrEqual(a, b net.Addr) bool {
 	if a == nil || b == nil {
 		return false
 	}
-	if au, ok := a.(*net.UDPAddr); ok {
-		bu, ok := b.(*net.UDPAddr)
-		return ok && udpAddrEqual(au, bu)
+	au, aok := a.(*net.UDPAddr)
+	bu, bok := b.(*net.UDPAddr)
+	if aok && bok {
+		return udpAddrEqual(au, bu)
 	}
 	return a.Network() == b.Network() && a.String() == b.String()
 }
@@ -136,35 +146,27 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 
 // ListenOn starts a UDT listener on the supplied transport. It is Listen
 // for arbitrary datagram fabrics; all accepted connections share pc,
-// demultiplexed by peer address. ListenOn takes ownership of pc — it is
-// closed by Listener.Close — and cfg may be nil for defaults.
+// demultiplexed by socket ID (multiplexing clients) or peer address
+// (paper-era clients). ListenOn takes ownership of pc — it is closed by
+// Listener.Close — and cfg may be nil for defaults.
 func ListenOn(pc PacketConn, cfg *Config) (*Listener, error) {
 	return listenOn(pc, cfg, 0, 0)
 }
 
-// listenOn builds the Listener; the socket buffer sizes must be known
-// before the read loop starts, since accepted connections copy them.
+// listenOn builds a Mux the listener owns; the socket buffer sizes must
+// be known before the read loop starts, since accepted connections copy
+// them.
 func listenOn(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Listener, error) {
-	var c Config
-	if cfg != nil {
-		c = *cfg
-	}
-	if err := c.Validate(); err != nil {
-		pc.Close() //nolint:errcheck
+	m, err := newMux(pc, cfg, rcvBuf, sndBuf)
+	if err != nil {
 		return nil, err
 	}
-	c.fill()
-	l := &Listener{
-		cfg:       c,
-		sock:      pc,
-		udpRcvBuf: rcvBuf,
-		udpSndBuf: sndBuf,
-		conns:     make(map[string]*Conn),
-		pending:   make(map[string]int32),
-		backlog:   make(chan *Conn, 64),
-		done:      make(chan struct{}),
+	l, err := m.Listen()
+	if err != nil {
+		m.Close() //nolint:errcheck
+		return nil, err
 	}
-	go l.readLoop()
+	l.ownsMux = true
 	return l, nil
 }
 

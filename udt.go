@@ -75,6 +75,12 @@ type Config struct {
 	// called under the connection lock; it must not block or call back into
 	// the Conn.
 	Trace TraceSink
+
+	// sockID is this endpoint's socket ID on a shared (multiplexed)
+	// socket, filled in by Mux before the connection is wired; zero for a
+	// private socket. It flows into the engine (and perf records) via
+	// coreConfig.
+	sockID int32
 }
 
 // Validate rejects configurations that would misbehave silently: negative
@@ -167,6 +173,7 @@ func (c *Config) coreConfig(isn int32) core.Config {
 		RecvBufPkts:   int32(c.RcvBuf),
 		MinEXP:        c.MinEXPInterval.Microseconds(),
 		PeerDeathTime: c.PeerDeathTimeout.Microseconds(),
+		SockID:        c.sockID,
 	}
 }
 
@@ -183,6 +190,13 @@ type Stats struct {
 	// transport such as netem.
 	UDPRcvBufBytes int
 	UDPSndBufBytes int
+	// MuxUnknownDest and MuxShortDatagram count datagrams the shared
+	// socket's demultiplexer dropped — destination socket ID (or peer
+	// address) not in its tables, and datagrams too short to classify.
+	// They are socket-wide totals (every flow on the same Mux reports the
+	// same values); zero when the connection has a private socket.
+	MuxUnknownDest   uint64
+	MuxShortDatagram uint64
 }
 
 // PerfRecord is one perfmon telemetry sample; see internal/trace for the
