@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race muxrace vet ci bench smoke docs chaos
+.PHONY: all build test race muxrace vet ci bench smoke docs chaos ccmatrix
 
 all: build
 
@@ -36,7 +36,7 @@ bench:
 # docs runs the documentation gates: godoc coverage of the audited packages
 # and Markdown link integrity.
 docs:
-	$(GO) run ./scripts/doccheck internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
+	$(GO) run ./scripts/doccheck internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
 	$(GO) run ./scripts/mdcheck
 
 # chaos runs the fixed-seed fault-injection matrix: full transfers of
@@ -46,6 +46,14 @@ docs:
 # pass. Seconds of wall time; see EXPERIMENTS.md.
 chaos:
 	$(GO) run ./cmd/udtchaos -determinism -real
+
+# ccmatrix runs the congestion-control matrix: each pluggable law (native,
+# ctcp, scalable, hstcp) carrying transfers through loss, plus fairness cells
+# racing two laws over one shared rate-capped link — all replayed twice and
+# required to be bit-identical. See DESIGN.md "Configurable congestion
+# control".
+ccmatrix:
+	$(GO) run ./cmd/udtchaos -ccmatrix -determinism
 
 # smoke is the fast correctness pass: the allocation gates plus the simulator
 # determinism suite.

@@ -27,8 +27,10 @@ func (d *discardSock) headroom() int { return 0 }
 // sender goroutine, so tests can drive claimBurstLocked/drainOutboxLocked
 // deterministically from one goroutine. With traced set, a perfmon ring is
 // attached just as newConn attaches one, so the alloc gates cover telemetry.
-func newSendPathConn(sock sockWriter, traced bool) *Conn {
-	cfg := Config{}
+// cc selects the congestion controller (nil = native), so the gates cover
+// every registered law's interface dispatch.
+func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory) *Conn {
+	cfg := Config{CC: cc}
 	cfg.fill()
 	c := &Conn{
 		cfg:   cfg,
@@ -92,38 +94,53 @@ func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens *[se
 // into the reusable scratch burst, socket write, ACK bookkeeping, control
 // drain into the reusable batch arena — allocates nothing. The connection
 // runs with a perfmon ring attached (the default newConn configuration), so
-// the gate also proves telemetry adds 0 allocs/packet on the hot path.
+// the gate also proves telemetry — including the CC name and window fields —
+// adds 0 allocs/packet on the hot path. Every registered congestion
+// controller is gated, since the engine now reaches its law through the
+// congestion.Controller interface on each packet sent and ACK handled.
 func TestSenderPathAllocs(t *testing.T) {
-	sock := &discardSock{}
-	c := newSendPathConn(sock, true)
-	var batch sendBatch
-	scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
-	var lens [sendBurst]int
-	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
+	for _, name := range CongestionControls() {
+		t.Run(name, func(t *testing.T) {
+			cc, err := CongestionControl(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sock := &discardSock{}
+			c := newSendPathConn(sock, true, cc)
+			var batch sendBatch
+			scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
+			var lens [sendBurst]int
+			data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
 
-	// Warm up: grow the batch arena, the engine's outbox and the ACK
-	// history window to steady state.
-	for i := 0; i < 64; i++ {
-		sendCycle(c, data, &batch, scratch, &lens)
-	}
-	sentBefore := c.core.Stats.PktsSent
-	avg := testing.AllocsPerRun(500, func() {
-		sendCycle(c, data, &batch, scratch, &lens)
-	})
-	sent := c.core.Stats.PktsSent - sentBefore
-	if sent < 500 {
-		t.Fatalf("send path stalled during measurement: only %d packets sent", sent)
-	}
-	if avg != 0 {
-		t.Fatalf("send path allocates %.2f objects per packet, want 0", avg)
-	}
-	// The measured cycles may all fall inside one SYN interval; cross a SYN
-	// boundary explicitly to prove the sampler really was attached and live.
-	c.mu.Lock()
-	c.core.Advance(c.clock.Now() + 2*c.cfg.SYN.Microseconds())
-	c.mu.Unlock()
-	if c.perfRing.Total() == 0 {
-		t.Fatal("perf ring recorded nothing; the traced gate proved nothing")
+			// Warm up: grow the batch arena, the engine's outbox and the ACK
+			// history window to steady state.
+			for i := 0; i < 64; i++ {
+				sendCycle(c, data, &batch, scratch, &lens)
+			}
+			sentBefore := c.core.Stats.PktsSent
+			avg := testing.AllocsPerRun(500, func() {
+				sendCycle(c, data, &batch, scratch, &lens)
+			})
+			sent := c.core.Stats.PktsSent - sentBefore
+			if sent < 500 {
+				t.Fatalf("send path stalled during measurement: only %d packets sent", sent)
+			}
+			if avg != 0 {
+				t.Fatalf("send path allocates %.2f objects per packet, want 0", avg)
+			}
+			// The measured cycles may all fall inside one SYN interval; cross
+			// a SYN boundary explicitly to prove the sampler really was
+			// attached and live.
+			c.mu.Lock()
+			c.core.Advance(c.clock.Now() + 2*c.cfg.SYN.Microseconds())
+			c.mu.Unlock()
+			if c.perfRing.Total() == 0 {
+				t.Fatal("perf ring recorded nothing; the traced gate proved nothing")
+			}
+			if r, ok := c.perfRing.Last(); !ok || r.CCName != name {
+				t.Fatalf("perf record carries cc %q, want %q", r.CCName, name)
+			}
+		})
 	}
 }
 
@@ -143,7 +160,7 @@ func BenchmarkSenderPacketTraced(b *testing.B) {
 
 func benchmarkSenderPacket(b *testing.B, traced bool) {
 	sock := &discardSock{}
-	c := newSendPathConn(sock, traced)
+	c := newSendPathConn(sock, traced, nil)
 	var batch sendBatch
 	scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
 	var lens [sendBurst]int
@@ -163,7 +180,7 @@ func benchmarkSenderPacket(b *testing.B, traced bool) {
 // it, including NAKs with long compressed loss lists.
 func TestDrainOutboxSizing(t *testing.T) {
 	sock := &discardSock{}
-	c := newSendPathConn(sock, false)
+	c := newSendPathConn(sock, false, nil)
 	now := c.clock.Now()
 
 	// Provoke one of each control kind. Losses with many disjoint ranges

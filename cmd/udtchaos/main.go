@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	udtchaos [-seed N] [-determinism] [-real] [-v]
+//	udtchaos [-seed N] [-determinism] [-ccmatrix] [-real] [-v]
 //
 // Exit status is non-zero if any matrix cell fails. With -determinism each
 // cell runs twice and the two results must be bit-identical — the replay
-// guarantee the virtual clock provides. With -real a smoke subset also
-// runs over the production Dial/Listen stack.
+// guarantee the virtual clock provides. With -ccmatrix the congestion-control
+// matrix runs instead of the impairment matrix: every pluggable law carries
+// a transfer through loss, and fairness cells race two laws over one shared
+// rate-capped link. With -real a smoke subset also runs over the production
+// Dial/Listen stack — one transfer per congestion controller.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os"
 	"reflect"
 
+	"udt"
 	"udt/internal/netem"
 	"udt/internal/netem/chaos"
 )
@@ -26,12 +30,16 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "PRNG seed for payloads, handshakes and impairments")
 	determinism := flag.Bool("determinism", false, "run every cell twice and require bit-identical results")
+	ccmatrix := flag.Bool("ccmatrix", false, "run the congestion-control matrix instead of the impairment matrix")
 	real := flag.Bool("real", false, "also run a smoke subset over the concurrent udt stack")
 	verbose := flag.Bool("v", false, "print per-cell protocol counters")
 	flag.Parse()
 
 	failed := 0
 	cases := chaos.QuickMatrix()
+	if *ccmatrix {
+		cases = chaos.CCMatrix()
+	}
 	results := chaos.RunMatrix(*seed, cases)
 	var second []chaos.CaseResult
 	if *determinism {
@@ -60,6 +68,13 @@ func main() {
 				cr.Case.Name, status, float64(m.Elapsed)/1e6,
 				m.FlowsOK, len(m.Flows),
 				m.UnknownDestA, m.ShortA, m.UnknownDestB, m.ShortB, det)
+			if len(cr.Case.CCs) > 0 {
+				// Fairness cell: show how the shared link split per law.
+				for j, f := range m.Flows {
+					fmt.Printf("    flow %d %-9s goodput a=%.2f Mb/s b=%.2f Mb/s\n",
+						j, f.CC, f.GoodputAMbps, f.GoodputBMbps)
+				}
+			}
 			if *verbose {
 				fmt.Printf("    a->b: %+v\n    b->a: %+v\n", m.PathAB, m.PathBA)
 			}
@@ -76,14 +91,35 @@ func main() {
 	}
 
 	if *real {
-		for _, rc := range []struct {
+		smokes := []struct {
 			name string
 			link netem.LinkConfig
+			cc   string
 		}{
-			{"real-clean", netem.LinkConfig{Delay: 1000}},
-			{"real-loss-1pct", netem.LinkConfig{Delay: 2000, Jitter: 2000, Loss: 0.01, Dup: 0.001}},
-		} {
-			res, err := chaos.RunReal(chaos.RealConfig{Seed: *seed, Payload: 1 << 20, Link: rc.link})
+			{"real-clean", netem.LinkConfig{Delay: 1000}, ""},
+			{"real-loss-1pct", netem.LinkConfig{Delay: 2000, Jitter: 2000, Loss: 0.01, Dup: 0.001}, ""},
+		}
+		// One impaired transfer per congestion controller over the full
+		// concurrent stack — the paper's §5.2 laws moving real bytes.
+		for _, name := range udt.CongestionControls() {
+			smokes = append(smokes, struct {
+				name string
+				link netem.LinkConfig
+				cc   string
+			}{"real-cc-" + name, netem.LinkConfig{Delay: 2000, Jitter: 1000, Loss: 0.005}, name})
+		}
+		for _, rc := range smokes {
+			ucfg := udt.Config{}
+			if rc.cc != "" {
+				cc, err := udt.CongestionControl(rc.cc)
+				if err != nil {
+					fmt.Printf("%-22s FAIL error=%v\n", rc.name, err)
+					failed++
+					continue
+				}
+				ucfg.CC = cc
+			}
+			res, err := chaos.RunReal(chaos.RealConfig{Seed: *seed, Payload: 1 << 20, Link: rc.link, UDT: ucfg})
 			switch {
 			case err != nil:
 				fmt.Printf("%-22s FAIL error=%v\n", rc.name, err)
@@ -92,8 +128,8 @@ func main() {
 				fmt.Printf("%-22s FAIL recv=%d hash mismatch\n", rc.name, res.RecvBytes)
 				failed++
 			default:
-				fmt.Printf("%-22s ok   wall=%8.3fs retrans=%d\n",
-					rc.name, res.Elapsed.Seconds(), res.Client.PktsRetrans)
+				fmt.Printf("%-22s ok   wall=%8.3fs retrans=%d cc=%s\n",
+					rc.name, res.Elapsed.Seconds(), res.Client.PktsRetrans, res.Client.CCName)
 			}
 		}
 	}

@@ -1,12 +1,18 @@
 // Command udtfile transfers files over UDT using the sendfile/recvfile API
 // (paper §4.7).
 //
-// Receive side:  udtfile -recv -addr :9001 -out dir/
-// Send side:     udtfile -send path/to/file -to host:9001
+// Receive side:  udtfile -recv -addr :9001 -out dir/ [-once]
+// Send side:     udtfile -send path/to/file -to host:9001 [-cc ctcp]
+//
+// Both sides print the connection's final protocol statistics (congestion
+// controller, retransmissions, loss, RTT) and exit nonzero when a transfer
+// fails — -once makes the receiver serve exactly one transfer so scripts
+// can check its exit status.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"path/filepath"
@@ -19,22 +25,32 @@ func main() {
 	recv := flag.Bool("recv", false, "receive files")
 	addr := flag.String("addr", ":9001", "receive listen address")
 	out := flag.String("out", ".", "receive output directory")
+	once := flag.Bool("once", false, "receive exactly one transfer, then exit (nonzero if it failed)")
 	send := flag.String("send", "", "file to send")
 	to := flag.String("to", "", "destination host:port")
+	ccName := flag.String("cc", "", fmt.Sprintf("congestion controller for the sending side %v; default native", udt.CongestionControls()))
 	flag.Parse()
 
 	switch {
 	case *recv:
-		runRecv(*addr, *out)
+		runRecv(*addr, *out, *once)
 	case *send != "" && *to != "":
-		runSend(*send, *to)
+		runSend(*send, *to, *ccName)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runRecv(addr, dir string) {
+// statsLine summarizes a connection's final protocol counters — the same
+// fields udtperf reports, so the two tools' outputs line up.
+func statsLine(st udt.Stats) string {
+	return fmt.Sprintf("cc %s, retrans %d, loss events %d, dups %d, rtt %v, mux drops %d/%d",
+		st.CCName, st.PktsRetrans, st.LossEvents, st.PktsDup,
+		st.RTT.Round(10*time.Microsecond), st.MuxUnknownDest, st.MuxShortDatagram)
+}
+
+func runRecv(addr, dir string, once bool) {
 	ln, err := udt.Listen(addr, nil)
 	if err != nil {
 		log.Fatal(err)
@@ -51,23 +67,33 @@ func runRecv(addr, dir string) {
 		if err != nil {
 			log.Printf("create: %v", err)
 			c.Close()
+			if once {
+				os.Exit(1)
+			}
 			continue
 		}
 		start := time.Now()
 		n, err := c.RecvFile(f)
+		st := c.Stats()
 		f.Close()
 		c.Close()
 		if err != nil {
-			log.Printf("recv: %v", err)
+			log.Printf("recv %s failed after %.1f MB: %v (%s)", name, float64(n)/1e6, err, statsLine(st))
+			if once {
+				os.Exit(1)
+			}
 			continue
 		}
 		el := time.Since(start)
-		log.Printf("received %s: %.1f MB in %v = %.1f Mb/s",
-			name, float64(n)/1e6, el.Round(time.Millisecond), float64(n*8)/el.Seconds()/1e6)
+		log.Printf("received %s: %.1f MB in %v = %.1f Mb/s (%s)",
+			name, float64(n)/1e6, el.Round(time.Millisecond), float64(n*8)/el.Seconds()/1e6, statsLine(st))
+		if once {
+			return
+		}
 	}
 }
 
-func runSend(path, to string) {
+func runSend(path, to, ccName string) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +103,11 @@ func runSend(path, to string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := udt.Dial(to, nil)
+	cc, err := udt.CongestionControl(ccName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := udt.Dial(to, &udt.Config{CC: cc})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,14 +115,17 @@ func runSend(path, to string) {
 	start := time.Now()
 	n, err := c.SendFile(f, fi.Size())
 	if err != nil {
-		log.Fatal(err)
+		log.Fatalf("send %s failed after %.1f MB: %v (%s)", path, float64(n)/1e6, err, statsLine(c.Stats()))
+	}
+	if n != fi.Size() {
+		log.Fatalf("send %s: short transfer, %d of %d bytes (%s)", path, n, fi.Size(), statsLine(c.Stats()))
 	}
 	for !c.Drained() {
 		time.Sleep(10 * time.Millisecond)
 	}
 	el := time.Since(start)
 	st := c.Stats()
-	log.Printf("sent %s: %.1f MB in %v = %.1f Mb/s (retrans %d, rtt %v)",
+	log.Printf("sent %s: %.1f MB in %v = %.1f Mb/s (%s)",
 		path, float64(n)/1e6, el.Round(time.Millisecond),
-		float64(n*8)/el.Seconds()/1e6, st.PktsRetrans, st.RTT.Round(10*time.Microsecond))
+		float64(n*8)/el.Seconds()/1e6, statsLine(st))
 }

@@ -2,7 +2,7 @@
 // the UDT library.
 //
 // Server:  udtperf -s [-addr :9000]
-// Client:  udtperf -c host:9000 [-t 10s] [-mss 1472] [-interval 1s] [-streams 4]
+// Client:  udtperf -c host:9000 [-t 10s] [-mss 1472] [-interval 1s] [-streams 4] [-cc ctcp]
 //
 // The client streams random data for the duration and prints periodic and
 // final throughput plus protocol statistics (retransmissions, RTT, loss).
@@ -45,6 +45,7 @@ func main() {
 	streams := flag.Int("streams", 1, "concurrent flows multiplexed over one UDP socket")
 	monitor := flag.Bool("monitor", false, "print a live one-line-per-interval perfmon readout")
 	expAddr := flag.String("expvar", "", "serve perf history as JSON on this HTTP address (/perf, /debug/vars)")
+	ccName := flag.String("cc", "", fmt.Sprintf("congestion controller for the sending side %v; default native", udt.CongestionControls()))
 	flag.Parse()
 
 	switch {
@@ -54,7 +55,7 @@ func main() {
 		if *streams < 1 {
 			log.Fatalf("-streams %d: need at least one flow", *streams)
 		}
-		runClient(*client, *dur, *mss, *interval, *streams, *monitor, *expAddr)
+		runClient(*client, *dur, *mss, *interval, *streams, *monitor, *expAddr, *ccName)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -118,8 +119,12 @@ func dialFlows(addr string, cfg *udt.Config, streams int) ([]*udt.Conn, *udt.Mux
 	return conns, m
 }
 
-func runClient(addr string, dur time.Duration, mss int, interval time.Duration, streams int, monitor bool, expAddr string) {
-	cfg := &udt.Config{MSS: mss}
+func runClient(addr string, dur time.Duration, mss int, interval time.Duration, streams int, monitor bool, expAddr, ccName string) {
+	cc, err := udt.CongestionControl(ccName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := &udt.Config{MSS: mss, CC: cc}
 	if monitor {
 		// One perf sample per report interval: sample every
 		// interval/SYN rate ticks (default SYN is 10 ms).
@@ -140,8 +145,8 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 	}()
 	c := conns[0] // stats/monitor anchor
 	st0 := c.Stats()
-	log.Printf("connected to %s (mss %d, %d stream(s), udp buffers rcv=%d snd=%d bytes)",
-		addr, mss, streams, st0.UDPRcvBufBytes, st0.UDPSndBufBytes)
+	log.Printf("connected to %s (mss %d, %d stream(s), cc %s, udp buffers rcv=%d snd=%d bytes)",
+		addr, mss, streams, st0.CCName, st0.UDPRcvBufBytes, st0.UDPSndBufBytes)
 
 	if expAddr != "" {
 		trace.Publish("udtperf.perf", c.Perf)
@@ -226,9 +231,11 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 	}
 	el := dur.Seconds()
 	tot := total.Load()
+	fst := c.Stats()
 	fmt.Printf("----\nsent %.1f MB in %.1fs = %.1f Mb/s; pkts %d (+%d retrans), ACKs %d, NAKs %d, freezes %d\n",
 		float64(tot)/1e6, el, float64(tot*8)/el/1e6,
 		sent, retrans, acks, naks, freezes)
+	fmt.Printf("cc %s: period %.1fµs, cwnd %.0f pkts\n", fst.CCName, fst.CCPeriodUs, fst.CCWindowPkts)
 	if m != nil {
 		unknown, short := m.Counters()
 		fmt.Printf("mux: %d flows on one socket; demux drops: unknown-dest %d, short %d\n",
@@ -240,16 +247,17 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 }
 
 // monitorHeader labels the -monitor columns.
-const monitorHeader = "      t     period      pace      wire    win  inflight      rtt    bw-est  retrans   naks  mux-unk  mux-short"
+const monitorHeader = "      t       cc     period     cwnd      pace      wire    win  inflight      rtt    bw-est  retrans   naks  mux-unk  mux-short"
 
 // monitorLine formats one PerfRecord as a perfmon readout line:
-// time, sending period, paced target rate, measured wire rate, flow window,
-// packets in flight, smoothed RTT, estimated link bandwidth, cumulative
-// retransmissions and NAKs received, and the shared socket's demux drop
-// counters (zero on a private socket).
+// time, congestion controller and its sending period and window, paced
+// target rate, measured wire rate, flow window, packets in flight, smoothed
+// RTT, estimated link bandwidth, cumulative retransmissions and NAKs
+// received, and the shared socket's demux drop counters (zero on a private
+// socket).
 func monitorLine(r *udt.PerfRecord, muxUnknown, muxShort uint64) string {
-	return fmt.Sprintf("%6.1fs %7.1fµs %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d %8d %10d",
-		float64(r.T)/1e6, r.PeriodUs, r.SendRateMbps, r.SendMbps,
+	return fmt.Sprintf("%6.1fs %8s %7.1fµs %8.0f %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d %8d %10d",
+		float64(r.T)/1e6, r.CCName, r.PeriodUs, r.Cwnd, r.SendRateMbps, r.SendMbps,
 		r.FlowWindow, r.InFlight, float64(r.RTTUs)/1e3, r.BandwidthMbps,
 		r.PktsRetrans, r.NAKsRecv, muxUnknown, muxShort)
 }

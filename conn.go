@@ -115,7 +115,11 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 		ringSink = c.perfRing
 	}
 	if sink := trace.Multi(ringSink, cfg.Trace); sink != nil {
-		c.core.SetPerfSink(sink, cfg.PerfEverySYN, cfg.sockID, "udt", trace.RoleFlow)
+		label := "udt"
+		if name := c.core.Controller().Name(); name != "native" {
+			label = "udt-" + name
+		}
+		c.core.SetPerfSink(sink, cfg.PerfEverySYN, cfg.sockID, label, trace.RoleFlow)
 	}
 	c.rdReady = sync.NewCond(&c.mu)
 	c.wrReady = sync.NewCond(&c.mu)
@@ -243,7 +247,11 @@ type muxCounterSource interface {
 // Stats returns a snapshot of the connection's protocol counters.
 func (c *Conn) Stats() Stats {
 	c.mu.Lock()
-	rate := c.core.CC().Rate() * float64(c.cfg.MSS) * 8 / 1e6
+	ctrl := c.core.Controller()
+	var rate float64
+	if p := ctrl.Period(); p > 0 {
+		rate = float64(c.cfg.MSS) * 8 / p // bits/µs ≡ Mb/s
+	}
 	s := Stats{
 		Stats:          c.core.Stats,
 		RTT:            time.Duration(c.core.RTT()) * time.Microsecond,
@@ -252,6 +260,9 @@ func (c *Conn) Stats() Stats {
 		BytesRecv:      c.bytesRecv,
 		UDPRcvBufBytes: c.udpRcvBuf,
 		UDPSndBufBytes: c.udpSndBuf,
+		CCName:         ctrl.Name(),
+		CCPeriodUs:     ctrl.Period(),
+		CCWindowPkts:   ctrl.Window(),
 	}
 	c.mu.Unlock()
 	if mc, ok := c.sock.(muxCounterSource); ok {
@@ -383,7 +394,7 @@ func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens *[sendBurst]int)
 					wake = t
 				}
 			case core.WaitFrozen:
-				if t := c.core.CC().FreezeEnd(); t < wake {
+				if t := c.core.Controller().FreezeEnd(); t < wake {
 					wake = t
 				}
 			}
@@ -478,7 +489,7 @@ func (c *Conn) senderLoop() {
 			} else {
 				c.sendCost += (cost - c.sendCost) / 8
 			}
-			c.core.CC().SetMinPeriod(c.sendCost)
+			c.core.Controller().SetMinPeriod(c.sendCost)
 			c.mu.Unlock()
 			continue // look for more work immediately
 		}

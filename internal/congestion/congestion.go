@@ -1,0 +1,170 @@
+// Package congestion makes UDT's congestion control pluggable: the
+// Controller interface captures every decision point the protocol engine
+// (internal/core) exposes to its rate controller, so alternative
+// congestion-avoidance laws run on the production stack — not only in the
+// simulators.
+//
+// The native UDT AIMD of the paper (§3.3–§3.4) is the default Controller
+// and the reference implementation (Native). Three TCP-family controllers —
+// a Reno-style AIMD (CTCP), Scalable TCP's MIMD and HighSpeed TCP — reuse
+// the increase/decrease response functions the simulator's TCP model
+// (internal/tcpsim) is unit-tested against, which is what enables the
+// paper's §5.2 intra/inter-protocol comparisons (Figs. 4–6) to be rerun
+// in-protocol over real or emulated paths.
+//
+// # Callback contract
+//
+// The engine owns one Controller per connection and serializes every call;
+// implementations need no locking. The callback order per event is fixed:
+//
+//   - Init is called exactly once, before any other method.
+//   - OnACK fires for every cumulative acknowledgement, after the engine
+//     has released the acknowledged packets.
+//   - OnNAK fires for every loss report, after the losses are queued for
+//     retransmission. largestLoss is the newest sequence in the report;
+//     sentSeq the newest sequence ever sent — the pair lets controllers
+//     deduplicate decreases per congestion event.
+//   - OnTimeout fires on an EXP expiration with data in flight (§4.8).
+//   - OnPktSent fires after the engine commits a data packet (new or
+//     retransmitted) to the wire, before the pacing schedule advances.
+//   - OnRateTick fires once per SYN rate-control interval (§3.3).
+//   - Close fires at most once, when the connection shuts down.
+//
+// Between callbacks the engine reads the two outputs: Period (the packet
+// sending period in µs; 0 disables pacing) and Window (the congestion
+// window in packets, combined with the receiver's flow window by
+// min(·,·), §3.2). Frozen/FreezeEnd gate the sender entirely — only the
+// native law uses the §3.3 one-SYN freeze; the shared Base reports never
+// frozen.
+package congestion
+
+// Params carries the connection constants a Controller needs; the engine
+// passes them to Init before any other callback.
+type Params struct {
+	// SYN is the rate-control interval in µs (0.01 s in the paper).
+	SYN int64
+	// MSS is the packet size in bytes used by formula (1).
+	MSS int
+	// MaxWindow bounds the congestion window in packets.
+	MaxWindow int
+}
+
+// Controller is one congestion-control law driving one connection. All
+// rates are packets per second and all times microseconds. Controllers are
+// not safe for concurrent use; the owning engine serializes access.
+type Controller interface {
+	// Init installs the connection constants; called exactly once, first.
+	Init(p Params)
+	// Close releases controller resources; called at most once, last.
+	Close()
+	// OnACK folds in one cumulative acknowledgement: the number of newly
+	// acknowledged packets plus the receiver's feedback (arrival speed and
+	// capacity estimate in pkts/s, RTT in µs; zero means unknown).
+	OnACK(newlyAcked int, recvRate, capacity, rttUs int32)
+	// OnNAK reacts to a loss report. largestLoss is the largest sequence
+	// in the report, sentSeq the largest sequence sent so far.
+	OnNAK(now int64, largestLoss, sentSeq int32)
+	// OnTimeout reacts to an EXP-timer expiration: feedback has stopped.
+	OnTimeout(now int64, sentSeq int32)
+	// OnPktSent observes a committed data-packet transmission.
+	OnPktSent(now int64, seq int32)
+	// OnRateTick runs once per SYN rate-control interval.
+	OnRateTick()
+	// Period returns the packet sending period in µs; 0 means unpaced.
+	Period() float64
+	// Window returns the congestion window bound in packets.
+	Window() float64
+	// Frozen reports whether sending is suspended at time now (§3.3).
+	Frozen(now int64) bool
+	// FreezeEnd returns when the current freeze expires (µs); zero or a
+	// past time means not frozen.
+	FreezeEnd() int64
+	// SetMinPeriod feeds the measured real per-packet send time (µs) so
+	// the period is never tuned below what the host achieves (§4.4).
+	SetMinPeriod(p float64)
+	// LinkCapacity returns the smoothed packet-pair link capacity estimate
+	// in pkts/s (§3.4); 0 until the first probe arrives.
+	LinkCapacity() float64
+	// RecvRate returns the smoothed receiver arrival speed in pkts/s; 0
+	// until the first measurement.
+	RecvRate() float64
+	// Name identifies the law ("native", "ctcp", ...) for telemetry.
+	Name() string
+}
+
+// Factory constructs a fresh, uninitialized Controller; the engine calls
+// Init on it. One factory value may serve many connections.
+type Factory func() Controller
+
+// SlowStartCwnd is the initial sender window before any feedback, shared
+// by every controller (and mirrored by the engine's initial peer window).
+const SlowStartCwnd = 16
+
+// Base carries the feedback state every controller shares — smoothed RTT,
+// receiver arrival speed and packet-pair capacity (§3.2, §3.4), plus the
+// §4.4 minimum-period clamp — and provides inert defaults for the optional
+// capabilities (freeze, per-packet hook, Close). Embed it and override
+// what the law needs.
+type Base struct {
+	rttUs     float64 // smoothed RTT as reported by the receiver, µs
+	recvRate  float64 // smoothed receiver arrival speed AS, pkts/s
+	capacity  float64 // smoothed RBPP link capacity estimate L, pkts/s
+	minPeriod float64 // §4.4 floor: measured real per-packet send time
+}
+
+// initBase resets the feedback state to the pre-handshake defaults.
+func (b *Base) initBase() {
+	*b = Base{rttUs: 100_000}
+}
+
+// onFeedback folds one ACK's receiver feedback into the smoothed
+// estimates, in the exact order (RTT, arrival speed, capacity) and with
+// the exact 7/8-EWMA arithmetic of the paper's reference controller —
+// Native's bit-identical trajectory depends on it.
+func (b *Base) onFeedback(recvRate, capacity, rttUs int32) {
+	if rttUs > 0 {
+		b.rttUs = float64(rttUs)
+	}
+	if recvRate > 0 {
+		if b.recvRate == 0 {
+			b.recvRate = float64(recvRate)
+		} else {
+			b.recvRate = (b.recvRate*7 + float64(recvRate)) / 8
+		}
+	}
+	if capacity > 0 {
+		if b.capacity == 0 {
+			b.capacity = float64(capacity)
+		} else {
+			b.capacity = (b.capacity*7 + float64(capacity)) / 8
+		}
+	}
+}
+
+// Close is a no-op; controllers with resources override it.
+func (b *Base) Close() {}
+
+// OnPktSent is a no-op; pacing-aware laws override it.
+func (b *Base) OnPktSent(now int64, seq int32) {}
+
+// Frozen reports never-frozen; only the native §3.3 law freezes.
+func (b *Base) Frozen(now int64) bool { return false }
+
+// FreezeEnd reports no pending freeze.
+func (b *Base) FreezeEnd() int64 { return 0 }
+
+// SetMinPeriod records the measured per-packet send time (§4.4).
+func (b *Base) SetMinPeriod(p float64) {
+	if p > 0 {
+		b.minPeriod = p
+	}
+}
+
+// LinkCapacity returns the smoothed packet-pair capacity estimate, pkts/s.
+func (b *Base) LinkCapacity() float64 { return b.capacity }
+
+// RecvRate returns the smoothed receiver arrival speed, pkts/s.
+func (b *Base) RecvRate() float64 { return b.recvRate }
+
+// RTT returns the latest receiver-reported smoothed RTT, µs.
+func (b *Base) RTT() float64 { return b.rttUs }

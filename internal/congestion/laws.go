@@ -1,0 +1,51 @@
+package congestion
+
+import "math"
+
+// This file is the single home of the TCP-family congestion-avoidance
+// response functions the paper's §5.2 evaluation compares UDT against.
+// The simulator's TCP model (internal/tcpsim) delegates here, so the laws
+// the real-stack controllers run are exactly the ones the simulator's
+// golden tests pin.
+
+// HighSpeed TCP parameters (RFC 3649 §5).
+const (
+	hsLowWindow  = 38.0
+	hsHighWindow = 83000.0
+	hsHighDecr   = 0.1
+)
+
+// HSBeta returns HighSpeed TCP's decrease factor b(w): the fraction of the
+// window shed on a loss event, interpolated on a log scale between the
+// standard-TCP and high-window regimes (RFC 3649 §5).
+func HSBeta(w float64) float64 {
+	if w <= hsLowWindow {
+		return 0.5
+	}
+	if w >= hsHighWindow {
+		return hsHighDecr
+	}
+	f := (math.Log(w) - math.Log(hsLowWindow)) / (math.Log(hsHighWindow) - math.Log(hsLowWindow))
+	return 0.5 + f*(hsHighDecr-0.5)
+}
+
+// HSAlpha returns HighSpeed TCP's per-RTT increase a(w), derived from the
+// response function w = 0.12/p^0.835 (RFC 3649 §5):
+//
+//	a(w) = w² · p(w) · 2·b(w) / (2 − b(w)),  p(w) = 0.078 / w^1.2
+func HSAlpha(w float64) float64 {
+	if w <= hsLowWindow {
+		return 1
+	}
+	p := 0.078 / math.Pow(w, 1.2)
+	b := HSBeta(w)
+	return w * w * p * 2 * b / (2 - b)
+}
+
+// Scalable TCP parameters (Kelly's MIMD proposal, §5.2).
+const (
+	// ScalableAlpha is the window increment per acknowledged packet.
+	ScalableAlpha = 0.01
+	// ScalableBeta is the window fraction kept on a loss event.
+	ScalableBeta = 0.875
+)

@@ -1,0 +1,306 @@
+package congestion
+
+import (
+	"math"
+
+	"udt/internal/seqno"
+)
+
+// Native is UDT's own sender-side rate controller (paper §3.3): an AIMD
+// law on the packet sending period whose additive increase is chosen from
+// an estimate of the available bandwidth, plus the initial slow-start
+// phase. It is the default Controller and reproduces the pre-refactor
+// internal/core rate controller bit for bit (pinned by the trajectory
+// golden test).
+type Native struct {
+	Base
+
+	syn float64 // rate-control interval, µs (0.01 s in the paper)
+	mss float64 // packet size in bytes used by formula (1)
+
+	period    float64 // current packet sending period P, µs/packet; 0 during slow start
+	slowStart bool
+	cwnd      float64 // sender window during slow start (packets)
+	maxCwnd   float64
+
+	lastDecSeq  int32   // largest sequence sent when the last decrease occurred
+	rateLastDec float64 // sending rate C' just before the last decrease, pkts/s
+	freezeUntil int64   // §3.3: stop sending for one SYN after a fresh loss event
+
+	ackedSinceTick bool
+	nakSinceTick   bool
+
+	// Epoch-repeat decrease state (the released implementation's
+	// refinement of formula 3): within one congestion event, additional
+	// decreases happen at most decLimit times, spaced decSpacing NAKs
+	// apart, where decSpacing derives from the running average number of
+	// NAKs an event produces. Steady sawtooth traffic (≈1 NAK/event) never
+	// triggers it; sustained overload does.
+	nakCount   int
+	decCount   int
+	decSpacing int
+	avgNAKNum  float64
+	rngState   uint64
+
+	// mimd, when positive, replaces formula (1)'s bandwidth-indexed
+	// additive increase with SABUL's MIMD law (§2.3): each clean SYN
+	// multiplies the rate by (1 + mimd). The decrease stays ×1.125. Used by
+	// the AIMD-vs-MIMD ablation; zero selects standard UDT.
+	mimd float64
+}
+
+// NewNative returns the paper's UDT AIMD controller; the engine completes
+// construction through Init.
+func NewNative() *Native { return &Native{} }
+
+// SetMIMD switches the controller to SABUL-style MIMD rate control with
+// the given per-SYN multiplicative increase (e.g. 0.01 for 1%). Zero
+// restores UDT's bandwidth-estimated AIMD.
+func (c *Native) SetMIMD(factor float64) { c.mimd = factor }
+
+// Rate-control constants from the paper.
+const (
+	// DefaultSYN is the constant rate-control and acknowledgement interval
+	// (0.01 s). Constant — rather than RTT-based — SYN is what gives UDT its
+	// RTT fairness (§3.7, §3.8).
+	DefaultSYN = 10_000 // µs
+
+	// decFactor is the multiplicative decrease applied to the sending
+	// period on a fresh loss event: P = P × 1.125, i.e. the rate drops by
+	// d = 1 − 1/1.125 = 1/9 (formula 3).
+	decFactor = 1.125
+)
+
+// Init implements Controller, resetting the law to its pre-handshake
+// state for the given connection constants.
+func (c *Native) Init(p Params) {
+	mimd := c.mimd // SetMIMD before Init (ablation setup) survives the reset
+	*c = Native{
+		syn:         float64(p.SYN),
+		mss:         float64(p.MSS),
+		slowStart:   true,
+		cwnd:        SlowStartCwnd,
+		maxCwnd:     float64(p.MaxWindow),
+		lastDecSeq:  -1,
+		rateLastDec: math.Inf(1), // no decrease has happened yet: use L − C
+		rngState:    0x9E3779B97F4A7C15,
+		mimd:        mimd,
+	}
+	c.initBase()
+}
+
+// Name identifies the law for telemetry.
+func (c *Native) Name() string { return "native" }
+
+// Increase computes formula (1): the number of packets to add to the per-SYN
+// budget given an available-bandwidth estimate in bits per second. Exported
+// for the Table 1 reproduction.
+//
+//	inc = max( 10^(ceil(log10 B) − 9) × 1500/MSS, 1/1500 )
+func Increase(bitsPerSec float64, mss float64) float64 {
+	const minInc = 1.0 / 1500
+	if bitsPerSec <= 0 {
+		return minInc
+	}
+	exp := math.Ceil(math.Log10(bitsPerSec)) - 9
+	inc := math.Pow(10, exp) * 1500 / mss
+	if inc < minInc {
+		return minInc
+	}
+	return inc
+}
+
+// SlowStart reports whether the controller is still in its initial phase.
+func (c *Native) SlowStart() bool { return c.slowStart }
+
+// Window returns the sender-side window bound (packets): the growing
+// slow-start window initially, effectively unbounded afterwards (the
+// receiver-computed flow window takes over, §3.2).
+func (c *Native) Window() float64 {
+	if c.slowStart {
+		return c.cwnd
+	}
+	return c.maxCwnd
+}
+
+// Period returns the current packet sending period in µs. Zero means
+// unpaced (slow start).
+func (c *Native) Period() float64 { return c.period }
+
+// SetPeriod overrides the sending period (used by tests and by ablation
+// variants).
+func (c *Native) SetPeriod(p float64) {
+	c.period = p
+	c.slowStart = false
+}
+
+// Rate returns the current sending rate in packets/s (0 if unpaced).
+func (c *Native) Rate() float64 {
+	if c.period <= 0 {
+		return 0
+	}
+	return 1e6 / c.period
+}
+
+// Frozen reports whether sending is suspended at time now because a fresh
+// loss event told the sender to clear congestion for one SYN (§3.3).
+func (c *Native) Frozen(now int64) bool { return now < c.freezeUntil }
+
+// FreezeEnd returns when the current sending freeze expires (µs); zero or a
+// past time means not frozen. Event-driven transports use it to schedule
+// their next send attempt.
+func (c *Native) FreezeEnd() int64 { return c.freezeUntil }
+
+// exitSlowStart transitions to paced AIMD, deriving the first period from
+// the observed receive rate when available, else from the window and RTT.
+func (c *Native) exitSlowStart() {
+	if !c.slowStart {
+		return
+	}
+	c.slowStart = false
+	switch {
+	case c.recvRate > 0:
+		c.period = 1e6 / c.recvRate
+	case c.cwnd > 0:
+		c.period = (c.rttUs + c.syn) / c.cwnd
+	default:
+		c.period = c.syn
+	}
+	c.clampPeriod()
+}
+
+// OnACK folds in the feedback carried by an acknowledgement: receiver
+// arrival speed, RBPP capacity estimate and RTT, plus slow-start window
+// growth by the number of newly acknowledged packets.
+func (c *Native) OnACK(newlyAcked int, recvRate, capacity int32, rttUs int32) {
+	c.ackedSinceTick = true
+	c.onFeedback(recvRate, capacity, rttUs)
+	if c.slowStart {
+		c.cwnd += float64(newlyAcked)
+		if c.cwnd >= c.maxCwnd {
+			c.cwnd = c.maxCwnd
+			c.exitSlowStart()
+		}
+	}
+}
+
+// OnNAK applies formula (3). largestLoss is the largest sequence number in
+// the NAK; sentSeq is the largest sequence number sent so far. Only a loss
+// event newer than the last decrease triggers a decrease and a one-SYN
+// freeze; re-reports of old losses do not decrease again (§3.3, §6
+// "processing continuous loss").
+func (c *Native) OnNAK(now int64, largestLoss, sentSeq int32) {
+	c.nakSinceTick = true
+	if c.slowStart {
+		c.exitSlowStart()
+	}
+	if c.lastDecSeq >= 0 && seqno.Cmp(largestLoss, c.lastDecSeq) <= 0 {
+		// NAK within an already-handled congestion event. A single decrease
+		// per event (the SC '04 text) under-reacts when the overload
+		// persists; like the released UDT implementation, decrease at most
+		// decLimit more times, spaced by the typical per-event NAK count,
+		// so steady sawtooth traffic is untouched but storms keep pushing
+		// the rate down.
+		c.nakCount++
+		if c.decCount < decLimit && c.decSpacing > 0 && c.nakCount%c.decSpacing == 0 {
+			c.decCount++
+			c.period *= decFactor
+			c.clampPeriod()
+			c.lastDecSeq = sentSeq
+		}
+		return
+	}
+	// Fresh congestion event.
+	c.avgNAKNum = 0.875*c.avgNAKNum + 0.125*float64(c.nakCount)
+	c.nakCount = 1
+	c.decCount = 1
+	span := int(c.avgNAKNum)
+	if span < 1 {
+		span = 1
+	}
+	c.decSpacing = 1 + int(c.rand()%uint64(span))
+	c.rateLastDec = 1e6 / c.period
+	c.period *= decFactor
+	c.clampPeriod()
+	c.lastDecSeq = sentSeq
+	c.freezeUntil = now + int64(c.syn)
+}
+
+// decLimit bounds decreases per congestion event (reference implementation).
+const decLimit = 5
+
+// rand is a small deterministic xorshift; determinism keeps simulator runs
+// reproducible while still de-synchronizing repeat decreases across flows.
+func (c *Native) rand() uint64 {
+	c.rngState ^= c.rngState << 13
+	c.rngState ^= c.rngState >> 7
+	c.rngState ^= c.rngState << 17
+	return c.rngState
+}
+
+// OnTimeout reacts to an EXP-timer expiration: feedback has stopped, so the
+// controller decreases as if a fresh loss event occurred.
+func (c *Native) OnTimeout(now int64, sentSeq int32) {
+	if c.slowStart {
+		c.exitSlowStart()
+	}
+	c.rateLastDec = 1e6 / c.period
+	c.period *= decFactor
+	c.clampPeriod()
+	c.lastDecSeq = sentSeq
+	c.freezeUntil = now + int64(c.syn)
+}
+
+// availableBandwidth implements the §3.4 selection rule, returning the
+// estimate in packets/s (possibly ≤ 0; the caller maps that to the minimum
+// increase).
+func (c *Native) availableBandwidth() float64 {
+	l := c.capacity
+	cur := 1e6 / c.period
+	if cur > c.rateLastDec {
+		return l - cur
+	}
+	b := l / 9 // all flows decreased by d = 1/9, so L·d is spare (§3.4)
+	if l-cur < b {
+		b = l - cur
+	}
+	return b
+}
+
+// OnRateTick runs the per-SYN additive increase (formulas 1 and 2). The
+// increase is applied only when at least one ACK and no NAK arrived in the
+// past SYN.
+func (c *Native) OnRateTick() {
+	acked, naked := c.ackedSinceTick, c.nakSinceTick
+	c.ackedSinceTick, c.nakSinceTick = false, false
+	if c.slowStart || naked || !acked {
+		return
+	}
+	if c.mimd > 0 {
+		c.period /= 1 + c.mimd
+		c.clampPeriod()
+		return
+	}
+	bPkts := c.availableBandwidth()
+	inc := Increase(bPkts*c.mss*8, c.mss)
+	// Formula (2): SYN/P = SYN/P' + inc, applied to the impairment-corrected
+	// period (§4.4).
+	p := c.period
+	if p < c.minPeriod {
+		p = c.minPeriod
+	}
+	c.period = c.syn / (c.syn/p + inc)
+	c.clampPeriod()
+}
+
+func (c *Native) clampPeriod() {
+	if c.period < c.minPeriod {
+		c.period = c.minPeriod
+	}
+	if c.period < 1 {
+		c.period = 1
+	}
+	if c.period > 1e6 {
+		c.period = 1e6 // floor of 1 packet/s keeps the connection alive
+	}
+}

@@ -1,9 +1,17 @@
-package core
+package congestion
 
 import (
 	"math"
 	"testing"
 )
+
+// newCC builds a fully initialized native controller, the way the engine
+// constructs it.
+func newCC(syn int64, mss, maxWindow int) *Native {
+	cc := NewNative()
+	cc.Init(Params{SYN: syn, MSS: mss, MaxWindow: maxWindow})
+	return cc
+}
 
 // TestIncreaseTable1 checks formula (1) against the paper's Table 1
 // (MSS = 1500 bytes).
@@ -42,16 +50,16 @@ func TestIncreaseMSSScaling(t *testing.T) {
 	}
 }
 
-func newTestCC() *CC {
-	cc := NewCC(DefaultSYN, 1500, 25600)
+func newTestCC() *Native {
+	cc := newCC(DefaultSYN, 1500, 25600)
 	cc.SetPeriod(1e6) // 1 packet/s, out of slow start
 	return cc
 }
 
-// feed simulates the per-SYN loop with ACKs arriving and a fixed capacity
-// estimate, returning the number of ticks until the rate reaches target
-// packets/s (or -1 if maxTicks elapses first).
-func ticksToRate(cc *CC, capacity int32, target float64, maxTicks int) int {
+// ticksToRate simulates the per-SYN loop with ACKs arriving and a fixed
+// capacity estimate, returning the number of ticks until the rate reaches
+// target packets/s (or -1 if maxTicks elapses first).
+func ticksToRate(cc *Native, capacity int32, target float64, maxTicks int) int {
 	for i := 0; i < maxTicks; i++ {
 		cc.OnACK(1, 0, capacity, 100_000)
 		cc.OnRateTick()
@@ -165,15 +173,15 @@ func TestAvailableBandwidthSelection(t *testing.T) {
 }
 
 func TestSlowStart(t *testing.T) {
-	cc := NewCC(DefaultSYN, 1500, 1000)
+	cc := newCC(DefaultSYN, 1500, 1000)
 	if !cc.SlowStart() {
 		t.Fatal("must start in slow start")
 	}
-	if cc.Window() != slowStartCwnd {
+	if cc.Window() != SlowStartCwnd {
 		t.Fatalf("initial window = %v", cc.Window())
 	}
 	cc.OnACK(100, 50000, 83333, 100_000)
-	if cc.Window() != slowStartCwnd+100 {
+	if cc.Window() != SlowStartCwnd+100 {
 		t.Fatalf("window after 100 acked = %v", cc.Window())
 	}
 	// Reaching max window exits slow start with a period from the recv rate.
@@ -187,7 +195,7 @@ func TestSlowStart(t *testing.T) {
 }
 
 func TestSlowStartEndsOnNAK(t *testing.T) {
-	cc := NewCC(DefaultSYN, 1500, 25600)
+	cc := newCC(DefaultSYN, 1500, 25600)
 	cc.OnACK(50, 20000, 0, 100_000)
 	cc.OnNAK(0, 5, 60)
 	if cc.SlowStart() {

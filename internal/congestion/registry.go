@@ -1,0 +1,47 @@
+package congestion
+
+import (
+	"fmt"
+	"sort"
+)
+
+// factories maps controller names to their constructors. Names are what
+// `udtperf -cc` and the chaos matrix cells use.
+var factories = map[string]Factory{
+	"native":   func() Controller { return NewNative() },
+	"ctcp":     NewCTCP,
+	"scalable": NewScalable,
+	"hstcp":    NewHSTCP,
+}
+
+// New returns the factory for the named controller. The empty string
+// selects the native UDT law.
+func New(name string) (Factory, error) {
+	if name == "" {
+		name = "native"
+	}
+	f, ok := factories[name]
+	if !ok {
+		return nil, fmt.Errorf("congestion: unknown controller %q (have %v)", name, Names())
+	}
+	return f, nil
+}
+
+// MustNew is New for statically known names; it panics on a typo.
+func MustNew(name string) Factory {
+	f, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Names lists the registered controller names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,183 @@
+package congestion
+
+import "udt/internal/seqno"
+
+// windowCC is the shared machinery of the TCP-family controllers: a
+// congestion window driven by a pluggable per-ACK increase and per-loss
+// decrease law (the §5.2 response functions), paced by spreading the
+// window over one RTT + SYN — the dual of the paper's flow-window formula
+// W = AS·(SYN+RTT), so a window-based law still cooperates with UDT's
+// timer-driven sender instead of emitting line-rate bursts.
+//
+// The loss reaction is once per congestion event, the window-law analogue
+// of TCP's once-per-RTT halving: a NAK decreases only when it names a loss
+// newer than the newest sequence sent at the previous decrease — the same
+// deduplication rule the native law uses (§3.3).
+type windowCC struct {
+	Base
+	name string
+
+	syn     float64
+	maxCwnd float64
+
+	cwnd      float64
+	ssthresh  float64
+	slowStart bool
+
+	lastDecSeq int32
+	period     float64
+
+	// inc is the congestion-avoidance window increment for one newly
+	// acknowledged packet at window w; keep is the window fraction kept on
+	// a loss event at window w.
+	inc  func(w float64) float64
+	keep func(w float64) float64
+}
+
+// Init implements Controller.
+func (c *windowCC) Init(p Params) {
+	c.initBase()
+	c.syn = float64(p.SYN)
+	c.maxCwnd = float64(p.MaxWindow)
+	c.cwnd = SlowStartCwnd
+	c.ssthresh = c.maxCwnd
+	c.slowStart = true
+	c.lastDecSeq = -1
+	c.period = 0
+}
+
+// Name identifies the law for telemetry.
+func (c *windowCC) Name() string { return c.name }
+
+// Window returns the live congestion window in packets.
+func (c *windowCC) Window() float64 { return c.cwnd }
+
+// Period returns the pacing period in µs: the window spread over one
+// RTT + SYN. Zero (unpaced, window-limited) during slow start.
+func (c *windowCC) Period() float64 { return c.period }
+
+// SlowStart reports whether the controller is in its exponential phase.
+func (c *windowCC) SlowStart() bool { return c.slowStart }
+
+// updatePeriod re-derives the pacing period from the current window and
+// RTT estimate, honoring the §4.4 minimum-period clamp.
+func (c *windowCC) updatePeriod() {
+	if c.slowStart {
+		c.period = 0
+		return
+	}
+	c.period = (c.rttUs + c.syn) / c.cwnd
+	if c.period < c.minPeriod {
+		c.period = c.minPeriod
+	}
+	if c.period < 1 {
+		c.period = 1
+	}
+	if c.period > 1e6 {
+		c.period = 1e6
+	}
+}
+
+// clampCwnd keeps the window inside [2, MaxWindow]; two packets keep the
+// ACK clock alive even after deep decreases.
+func (c *windowCC) clampCwnd() {
+	if c.cwnd > c.maxCwnd {
+		c.cwnd = c.maxCwnd
+	}
+	if c.cwnd < 2 {
+		c.cwnd = 2
+	}
+}
+
+// OnACK grows the window: exponentially (one packet per newly acknowledged
+// packet) during slow start, by the law's response function afterwards.
+func (c *windowCC) OnACK(newlyAcked int, recvRate, capacity, rttUs int32) {
+	c.onFeedback(recvRate, capacity, rttUs)
+	if newlyAcked <= 0 {
+		return
+	}
+	if c.slowStart {
+		c.cwnd += float64(newlyAcked)
+		if c.cwnd >= c.ssthresh || c.cwnd >= c.maxCwnd {
+			c.slowStart = false
+		}
+	} else {
+		for i := 0; i < newlyAcked; i++ {
+			c.cwnd += c.inc(c.cwnd)
+		}
+	}
+	c.clampCwnd()
+	c.updatePeriod()
+}
+
+// OnNAK applies the law's multiplicative decrease once per congestion
+// event: only a loss newer than the last decrease shrinks the window.
+func (c *windowCC) OnNAK(now int64, largestLoss, sentSeq int32) {
+	if !c.slowStart && c.lastDecSeq >= 0 && seqno.Cmp(largestLoss, c.lastDecSeq) <= 0 {
+		return // re-report within an already-handled event
+	}
+	c.slowStart = false
+	c.cwnd *= c.keep(c.cwnd)
+	c.clampCwnd()
+	c.ssthresh = c.cwnd
+	c.lastDecSeq = sentSeq
+	c.updatePeriod()
+}
+
+// OnTimeout reacts to an EXP expiration the TCP way: collapse to a
+// two-packet window and re-enter slow start towards half the old window.
+func (c *windowCC) OnTimeout(now int64, sentSeq int32) {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 2
+	c.slowStart = true
+	c.lastDecSeq = sentSeq
+	c.updatePeriod()
+}
+
+// OnRateTick refreshes the pacing period so it tracks the RTT estimate
+// even across ACK-free intervals.
+func (c *windowCC) OnRateTick() { c.updatePeriod() }
+
+// NewCTCP returns a TCP-Reno-style AIMD controller — what the released UDT
+// distribution ships as its CTCP sample CC class, and the paper's "TCP"
+// baseline: window +1 per RTT (1/w per ACKed packet), halved per loss
+// event.
+func NewCTCP() Controller {
+	return &windowCC{
+		name: "ctcp",
+		inc:  func(w float64) float64 { return 1 / max1(w) },
+		keep: func(float64) float64 { return 0.5 },
+	}
+}
+
+// NewScalable returns Kelly's Scalable TCP MIMD law (§5.2): window +0.01
+// per ACKed packet, ×0.875 per loss event.
+func NewScalable() Controller {
+	return &windowCC{
+		name: "scalable",
+		inc:  func(float64) float64 { return ScalableAlpha },
+		keep: func(float64) float64 { return ScalableBeta },
+	}
+}
+
+// NewHSTCP returns RFC 3649 HighSpeed TCP (§5.2): increase a(w)/w per
+// ACKed packet and decrease factor 1−b(w), reverting to standard TCP below
+// 38 packets.
+func NewHSTCP() Controller {
+	return &windowCC{
+		name: "hstcp",
+		inc:  func(w float64) float64 { return HSAlpha(max1(w)) / max1(w) },
+		keep: func(w float64) float64 { return 1 - HSBeta(w) },
+	}
+}
+
+// max1 floors w at one packet so the response functions stay finite.
+func max1(w float64) float64 {
+	if w < 1 {
+		return 1
+	}
+	return w
+}

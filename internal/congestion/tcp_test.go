@@ -1,0 +1,194 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+)
+
+// windowControllers enumerates the TCP-family laws under test, with their
+// expected post-loss window at a given pre-loss window.
+var windowControllers = []struct {
+	name string
+	make Factory
+	keep func(w float64) float64 // expected fraction kept on a loss event
+}{
+	{"ctcp", NewCTCP, func(float64) float64 { return 0.5 }},
+	{"scalable", NewScalable, func(float64) float64 { return ScalableBeta }},
+	{"hstcp", NewHSTCP, func(w float64) float64 { return 1 - HSBeta(w) }},
+}
+
+func newWindowCC(t *testing.T, f Factory) Controller {
+	t.Helper()
+	cc := f()
+	cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 25600})
+	return cc
+}
+
+// TestWindowSlowStartExit drives each controller through the virtual-clock
+// slow-start script: exponential growth while below ssthresh, unpaced
+// (period 0) throughout, then a first loss that ends slow start, shrinks
+// the window by the law's decrease factor and starts pacing at
+// (RTT+SYN)/cwnd.
+func TestWindowSlowStartExit(t *testing.T) {
+	const rtt = 100_000 // µs
+	for _, wc := range windowControllers {
+		t.Run(wc.name, func(t *testing.T) {
+			cc := newWindowCC(t, wc.make)
+			if cc.Window() != SlowStartCwnd {
+				t.Fatalf("initial window = %v, want %v", cc.Window(), SlowStartCwnd)
+			}
+			if cc.Period() != 0 {
+				t.Fatalf("slow start must be unpaced, period = %v", cc.Period())
+			}
+			cc.OnACK(100, 0, 0, rtt)
+			if cc.Window() != SlowStartCwnd+100 {
+				t.Fatalf("window after 100 acked = %v, want %v", cc.Window(), SlowStartCwnd+100)
+			}
+			if cc.Period() != 0 {
+				t.Fatalf("still in slow start: period must stay 0, got %v", cc.Period())
+			}
+			// First loss: exit slow start with the law's decrease.
+			pre := cc.Window()
+			cc.OnNAK(1_000_000, 100, 120)
+			want := pre * wc.keep(pre)
+			if math.Abs(cc.Window()-want) > 1e-9 {
+				t.Fatalf("window after first loss = %v, want %v", cc.Window(), want)
+			}
+			wantP := (float64(rtt) + float64(DefaultSYN)) / cc.Window()
+			if math.Abs(cc.Period()-wantP) > 1e-9 {
+				t.Fatalf("pacing period = %v, want (RTT+SYN)/cwnd = %v", cc.Period(), wantP)
+			}
+			// Window controllers never invoke the §3.3 one-SYN send freeze.
+			if cc.Frozen(1_000_001) {
+				t.Fatal("window-based law must not freeze the sender")
+			}
+		})
+	}
+}
+
+// TestWindowSlowStartExitAtSsthresh checks that reaching maxCwnd also ends
+// slow start (ssthresh starts at maxCwnd).
+func TestWindowSlowStartExitAtSsthresh(t *testing.T) {
+	for _, wc := range windowControllers {
+		t.Run(wc.name, func(t *testing.T) {
+			cc := wc.make()
+			cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 100})
+			cc.OnACK(200, 0, 0, 100_000)
+			if cc.Window() != 100 {
+				t.Fatalf("window must clamp to MaxWindow: %v", cc.Window())
+			}
+			if cc.Period() == 0 {
+				t.Fatal("slow start must end at the window cap")
+			}
+		})
+	}
+}
+
+// TestWindowNAKOncePerEvent verifies the §3.3-style congestion-event
+// deduplication: re-reports of losses at or below the sequence sent at the
+// previous decrease must not shrink the window again, while a fresh loss
+// beyond it must.
+func TestWindowNAKOncePerEvent(t *testing.T) {
+	for _, wc := range windowControllers {
+		t.Run(wc.name, func(t *testing.T) {
+			cc := newWindowCC(t, wc.make)
+			cc.OnACK(500, 0, 0, 100_000) // grow past the initial window
+			cc.OnNAK(0, 400, 600)        // fresh event: decrease, lastDecSeq = 600
+			w := cc.Window()
+			for i := 0; i < 50; i++ {
+				cc.OnNAK(int64(i+1), 450, 650) // re-reports within the event
+			}
+			if cc.Window() != w {
+				t.Fatalf("stale re-reports shrank the window: %v → %v", w, cc.Window())
+			}
+			cc.OnNAK(100, 620, 700) // loss beyond lastDecSeq: new event
+			want := w * wc.keep(w)
+			if want < 2 {
+				want = 2
+			}
+			if math.Abs(cc.Window()-want) > 1e-9 {
+				t.Fatalf("fresh event window = %v, want %v", cc.Window(), want)
+			}
+		})
+	}
+}
+
+// TestWindowTimeout verifies the EXP-timeout reaction: collapse to a
+// two-packet window and re-enter slow start towards half the old window.
+func TestWindowTimeout(t *testing.T) {
+	for _, wc := range windowControllers {
+		t.Run(wc.name, func(t *testing.T) {
+			cc := newWindowCC(t, wc.make)
+			cc.OnACK(500, 0, 0, 100_000)
+			cc.OnNAK(0, 400, 600) // leave slow start
+			pre := cc.Window()
+			cc.OnTimeout(1_000_000, 700)
+			if cc.Window() != 2 {
+				t.Fatalf("window after timeout = %v, want 2", cc.Window())
+			}
+			if cc.Period() != 0 {
+				t.Fatalf("timeout must re-enter unpaced slow start, period = %v", cc.Period())
+			}
+			// Growth must stop at ssthresh = pre/2, not at the old window.
+			cc.OnACK(int(pre), 0, 0, 100_000)
+			if cc.Period() == 0 {
+				t.Fatal("slow start must end at ssthresh after timeout recovery")
+			}
+			if cc.Window() > pre/2+float64(int(pre)) { // sanity: bounded growth
+				t.Fatalf("window grew unbounded after timeout: %v", cc.Window())
+			}
+		})
+	}
+}
+
+// TestWindowPeriodTracksRTT checks that OnRateTick re-derives the pacing
+// period when the RTT estimate moves, and that SetMinPeriod clamps it.
+func TestWindowPeriodTracksRTT(t *testing.T) {
+	for _, wc := range windowControllers {
+		t.Run(wc.name, func(t *testing.T) {
+			cc := newWindowCC(t, wc.make)
+			cc.OnACK(100, 0, 0, 100_000)
+			cc.OnNAK(0, 50, 120) // start pacing
+			p := cc.Period()
+			// RTT doubles: the EWMA drags the period up across ticks.
+			for i := 0; i < 100; i++ {
+				cc.OnACK(1, 0, 0, 200_000)
+			}
+			cc.OnRateTick()
+			if cc.Period() <= p {
+				t.Fatalf("period did not follow the RTT up: %v → %v", p, cc.Period())
+			}
+			cc.SetMinPeriod(1e5)
+			cc.OnRateTick()
+			if cc.Period() < 1e5 {
+				t.Fatalf("period %v below the min-period clamp", cc.Period())
+			}
+		})
+	}
+}
+
+// TestRegistry checks name resolution, the default, and the error path.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"", "native", "ctcp", "scalable", "hstcp"} {
+		f, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		cc := f()
+		cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 100})
+		want := name
+		if want == "" {
+			want = "native"
+		}
+		if cc.Name() != want {
+			t.Fatalf("New(%q).Name() = %q", name, cc.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Fatal("New must reject unknown controller names")
+	}
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v", names)
+	}
+}

@@ -5,348 +5,42 @@
 // so every control-law experiment in the evaluation exercises exactly the
 // code that ships in the library.
 //
-// The engine splits into the rate/congestion controller (this file,
-// paper §3.3–§3.4), the connection state machine binding the sender and
-// receiver roles with their four timers (conn.go, §3.1–§3.2 and §4.8), and
-// the send/receive buffers with the overlapped-IO receive path (buffer.go,
-// §4.3 and §4.6).
+// The engine splits into the connection state machine binding the sender
+// and receiver roles with their four timers (conn.go, §3.1–§3.2 and §4.8)
+// and the send/receive buffers with the overlapped-IO receive path
+// (buffer.go, §4.3 and §4.6). The rate/congestion controller (paper
+// §3.3–§3.4) lives behind the internal/congestion Controller interface:
+// the native UDT AIMD is the default, and Config.CC swaps in alternative
+// laws (Reno-style AIMD, Scalable TCP, HighSpeed TCP) for the paper's
+// §5.2 comparisons on the real stack.
 package core
 
-import (
-	"math"
+import "udt/internal/congestion"
 
-	"udt/internal/seqno"
-)
+// CC is the native UDT rate controller (paper §3.3), now implemented in
+// internal/congestion; the alias keeps the engine-side name the paper era
+// of this repository used.
+type CC = congestion.Native
 
-// CC is UDT's sender-side rate controller (paper §3.3): an AIMD law on the
-// packet sending period whose additive increase is chosen from an estimate
-// of the available bandwidth, plus the initial slow-start phase.
-//
-// All rates are packets per second and all times microseconds. CC is not
-// safe for concurrent use; the owning Conn serializes access.
-type CC struct {
-	syn float64 // rate-control interval, µs (0.01 s in the paper)
-	mss float64 // packet size in bytes used by formula (1)
+// DefaultSYN is the constant rate-control and acknowledgement interval
+// (0.01 s), re-exported from internal/congestion.
+const DefaultSYN = congestion.DefaultSYN
 
-	period    float64 // current packet sending period P, µs/packet; 0 during slow start
-	slowStart bool
-	cwnd      float64 // sender window during slow start (packets)
-	maxCwnd   float64
+// slowStartCwnd is the initial sender window before any feedback, shared
+// with every controller in internal/congestion.
+const slowStartCwnd = congestion.SlowStartCwnd
 
-	lastDecSeq  int32   // largest sequence sent when the last decrease occurred
-	rateLastDec float64 // sending rate C' just before the last decrease, pkts/s
-	freezeUntil int64   // §3.3: stop sending for one SYN after a fresh loss event
-
-	capacity float64 // smoothed RBPP link capacity estimate L, pkts/s
-	recvRate float64 // smoothed receiver arrival speed AS, pkts/s
-	rttUs    float64 // smoothed RTT as reported by the receiver, µs
-
-	ackedSinceTick bool
-	nakSinceTick   bool
-
-	// Epoch-repeat decrease state (the released implementation's
-	// refinement of formula 3): within one congestion event, additional
-	// decreases happen at most decLimit times, spaced decSpacing NAKs
-	// apart, where decSpacing derives from the running average number of
-	// NAKs an event produces. Steady sawtooth traffic (≈1 NAK/event) never
-	// triggers it; sustained overload does.
-	nakCount   int
-	decCount   int
-	decSpacing int
-	avgNAKNum  float64
-	rngState   uint64
-
-	// minPeriod guards against rate control being impaired (§4.4): the
-	// period may never be tuned below the measured real per-packet send
-	// time, otherwise the flow window silently takes over control.
-	minPeriod float64
-
-	// mimd, when positive, replaces formula (1)'s bandwidth-indexed
-	// additive increase with SABUL's MIMD law (§2.3): each clean SYN
-	// multiplies the rate by (1 + mimd). The decrease stays ×1.125. Used by
-	// the AIMD-vs-MIMD ablation; zero selects standard UDT.
-	mimd float64
-}
-
-// SetMIMD switches the controller to SABUL-style MIMD rate control with
-// the given per-SYN multiplicative increase (e.g. 0.01 for 1%). Zero
-// restores UDT's bandwidth-estimated AIMD.
-func (c *CC) SetMIMD(factor float64) { c.mimd = factor }
-
-// Rate-control constants from the paper.
-const (
-	// DefaultSYN is the constant rate-control and acknowledgement interval
-	// (0.01 s). Constant — rather than RTT-based — SYN is what gives UDT its
-	// RTT fairness (§3.7, §3.8).
-	DefaultSYN = 10_000 // µs
-
-	// decFactor is the multiplicative decrease applied to the sending
-	// period on a fresh loss event: P = P × 1.125, i.e. the rate drops by
-	// d = 1 − 1/1.125 = 1/9 (formula 3).
-	decFactor = 1.125
-
-	// slowStartCwnd is the initial sender window before any feedback.
-	slowStartCwnd = 16
-)
-
-// NewCC returns a controller for the given SYN interval (µs), packet size
-// (bytes on the wire, the paper's MSS) and maximum window (packets).
+// NewCC returns a native controller for the given SYN interval (µs),
+// packet size (bytes on the wire, the paper's MSS) and maximum window
+// (packets), fully initialized.
 func NewCC(syn int64, mss int, maxWindow int) *CC {
-	return &CC{
-		syn:         float64(syn),
-		mss:         float64(mss),
-		slowStart:   true,
-		cwnd:        slowStartCwnd,
-		maxCwnd:     float64(maxWindow),
-		lastDecSeq:  -1,
-		rttUs:       100_000,
-		rateLastDec: math.Inf(1), // no decrease has happened yet: use L − C
-		rngState:    0x9E3779B97F4A7C15,
-	}
+	cc := congestion.NewNative()
+	cc.Init(congestion.Params{SYN: syn, MSS: mss, MaxWindow: maxWindow})
+	return cc
 }
 
-// Increase computes formula (1): the number of packets to add to the per-SYN
-// budget given an available-bandwidth estimate in bits per second. Exported
-// for the Table 1 reproduction.
-//
-//	inc = max( 10^(ceil(log10 B) − 9) × 1500/MSS, 1/1500 )
+// Increase computes formula (1), re-exported from internal/congestion for
+// the Table 1 reproduction.
 func Increase(bitsPerSec float64, mss float64) float64 {
-	const minInc = 1.0 / 1500
-	if bitsPerSec <= 0 {
-		return minInc
-	}
-	exp := math.Ceil(math.Log10(bitsPerSec)) - 9
-	inc := math.Pow(10, exp) * 1500 / mss
-	if inc < minInc {
-		return minInc
-	}
-	return inc
-}
-
-// SlowStart reports whether the controller is still in its initial phase.
-func (c *CC) SlowStart() bool { return c.slowStart }
-
-// Window returns the sender-side window bound (packets): the growing
-// slow-start window initially, effectively unbounded afterwards (the
-// receiver-computed flow window takes over, §3.2).
-func (c *CC) Window() float64 {
-	if c.slowStart {
-		return c.cwnd
-	}
-	return c.maxCwnd
-}
-
-// Period returns the current packet sending period in µs. Zero means
-// unpaced (slow start).
-func (c *CC) Period() float64 { return c.period }
-
-// SetPeriod overrides the sending period (used by tests and by ablation
-// variants).
-func (c *CC) SetPeriod(p float64) {
-	c.period = p
-	c.slowStart = false
-}
-
-// Rate returns the current sending rate in packets/s (0 if unpaced).
-func (c *CC) Rate() float64 {
-	if c.period <= 0 {
-		return 0
-	}
-	return 1e6 / c.period
-}
-
-// LinkCapacity returns the smoothed receiver-based packet-pair estimate of
-// the link capacity L in packets/s (§3.4); 0 until the first probe arrives.
-func (c *CC) LinkCapacity() float64 { return c.capacity }
-
-// RecvRate returns the smoothed receiver arrival speed AS in packets/s as
-// fed back by ACKs (§3.2); 0 until the first measurement.
-func (c *CC) RecvRate() float64 { return c.recvRate }
-
-// Frozen reports whether sending is suspended at time now because a fresh
-// loss event told the sender to clear congestion for one SYN (§3.3).
-func (c *CC) Frozen(now int64) bool { return now < c.freezeUntil }
-
-// FreezeEnd returns when the current sending freeze expires (µs); zero or a
-// past time means not frozen. Event-driven transports use it to schedule
-// their next send attempt.
-func (c *CC) FreezeEnd() int64 { return c.freezeUntil }
-
-// SetMinPeriod feeds the measured real per-packet send time (µs) so the
-// controller never tunes the period below what the host can actually
-// achieve (§4.4).
-func (c *CC) SetMinPeriod(p float64) {
-	if p > 0 {
-		c.minPeriod = p
-	}
-}
-
-// exitSlowStart transitions to paced AIMD, deriving the first period from
-// the observed receive rate when available, else from the window and RTT.
-func (c *CC) exitSlowStart() {
-	if !c.slowStart {
-		return
-	}
-	c.slowStart = false
-	switch {
-	case c.recvRate > 0:
-		c.period = 1e6 / c.recvRate
-	case c.cwnd > 0:
-		c.period = (c.rttUs + c.syn) / c.cwnd
-	default:
-		c.period = c.syn
-	}
-	c.clampPeriod()
-}
-
-// OnACK folds in the feedback carried by an acknowledgement: receiver
-// arrival speed, RBPP capacity estimate and RTT, plus slow-start window
-// growth by the number of newly acknowledged packets.
-func (c *CC) OnACK(newlyAcked int, recvRate, capacity int32, rttUs int32) {
-	c.ackedSinceTick = true
-	if rttUs > 0 {
-		c.rttUs = float64(rttUs)
-	}
-	if recvRate > 0 {
-		if c.recvRate == 0 {
-			c.recvRate = float64(recvRate)
-		} else {
-			c.recvRate = (c.recvRate*7 + float64(recvRate)) / 8
-		}
-	}
-	if capacity > 0 {
-		if c.capacity == 0 {
-			c.capacity = float64(capacity)
-		} else {
-			c.capacity = (c.capacity*7 + float64(capacity)) / 8
-		}
-	}
-	if c.slowStart {
-		c.cwnd += float64(newlyAcked)
-		if c.cwnd >= c.maxCwnd {
-			c.cwnd = c.maxCwnd
-			c.exitSlowStart()
-		}
-	}
-}
-
-// OnNAK applies formula (3). largestLoss is the largest sequence number in
-// the NAK; sentSeq is the largest sequence number sent so far. Only a loss
-// event newer than the last decrease triggers a decrease and a one-SYN
-// freeze; re-reports of old losses do not decrease again (§3.3, §6
-// "processing continuous loss").
-func (c *CC) OnNAK(now int64, largestLoss, sentSeq int32) {
-	c.nakSinceTick = true
-	if c.slowStart {
-		c.exitSlowStart()
-	}
-	if c.lastDecSeq >= 0 && seqno.Cmp(largestLoss, c.lastDecSeq) <= 0 {
-		// NAK within an already-handled congestion event. A single decrease
-		// per event (the SC '04 text) under-reacts when the overload
-		// persists; like the released UDT implementation, decrease at most
-		// decLimit more times, spaced by the typical per-event NAK count,
-		// so steady sawtooth traffic is untouched but storms keep pushing
-		// the rate down.
-		c.nakCount++
-		if c.decCount < decLimit && c.decSpacing > 0 && c.nakCount%c.decSpacing == 0 {
-			c.decCount++
-			c.period *= decFactor
-			c.clampPeriod()
-			c.lastDecSeq = sentSeq
-		}
-		return
-	}
-	// Fresh congestion event.
-	c.avgNAKNum = 0.875*c.avgNAKNum + 0.125*float64(c.nakCount)
-	c.nakCount = 1
-	c.decCount = 1
-	span := int(c.avgNAKNum)
-	if span < 1 {
-		span = 1
-	}
-	c.decSpacing = 1 + int(c.rand()%uint64(span))
-	c.rateLastDec = 1e6 / c.period
-	c.period *= decFactor
-	c.clampPeriod()
-	c.lastDecSeq = sentSeq
-	c.freezeUntil = now + int64(c.syn)
-}
-
-// decLimit bounds decreases per congestion event (reference implementation).
-const decLimit = 5
-
-// rand is a small deterministic xorshift; determinism keeps simulator runs
-// reproducible while still de-synchronizing repeat decreases across flows.
-func (c *CC) rand() uint64 {
-	c.rngState ^= c.rngState << 13
-	c.rngState ^= c.rngState >> 7
-	c.rngState ^= c.rngState << 17
-	return c.rngState
-}
-
-// OnTimeout reacts to an EXP-timer expiration: feedback has stopped, so the
-// controller decreases as if a fresh loss event occurred.
-func (c *CC) OnTimeout(now int64, sentSeq int32) {
-	if c.slowStart {
-		c.exitSlowStart()
-	}
-	c.rateLastDec = 1e6 / c.period
-	c.period *= decFactor
-	c.clampPeriod()
-	c.lastDecSeq = sentSeq
-	c.freezeUntil = now + int64(c.syn)
-}
-
-// availableBandwidth implements the §3.4 selection rule, returning the
-// estimate in packets/s (possibly ≤ 0; the caller maps that to the minimum
-// increase).
-func (c *CC) availableBandwidth() float64 {
-	l := c.capacity
-	cur := 1e6 / c.period
-	if cur > c.rateLastDec {
-		return l - cur
-	}
-	b := l / 9 // all flows decreased by d = 1/9, so L·d is spare (§3.4)
-	if l-cur < b {
-		b = l - cur
-	}
-	return b
-}
-
-// OnRateTick runs the per-SYN additive increase (formulas 1 and 2). The
-// increase is applied only when at least one ACK and no NAK arrived in the
-// past SYN.
-func (c *CC) OnRateTick() {
-	acked, naked := c.ackedSinceTick, c.nakSinceTick
-	c.ackedSinceTick, c.nakSinceTick = false, false
-	if c.slowStart || naked || !acked {
-		return
-	}
-	if c.mimd > 0 {
-		c.period /= 1 + c.mimd
-		c.clampPeriod()
-		return
-	}
-	bPkts := c.availableBandwidth()
-	inc := Increase(bPkts*c.mss*8, c.mss)
-	// Formula (2): SYN/P = SYN/P' + inc, applied to the impairment-corrected
-	// period (§4.4).
-	p := c.period
-	if p < c.minPeriod {
-		p = c.minPeriod
-	}
-	c.period = c.syn / (c.syn/p + inc)
-	c.clampPeriod()
-}
-
-func (c *CC) clampPeriod() {
-	if c.period < c.minPeriod {
-		c.period = c.minPeriod
-	}
-	if c.period < 1 {
-		c.period = 1
-	}
-	if c.period > 1e6 {
-		c.period = 1e6 // floor of 1 packet/s keeps the connection alive
-	}
+	return congestion.Increase(bitsPerSec, mss)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"udt/internal/congestion"
 	"udt/internal/flow"
 	"udt/internal/losslist"
 	"udt/internal/packet"
@@ -35,6 +36,10 @@ type Config struct {
 	// it — it is carried through for telemetry and debugging, so transports
 	// and tools can correlate engine state with demultiplexer entries.
 	SockID int32
+	// CC constructs the connection's congestion controller. Nil selects
+	// the native UDT AIMD (§3.3). The engine calls the factory once in
+	// NewConn and Init's the controller with the connection constants.
+	CC congestion.Factory
 }
 
 func (c *Config) fill() {
@@ -107,7 +112,7 @@ type Stats struct {
 // and drains the Outbox of control emissions.
 type Conn struct {
 	cfg Config
-	cc  *CC
+	cc  congestion.Controller
 
 	// AvailBuf reports the receiver buffer space in packets for flow
 	// control advertisements. Installed by the transport.
@@ -168,9 +173,16 @@ func NewConn(cfg Config, peerISN int32) *Conn {
 	if lossCap > 4096 {
 		lossCap = 4096
 	}
+	var ctrl congestion.Controller
+	if cfg.CC != nil {
+		ctrl = cfg.CC()
+	} else {
+		ctrl = congestion.NewNative()
+	}
+	ctrl.Init(congestion.Params{SYN: cfg.SYN, MSS: cfg.MSS, MaxWindow: int(cfg.MaxFlowWindow)})
 	c := &Conn{
 		cfg:        cfg,
-		cc:         NewCC(cfg.SYN, cfg.MSS, int(cfg.MaxFlowWindow)),
+		cc:         ctrl,
 		sndLoss:    losslist.NewSender(),
 		rcvLoss:    losslist.NewReceiver(lossCap),
 		curSeq:     seqno.Dec(cfg.ISN),
@@ -200,8 +212,18 @@ func (c *Conn) Start(now int64) {
 	c.sendSchedule = float64(now)
 }
 
-// CC exposes the rate controller (read-mostly; used by experiments).
-func (c *Conn) CC() *CC { return c.cc }
+// CC exposes the native UDT rate controller when it is the installed law
+// (read-mostly; used by experiments and ablations), or nil when Config.CC
+// selected a different controller. Generic access goes through Controller.
+func (c *Conn) CC() *CC {
+	n, _ := c.cc.(*CC)
+	return n
+}
+
+// Controller exposes the installed congestion controller, whichever law
+// it runs. Callers must not invoke its mutating callbacks; the engine owns
+// the callback schedule.
+func (c *Conn) Controller() congestion.Controller { return c.cc }
 
 // RTT returns the smoothed round-trip time estimate in µs.
 func (c *Conn) RTT() int64 { return c.rtt.Smoothed() }
@@ -439,6 +461,7 @@ func (c *Conn) onEXP(now int64) {
 	if c.expCount >= 16 && now-c.lastRsp > c.cfg.PeerDeathTime {
 		c.broken = true
 		c.closed = true
+		c.cc.Close()
 		c.emit(Out{Kind: OutShutdown})
 		return
 	}
@@ -593,13 +616,17 @@ func (c *Conn) HandleKeepAlive(now int64) {
 
 // HandleShutdown closes the connection at the peer's request.
 func (c *Conn) HandleShutdown(now int64) {
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		c.cc.Close()
+	}
 }
 
 // Close shuts the connection down locally and queues a Shutdown for the peer.
 func (c *Conn) Close() {
 	if !c.closed {
 		c.closed = true
+		c.cc.Close()
 		c.emit(Out{Kind: OutShutdown})
 	}
 }
@@ -658,6 +685,7 @@ func (c *Conn) NextSend(now int64, newDataAvail bool) (seq int32, d SendDecision
 // whose sequence is a multiple of the probe interval starts a packet pair:
 // its successor leaves with no inter-packet delay (§3.4).
 func (c *Conn) schedule(now int64, seq int32) {
+	c.cc.OnPktSent(now, seq)
 	if !c.sentAny {
 		c.sentAny = true
 		c.sendSchedule = float64(now)

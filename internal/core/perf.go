@@ -38,6 +38,7 @@ func (c *Conn) SetPerfSink(sink trace.Sink, everySYN int, flow int32, label stri
 	c.perf.rec.Flow = flow
 	c.perf.rec.Label = label
 	c.perf.rec.Role = role
+	c.perf.rec.CCName = c.cc.Name()
 }
 
 // perfTick is called once per fired SYN rate tick from Advance.
@@ -75,6 +76,7 @@ func (c *Conn) perfTick(now int64) {
 	r.RTTUs = c.rtt.Smoothed()
 	r.FlowWindow = c.FlowWindow()
 	r.InFlight = c.Unacked()
+	r.Cwnd = c.cc.Window()
 
 	r.PktsSent = c.Stats.PktsSent
 	r.PktsRetrans = c.Stats.PktsRetrans

@@ -20,6 +20,7 @@ import (
 	"net"
 	"sort"
 
+	"udt/internal/congestion"
 	"udt/internal/core"
 	"udt/internal/netem"
 	"udt/internal/packet"
@@ -58,6 +59,19 @@ type Config struct {
 	// MaxVirtualTime aborts the run after this much virtual time, µs.
 	// Default 120 s.
 	MaxVirtualTime int64
+	// CCA and CCB name each peer's congestion controller ("native",
+	// "ctcp", "scalable", "hstcp"). Empty selects the native law with a
+	// nil factory — the exact pre-pluggable construction path.
+	CCA, CCB string
+}
+
+// ccFactory resolves a controller name for the engine config; the empty
+// name maps to nil so default runs take the engine's own native path.
+func ccFactory(name string) congestion.Factory {
+	if name == "" {
+		return nil
+	}
+	return congestion.MustNew(name)
 }
 
 func (c *Config) fill() {
@@ -186,8 +200,8 @@ func Run(cfg Config) Result {
 
 	isnA := rng.Int31() & seqno.Max
 	isnB := rng.Int31() & seqno.Max
-	a := newPeer("a", cfg, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
-	b := newPeer("b", cfg, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+	a := newPeer("a", cfg, cfg.CCA, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
+	b := newPeer("b", cfg, cfg.CCB, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
 
 	events := append([]Event(nil), cfg.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -269,13 +283,14 @@ func Run(cfg Config) Result {
 	return res
 }
 
-func newPeer(name string, cfg Config, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte) *peer {
+func newPeer(name string, cfg Config, cc string, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte) *peer {
 	ccfg := core.Config{
 		MSS:           cfg.MSS,
 		ISN:           isn,
 		RecvBufPkts:   int32(cfg.RcvBufPkts),
 		MinEXP:        cfg.MinEXP,
 		PeerDeathTime: cfg.PeerDeathTime,
+		CC:            ccFactory(cc),
 	}
 	p := &peer{
 		name:     name,

@@ -104,6 +104,53 @@ func TestQuickMatrixPasses(t *testing.T) {
 	}
 }
 
+// TestCCMatrixPasses runs the congestion-control matrix: every pluggable
+// law must carry its transfer, and the fairness cells must complete with
+// both laws making progress on the shared link.
+func TestCCMatrixPasses(t *testing.T) {
+	for _, cr := range RunMatrix(1, CCMatrix()) {
+		if !cr.Pass {
+			if cr.Mux != nil {
+				t.Errorf("%s failed: %+v", cr.Case.Name, *cr.Mux)
+			} else {
+				t.Errorf("%s failed: %+v", cr.Case.Name, cr.Result)
+			}
+			continue
+		}
+		if cr.Mux != nil {
+			for i, f := range cr.Mux.Flows {
+				if f.GoodputAMbps <= 0 || f.GoodputBMbps <= 0 {
+					t.Errorf("%s: flow %d (%s) reported zero goodput: %+v", cr.Case.Name, i, f.CC, f)
+				}
+			}
+		}
+	}
+}
+
+// TestCCMatrixDeterministic pins the tentpole's replay requirement: a
+// fairness cell racing two different laws over one seeded path must be a
+// pure function of the seed, per-flow goodput included.
+func TestCCMatrixDeterministic(t *testing.T) {
+	cell := Case{}
+	for _, cs := range CCMatrix() {
+		if cs.Name == "cc-fair-native-ctcp" {
+			cell = cs
+		}
+	}
+	if cell.Name == "" {
+		t.Fatal("cc-fair-native-ctcp cell missing from CCMatrix")
+	}
+	run := func() CaseResult { return RunMatrix(42, []Case{cell})[0] }
+	one := run()
+	two := run()
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("same-seed CC race diverged:\n%+v\n%+v", one, two)
+	}
+	if !one.Pass {
+		t.Fatalf("cc-fair-native-ctcp failed at seed 42: %+v", *one.Mux)
+	}
+}
+
 func TestRunRealCleanLink(t *testing.T) {
 	res, err := RunReal(RealConfig{Seed: 2, Payload: 1 << 20, Link: netem.LinkConfig{Delay: 1000}})
 	if err != nil {

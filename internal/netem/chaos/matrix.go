@@ -25,6 +25,12 @@ type Case struct {
 	// per direction, demultiplexed by socket ID. Zero runs the ordinary
 	// two-peer driver.
 	MuxFlows int
+	// CCA and CCB select the two peers' congestion controllers in a
+	// two-peer cell; empty means native.
+	CCA, CCB string
+	// CCs assigns controllers per flow pair (cycled) in a MuxFlows cell —
+	// different laws coexisting on one link.
+	CCs []string
 }
 
 // CaseResult pairs a matrix cell with its outcome.
@@ -72,6 +78,33 @@ func QuickMatrix() []Case {
 	}
 }
 
+// CCMatrix is the congestion-control matrix: every pluggable law moving
+// real transfers over an impaired path, plus fairness cells racing two
+// different laws on one rate-capped link — the §5.2 intra/inter-protocol
+// scenarios as deterministic replay cells. A fairness cell passes when
+// every flow completes; the per-flow goodput split is in
+// MuxResult.Flows[i].Goodput{A,B}Mbps.
+func CCMatrix() []Case {
+	const quarterMB = 256 << 10
+	impaired := netem.LinkConfig{Delay: 4000, Jitter: 1000, Loss: 0.01}
+	shared := netem.LinkConfig{Delay: 5000, RateMbps: 40, QueuePkts: 64}
+	return []Case{
+		// Each non-native law carries a bidirectional transfer through loss.
+		{Name: "cc-ctcp", Link: impaired, Payload: quarterMB, CCA: "ctcp", CCB: "ctcp"},
+		{Name: "cc-scalable", Link: impaired, Payload: quarterMB, CCA: "scalable", CCB: "scalable"},
+		{Name: "cc-hstcp", Link: impaired, Payload: quarterMB, CCA: "hstcp", CCB: "hstcp"},
+		// Asymmetric pair: the two ends of one connection run different laws.
+		{Name: "cc-native-vs-ctcp", Link: impaired, Payload: quarterMB, CCA: "native", CCB: "ctcp"},
+		// Fairness: two flow pairs, one per law, multiplexed onto one
+		// rate-capped queue; the drop pattern each flow sees depends on the
+		// other's sending schedule, so the laws genuinely interact.
+		{Name: "cc-fair-native-ctcp", Link: shared, Payload: 2 * quarterMB,
+			MuxFlows: 2, CCs: []string{"native", "ctcp"}, MaxVirtualTime: 300_000_000},
+		{Name: "cc-fair-ctcp-hstcp", Link: shared, Payload: 2 * quarterMB,
+			MuxFlows: 2, CCs: []string{"ctcp", "hstcp"}, MaxVirtualTime: 300_000_000},
+	}
+}
+
 // RunMatrix executes every case under the virtual clock with the given
 // seed and applies each cell's success criterion.
 func RunMatrix(seed int64, cases []Case) []CaseResult {
@@ -87,6 +120,7 @@ func RunMatrix(seed int64, cases []Case) []CaseResult {
 				MinEXP:         cs.MinEXP,
 				PeerDeathTime:  cs.PeerDeathTime,
 				MaxVirtualTime: cs.MaxVirtualTime,
+				CCs:            cs.CCs,
 			})
 			out = append(out, CaseResult{Case: cs, Mux: &mr, Pass: mr.OK})
 			continue
@@ -100,6 +134,8 @@ func RunMatrix(seed int64, cases []Case) []CaseResult {
 			MinEXP:         cs.MinEXP,
 			PeerDeathTime:  cs.PeerDeathTime,
 			MaxVirtualTime: cs.MaxVirtualTime,
+			CCA:            cs.CCA,
+			CCB:            cs.CCB,
 		}
 		r := Run(cfg)
 		pass := r.OK

@@ -39,6 +39,11 @@ type MuxConfig struct {
 	// MaxVirtualTime aborts the run after this much virtual time, µs.
 	// Default 120 s.
 	MaxVirtualTime int64
+	// CCs assigns congestion controllers per flow pair, cycled: flow i
+	// (both directions) runs CCs[i%len(CCs)]. Empty means every flow runs
+	// the native law. This is what lets one cell race two different laws
+	// over the same impaired path under deterministic replay.
+	CCs []string
 }
 
 func (c *MuxConfig) fill() {
@@ -65,6 +70,14 @@ func (c *MuxConfig) fill() {
 // FlowResult is one flow pair's outcome.
 type FlowResult struct {
 	A, B PeerResult
+	// CC names the congestion controller both directions of the flow ran
+	// ("" = native).
+	CC string
+	// GoodputAMbps and GoodputBMbps are each direction's delivered rate
+	// over the whole run (RecvBytes·8/Elapsed) — the per-flow share of the
+	// link, which is what the controller-vs-controller fairness cells
+	// compare.
+	GoodputAMbps, GoodputBMbps float64
 }
 
 // MuxResult is the outcome of one multiplexed chaos run. Under the virtual
@@ -167,7 +180,11 @@ func RunMux(cfg MuxConfig) MuxResult {
 	}
 	flowsA := make([]*muxFlowPeer, cfg.Flows)
 	flowsB := make([]*muxFlowPeer, cfg.Flows)
+	flowCC := make([]string, cfg.Flows)
 	for i := 0; i < cfg.Flows; i++ {
+		if len(cfg.CCs) > 0 {
+			flowCC[i] = cfg.CCs[i%len(cfg.CCs)]
+		}
 		payA := make([]byte, cfg.PayloadPerFlow)
 		rng.Read(payA) //nolint:errcheck // never fails
 		payB := make([]byte, cfg.PayloadPerFlow)
@@ -176,8 +193,8 @@ func RunMux(cfg MuxConfig) MuxResult {
 		isnB := rng.Int31() & seqno.Max
 		idA := mux.MakeID(int32(0x1000_0000 + i))
 		idB := mux.MakeID(int32(0x2000_0000 + i))
-		pa := newPeer(fmt.Sprintf("a%d", i), base, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
-		pb := newPeer(fmt.Sprintf("b%d", i), base, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+		pa := newPeer(fmt.Sprintf("a%d", i), base, flowCC[i], isnA, isnB, epA, epB.LocalAddr(), payA, payB)
+		pb := newPeer(fmt.Sprintf("b%d", i), base, flowCC[i], isnB, isnA, epB, epA.LocalAddr(), payB, payA)
 		pa.out = prefixedWriter(epA, epB.LocalAddr(), idB, cfg.MSS)
 		pb.out = prefixedWriter(epB, epA.LocalAddr(), idA, cfg.MSS)
 		fa := &muxFlowPeer{peer: pa}
@@ -287,7 +304,11 @@ func RunMux(cfg MuxConfig) MuxResult {
 	res.Elapsed = vc.Now()
 	res.OK = !res.TimedOut
 	for i := range res.Flows {
-		fr := FlowResult{A: flowsA[i].result(), B: flowsB[i].result()}
+		fr := FlowResult{A: flowsA[i].result(), B: flowsB[i].result(), CC: flowCC[i]}
+		if res.Elapsed > 0 {
+			fr.GoodputAMbps = float64(fr.A.RecvBytes) * 8 / float64(res.Elapsed)
+			fr.GoodputBMbps = float64(fr.B.RecvBytes) * 8 / float64(res.Elapsed)
+		}
 		res.Flows[i] = fr
 		flowOK := flowsA[i].finished() && flowsB[i].finished() && fr.A.RecvOK && fr.B.RecvOK
 		if flowOK {

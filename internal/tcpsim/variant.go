@@ -1,6 +1,6 @@
 package tcpsim
 
-import "math"
+import "udt/internal/congestion"
 
 // Variant selects the congestion avoidance response function.
 type Variant int
@@ -40,38 +40,13 @@ func (v Variant) String() string {
 	}
 }
 
-// HighSpeed TCP parameters (RFC 3649 §5).
-const (
-	hsLowWindow  = 38.0
-	hsHighWindow = 83000.0
-	hsHighP      = 1e-7
-	hsHighDecr   = 0.1
+// The HighSpeed and Scalable response functions live in
+// internal/congestion, shared with the real-stack controllers; the local
+// names keep this file readable.
+var (
+	hsBeta  = congestion.HSBeta
+	hsAlpha = congestion.HSAlpha
 )
-
-// hsBeta returns HighSpeed TCP's decrease factor b(w).
-func hsBeta(w float64) float64 {
-	if w <= hsLowWindow {
-		return 0.5
-	}
-	if w >= hsHighWindow {
-		return hsHighDecr
-	}
-	f := (math.Log(w) - math.Log(hsLowWindow)) / (math.Log(hsHighWindow) - math.Log(hsLowWindow))
-	return 0.5 + f*(hsHighDecr-0.5)
-}
-
-// hsAlpha returns HighSpeed TCP's per-RTT increase a(w), derived from the
-// response function w = 0.12/p^0.835 (RFC 3649 §5):
-//
-//	a(w) = w² · p(w) · 2·b(w) / (2 − b(w)),  p(w) = 0.078 / w^1.2
-func hsAlpha(w float64) float64 {
-	if w <= hsLowWindow {
-		return 1
-	}
-	p := 0.078 / math.Pow(w, 1.2)
-	b := hsBeta(w)
-	return w * w * p * 2 * b / (2 - b)
-}
 
 // BIC parameters (the authors' recommended values).
 const (
@@ -113,7 +88,7 @@ func (v Variant) caIncrease(w float64) float64 {
 	}
 	switch v {
 	case ScalableTCP:
-		return 0.01
+		return congestion.ScalableAlpha
 	case HighSpeedTCP:
 		return hsAlpha(w) / w
 	default:
@@ -126,7 +101,7 @@ func (v Variant) caIncrease(w float64) float64 {
 func (v Variant) decrease(w float64) float64 {
 	switch v {
 	case ScalableTCP:
-		return 0.875
+		return congestion.ScalableBeta
 	case HighSpeedTCP:
 		return 1 - hsBeta(w)
 	case BicTCP:

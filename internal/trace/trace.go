@@ -42,6 +42,9 @@ type PerfRecord struct {
 	Label string
 	// Role tags the side of the connection being sampled.
 	Role Role
+	// CCName names the congestion controller driving the sender ("native",
+	// "ctcp", ...); empty for protocols without pluggable control.
+	CCName string
 
 	// T is the sample time in µs on the emitting clock (simulated or
 	// monotonic real time).
@@ -69,6 +72,10 @@ type PerfRecord struct {
 	FlowWindow int32
 	// InFlight is the number of unacknowledged packets.
 	InFlight int32
+	// Cwnd is the controller's live congestion window in packets (the
+	// native law only enforces it during slow start; window-based laws
+	// derive their pacing period from it).
+	Cwnd float64
 
 	// Cumulative engine counters at sample time.
 	PktsSent     int64

@@ -308,7 +308,7 @@ func (e *Endpoint) trySend(us int64) {
 			e.wakeAt(e.conn.NextSendTime() * netsim.Microsecond)
 			return
 		case core.WaitFrozen:
-			e.wakeAt(e.conn.CC().FreezeEnd() * netsim.Microsecond)
+			e.wakeAt(e.conn.Controller().FreezeEnd() * netsim.Microsecond)
 			return
 		case core.WaitData:
 			e.maybeDone()

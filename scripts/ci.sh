@@ -7,7 +7,7 @@ go vet ./...
 go build ./...
 # Documentation gates: every exported identifier in the audited packages must
 # carry a doc comment, and every relative Markdown link must resolve.
-go run ./scripts/doccheck internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
+go run ./scripts/doccheck internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
 go run ./scripts/mdcheck
 # Fast fail on the concurrency-heavy packages first: the demultiplexer and
 # the chaos harness in short mode, before the full (slower) race run.
@@ -16,3 +16,6 @@ go test -race ./...
 # Fault-injection gate: the fixed-seed chaos matrix with determinism replay
 # and a real-stack smoke pass (a few seconds under the virtual clock).
 go run ./cmd/udtchaos -determinism -real
+# Congestion-control gate: every pluggable law through loss plus the
+# two-law fairness cells, bit-identical on replay.
+go run ./cmd/udtchaos -ccmatrix -determinism

@@ -27,6 +27,7 @@ import (
 	randv2 "math/rand/v2"
 	"time"
 
+	"udt/internal/congestion"
 	"udt/internal/core"
 	"udt/internal/timing"
 	"udt/internal/trace"
@@ -75,6 +76,12 @@ type Config struct {
 	// called under the connection lock; it must not block or call back into
 	// the Conn.
 	Trace TraceSink
+	// CC selects the congestion controller for connections using this
+	// Config: the factory is invoked once per connection. Nil selects the
+	// paper's native UDT AIMD (§3.3). Resolve a built-in law by name with
+	// CongestionControl ("native", "ctcp", "scalable", "hstcp"). Both ends
+	// choose independently — the law is sender-side state, not negotiated.
+	CC CongestionFactory
 
 	// sockID is this endpoint's socket ID on a shared (multiplexed)
 	// socket, filled in by Mux before the connection is wired; zero for a
@@ -174,6 +181,7 @@ func (c *Config) coreConfig(isn int32) core.Config {
 		MinEXP:        c.MinEXPInterval.Microseconds(),
 		PeerDeathTime: c.PeerDeathTimeout.Microseconds(),
 		SockID:        c.sockID,
+		CC:            c.CC,
 	}
 }
 
@@ -197,6 +205,14 @@ type Stats struct {
 	// same values); zero when the connection has a private socket.
 	MuxUnknownDest   uint64
 	MuxShortDatagram uint64
+	// CCName names the congestion-control law driving the sender
+	// ("native", "ctcp", "scalable", "hstcp").
+	CCName string
+	// CCPeriodUs is the controller's live packet sending period in µs;
+	// 0 means unpaced (slow start).
+	CCPeriodUs float64
+	// CCWindowPkts is the controller's live congestion window in packets.
+	CCWindowPkts float64
 }
 
 // PerfRecord is one perfmon telemetry sample; see internal/trace for the
@@ -206,3 +222,18 @@ type PerfRecord = trace.PerfRecord
 
 // TraceSink consumes PerfRecords; see internal/trace.Sink.
 type TraceSink = trace.Sink
+
+// CongestionFactory constructs one fresh congestion controller per
+// connection; see internal/congestion for the Controller contract.
+type CongestionFactory = congestion.Factory
+
+// CongestionControl resolves a built-in congestion-control law by name for
+// Config.CC: "native" (the paper's UDT AIMD, also the default for the
+// empty string), "ctcp" (TCP-Reno-style AIMD), "scalable" (Scalable TCP
+// MIMD) or "hstcp" (RFC 3649 HighSpeed TCP). Unknown names error.
+func CongestionControl(name string) (CongestionFactory, error) {
+	return congestion.New(name)
+}
+
+// CongestionControls lists the built-in congestion controller names.
+func CongestionControls() []string { return congestion.Names() }
