@@ -23,6 +23,27 @@ func (d *discardSock) writeTo(b []byte, _ net.Addr) (int, error) {
 
 func (d *discardSock) headroom() int { return 0 }
 
+// gsoDiscardSock upgrades discardSock with the batch and segment-train
+// interfaces, so the alloc gates cover the GSO pack-and-submit path
+// without needing a kernel that offloads.
+type gsoDiscardSock struct {
+	discardSock
+	trains, segs int
+}
+
+func (g *gsoDiscardSock) writeBatch(bufs [][]byte, _ net.Addr) error {
+	g.writes += len(bufs)
+	return nil
+}
+
+func (g *gsoDiscardSock) writeSegments(bufs [][]byte, segSize int, _ net.Addr) (bool, error) {
+	g.trains++
+	g.segs += len(bufs)
+	return true, nil
+}
+
+func (g *gsoDiscardSock) offloadActive() bool { return true }
+
 // newSendPathConn assembles a Conn exactly as newConn does, minus the
 // sender goroutine, so tests can drive claimBurstLocked/drainOutboxLocked
 // deterministically from one goroutine. With traced set, a perfmon ring is
@@ -39,6 +60,8 @@ func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory) *Conn {
 	}
 	c.hr = sock.headroom()
 	c.bw, _ = sock.(batchWriter)
+	c.sw, _ = sock.(segWriter)
+	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
 	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(0), 0)
 	payload := cfg.MSS - packet.DataHeaderSize
@@ -60,16 +83,15 @@ func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory) *Conn {
 // engine an ACK for everything in flight (the role the peer plays) and
 // drain the resulting control traffic. It exercises every per-packet
 // operation of the real send path.
-func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens *[sendBurst]int) {
+func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens []int, burst *[][]byte) {
 	c.mu.Lock()
 	now := c.clock.Now()
 	c.core.Advance(now)
 	c.snd.Write(data)
 	n, _, _ := c.claimBurstLocked(now, scratch, lens)
 	c.mu.Unlock()
-	stride := c.hr + c.cfg.MSS
-	for i := 0; i < n; i++ {
-		c.sockWrite(scratch[i*stride : i*stride+c.hr+lens[i]]) //nolint:errcheck
+	if n > 0 {
+		c.sendDataBurst(scratch, lens, n, burst) //nolint:errcheck
 	}
 	c.mu.Lock()
 	ack := packet.ACK{
@@ -108,18 +130,19 @@ func TestSenderPathAllocs(t *testing.T) {
 			sock := &discardSock{}
 			c := newSendPathConn(sock, true, cc)
 			var batch sendBatch
-			scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
-			var lens [sendBurst]int
+			scratch := make([]byte, c.burst*(c.hr+c.cfg.MSS))
+			lens := make([]int, c.burst)
+			burst := make([][]byte, 0, c.burst)
 			data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
 
 			// Warm up: grow the batch arena, the engine's outbox and the ACK
 			// history window to steady state.
 			for i := 0; i < 64; i++ {
-				sendCycle(c, data, &batch, scratch, &lens)
+				sendCycle(c, data, &batch, scratch, lens, &burst)
 			}
 			sentBefore := c.core.Stats.PktsSent
 			avg := testing.AllocsPerRun(500, func() {
-				sendCycle(c, data, &batch, scratch, &lens)
+				sendCycle(c, data, &batch, scratch, lens, &burst)
 			})
 			sent := c.core.Stats.PktsSent - sentBefore
 			if sent < 500 {
@@ -144,6 +167,42 @@ func TestSenderPathAllocs(t *testing.T) {
 	}
 }
 
+// TestGSOPackAllocs gates the GSO pack-and-submit path: assembling a full
+// burst of MSS-size packets into a segment train — buffer aliasing, the
+// equal-size eligibility scan, writeSegments dispatch and the offload
+// counters — must allocate nothing, preserving the sender's
+// zero-allocation invariant on the offloaded path too.
+func TestGSOPackAllocs(t *testing.T) {
+	sock := &gsoDiscardSock{}
+	c := newSendPathConn(sock, false, nil)
+	stride := c.hr + c.cfg.MSS
+	scratch := make([]byte, c.burst*stride)
+	lens := make([]int, c.burst)
+	burst := make([][]byte, 0, c.burst)
+	payload := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
+	for i := 0; i < c.burst; i++ {
+		m, err := packet.EncodeData(scratch[i*stride+c.hr:(i+1)*stride], &packet.Data{Seq: int32(i), Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lens[i] = m
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := c.sendDataBurst(scratch, lens, c.burst, &burst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("GSO pack path allocates %.2f objects per burst, want 0", avg)
+	}
+	if sock.trains == 0 || sock.segs == 0 {
+		t.Fatal("segment-train path was never taken; the gate proved nothing")
+	}
+	if got := c.gsoSends.Load(); got == 0 {
+		t.Fatal("GSO send counter did not advance")
+	}
+}
+
 // BenchmarkSenderPacket measures the real send path end to end — encode
 // burst, socket write, ACK bookkeeping, control drain — in ns and allocs
 // per data packet (the socket is a stub, so this is pure protocol cost).
@@ -162,16 +221,17 @@ func benchmarkSenderPacket(b *testing.B, traced bool) {
 	sock := &discardSock{}
 	c := newSendPathConn(sock, traced, nil)
 	var batch sendBatch
-	scratch := make([]byte, sendBurst*(c.hr+c.cfg.MSS))
-	var lens [sendBurst]int
+	scratch := make([]byte, c.burst*(c.hr+c.cfg.MSS))
+	lens := make([]int, c.burst)
+	burst := make([][]byte, 0, c.burst)
 	data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
 	for i := 0; i < 64; i++ {
-		sendCycle(c, data, &batch, scratch, &lens)
+		sendCycle(c, data, &batch, scratch, lens, &burst)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sendCycle(c, data, &batch, scratch, &lens)
+		sendCycle(c, data, &batch, scratch, lens, &burst)
 	}
 }
 

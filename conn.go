@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"udt/internal/core"
@@ -52,7 +53,9 @@ type Conn struct {
 	laddr  net.Addr
 	sock   sockWriter
 	bw     batchWriter // non-nil when sock supports batched sends
+	sw     segWriter   // non-nil when sock supports GSO segment trains
 	hr     int         // sock.headroom(), cached: bytes reserved per datagram
+	burst  int         // data packets one sender-lock acquisition may claim
 	closer func()      // tears down socket/listener registration
 
 	clock  *timing.SysClock
@@ -81,6 +84,18 @@ type Conn struct {
 	bytesSent int64
 	bytesRecv int64
 
+	// Send-path offload counters. They are atomics, not mu-guarded: the
+	// sender loop updates them outside the lock and Stats snapshots them
+	// from any goroutine.
+	gsoSends     atomic.Int64
+	gsoSegments  atomic.Int64
+	sendSyscalls atomic.Int64
+
+	// mmaps are file mappings adopted by SendFileZC whose teardown had to
+	// be deferred (the connection failed while packets could still alias
+	// the mapped region); Close unmaps them once the sender loop is done.
+	mmaps [][]byte
+
 	// udpRcvBuf and udpSndBuf are the kernel socket buffer sizes the OS
 	// actually granted (0 when the transport is not a UDP socket).
 	udpRcvBuf, udpSndBuf int
@@ -103,6 +118,8 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 	}
 	c.hr = sock.headroom()
 	c.bw, _ = sock.(batchWriter)
+	c.sw, _ = sock.(segWriter)
+	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
 	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(isn), peerISN)
 	payload := cfg.MSS - packet.DataHeaderSize
@@ -174,6 +191,15 @@ func (c *Conn) Close() error {
 		c.closer()
 	}
 	c.wg.Wait()
+	// With the sender loop finished, nothing can reference a mapped file
+	// region anymore; release mappings whose teardown SendFileZC deferred.
+	c.mu.Lock()
+	mms := c.mmaps
+	c.mmaps = nil
+	c.mu.Unlock()
+	for _, m := range mms {
+		munmapFile(m) //nolint:errcheck // best-effort address-space release
+	}
 	return nil
 }
 
@@ -196,6 +222,52 @@ func (c *Conn) Write(p []byte) (int, error) {
 		c.wrReady.Wait()
 	}
 	return written, nil
+}
+
+// writeZC queues p on the send buffer without copying: packet slots alias
+// sub-slices of p, which therefore must stay valid and unmodified until
+// every queued byte has been acknowledged (SendFileZC waits for exactly
+// that before releasing its file mapping). Like Write it blocks while the
+// buffer is full and returns len(p) unless the connection dies.
+func (c *Conn) writeZC(p []byte) (int, error) {
+	written := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for written < len(p) {
+		if c.err != nil && c.core.Closed() {
+			return written, c.err
+		}
+		n := c.snd.WriteZC(p[written:])
+		if n > 0 {
+			written += n
+			c.kickSender()
+			continue
+		}
+		c.wrReady.Wait()
+	}
+	return written, nil
+}
+
+// waitAcked blocks until every queued byte has been acknowledged by the
+// peer, or the connection fails. A non-nil return means the drain did
+// not complete: packet slots may still alias caller memory somewhere in
+// the teardown path.
+func (c *Conn) waitAcked() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && c.snd.Pending() > 0 {
+		c.wrReady.Wait()
+	}
+	return c.err
+}
+
+// adoptMapping hands a file mapping to the connection for teardown at
+// Close, used when SendFileZC cannot prove the sender loop is done with
+// the mapped region.
+func (c *Conn) adoptMapping(m []byte) {
+	c.mu.Lock()
+	c.mmaps = append(c.mmaps, m)
+	c.mu.Unlock()
 }
 
 // Read copies received stream bytes into p, blocking until at least one
@@ -268,6 +340,13 @@ func (c *Conn) Stats() Stats {
 	if mc, ok := c.sock.(muxCounterSource); ok {
 		s.MuxUnknownDest, s.MuxShortDatagram = mc.muxCounters()
 	}
+	if gc, ok := c.sock.(groCounterSource); ok {
+		s.GROReads, s.GROSegments = gc.groCounters()
+	}
+	s.GSOEnabled = c.sw != nil && c.sw.offloadActive()
+	s.GSOSends = c.gsoSends.Load()
+	s.GSOSegments = c.gsoSegments.Load()
+	s.SendSyscalls = c.sendSyscalls.Load()
 	return s
 }
 
@@ -367,11 +446,27 @@ func (c *Conn) drainOutboxLocked(b *sendBatch) {
 	}
 }
 
-// sendBurst caps how many consecutive data packets one lock acquisition
-// may claim when pacing is tighter than the syscall cost (§4.4).
-const sendBurst = 8
+// burstSize bounds the data burst one sender-lock acquisition may claim:
+// the configured batch size (clamped in Config.fill), further capped so a
+// full train of stride-sized datagrams fits one 64 KB GSO super-datagram
+// and the kernel's per-send segment limit.
+func burstSize(batch, stride int) int {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > maxGSOSegments {
+		batch = maxGSOSegments
+	}
+	if m := maxUDPPayload / stride; batch > m {
+		batch = m
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	return batch
+}
 
-// claimBurstLocked claims and encodes up to sendBurst data packets into
+// claimBurstLocked claims and encodes up to c.burst data packets into
 // scratch (packet i at offset i*(headroom+MSS), encoded after the
 // transport's headroom bytes, encoded length in lens[i]). The first
 // packet follows §4.1's one-packet-per-iteration rule; further packets are
@@ -380,10 +475,10 @@ const sendBurst = 8
 // bottleneck, and splitting the burst across lock round-trips would only
 // add overhead. It returns the claim count, the next wakeup deadline and
 // the last engine decision (meaningful when n == 0). Callers hold mu.
-func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens *[sendBurst]int) (n int, wake int64, d core.SendDecision) {
+func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens []int) (n int, wake int64, d core.SendDecision) {
 	wake = c.core.NextTimer()
 	stride := c.hr + c.cfg.MSS
-	for n < sendBurst {
+	for n < c.burst {
 		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
 		seq, decision := c.core.NextSend(now, newAvail)
 		d = decision
@@ -430,9 +525,9 @@ func (c *Conn) senderLoop() {
 	defer timer.Stop()
 	var batch sendBatch
 	stride := c.hr + c.cfg.MSS
-	scratch := make([]byte, sendBurst*stride)
-	burst := make([][]byte, 0, sendBurst)
-	var lens [sendBurst]int
+	scratch := make([]byte, c.burst*stride)
+	burst := make([][]byte, 0, c.burst)
+	lens := make([]int, c.burst)
 	for {
 		c.mu.Lock()
 		now := c.clock.Now()
@@ -444,7 +539,7 @@ func (c *Conn) senderLoop() {
 			c.mu.Unlock()
 			return
 		}
-		nData, wake, decision := c.claimBurstLocked(now, scratch, &lens)
+		nData, wake, decision := c.claimBurstLocked(now, scratch, lens)
 		closedNow := c.core.Closed() && c.snd.Pending() == 0
 		c.mu.Unlock()
 
@@ -456,23 +551,7 @@ func (c *Conn) senderLoop() {
 		}
 		if nData > 0 {
 			t0 := time.Now()
-			sent := 0
-			var err error
-			if c.bw != nil && nData > 1 {
-				burst = burst[:0]
-				for i := 0; i < nData; i++ {
-					burst = append(burst, scratch[i*stride:i*stride+c.hr+lens[i]])
-					sent += lens[i]
-				}
-				c.ledger.Time(timing.BucketUDPWrite, func() { err = c.bw.writeBatch(burst, c.raddr) })
-			} else {
-				for i := 0; i < nData; i++ {
-					if _, err = c.sockWrite(scratch[i*stride : i*stride+c.hr+lens[i]]); err != nil {
-						break
-					}
-					sent += lens[i]
-				}
-			}
+			sent, err := c.sendDataBurst(scratch, lens, nData, &burst)
 			if err != nil {
 				c.mu.Lock()
 				c.failLocked(fmt.Errorf("udt: send: %w", err))
@@ -525,10 +604,73 @@ func (c *Conn) senderLoop() {
 	}
 }
 
+// sendDataBurst transmits n encoded data packets from scratch (laid out
+// by claimBurstLocked) in as few syscalls as the transport allows, in
+// descending preference:
+//
+//  1. GSO: a run of full-size packets (every wire datagram but the last
+//     exactly headroom+MSS) goes out as ONE sendmsg carrying a
+//     UDP_SEGMENT train the kernel segments — the §4.1 per-packet cost
+//     amortized over up to 44 packets;
+//  2. sendmmsg: one syscall submitting the burst as separate datagrams;
+//  3. portable: one writeTo per packet.
+//
+// burstBufs is the caller's reusable slice for assembling the datagram
+// list. Returns the payload bytes handed to the socket.
+func (c *Conn) sendDataBurst(scratch []byte, lens []int, n int, burstBufs *[][]byte) (int, error) {
+	stride := c.hr + c.cfg.MSS
+	sent := 0
+	bufs := (*burstBufs)[:0]
+	for i := 0; i < n; i++ {
+		bufs = append(bufs, scratch[i*stride:i*stride+c.hr+lens[i]])
+		sent += lens[i]
+	}
+	*burstBufs = bufs
+
+	if c.sw != nil && n > 1 {
+		segOK := true
+		for i := 0; i < n-1; i++ {
+			if lens[i] != c.cfg.MSS {
+				segOK = false // a short mid-burst packet breaks the train
+				break
+			}
+		}
+		if segOK {
+			var ok bool
+			var err error
+			c.ledger.Time(timing.BucketUDPWrite, func() { ok, err = c.sw.writeSegments(bufs, stride, c.raddr) })
+			if ok {
+				if err != nil {
+					return sent, err
+				}
+				c.sendSyscalls.Add(1)
+				c.gsoSends.Add(1)
+				c.gsoSegments.Add(int64(n))
+				return sent, nil
+			}
+		}
+	}
+	if c.bw != nil && n > 1 {
+		var err error
+		c.ledger.Time(timing.BucketUDPWrite, func() { err = c.bw.writeBatch(bufs, c.raddr) })
+		c.sendSyscalls.Add(1)
+		return sent, err
+	}
+	sent = 0
+	for i := 0; i < n; i++ {
+		if _, err := c.sockWrite(scratch[i*stride : i*stride+c.hr+lens[i]]); err != nil {
+			return sent, err
+		}
+		sent += lens[i]
+	}
+	return sent, nil
+}
+
 func (c *Conn) sockWrite(b []byte) (int, error) {
 	var n int
 	var err error
 	c.ledger.Time(timing.BucketUDPWrite, func() { n, err = c.sock.writeTo(b, c.raddr) })
+	c.sendSyscalls.Add(1)
 	return n, err
 }
 
@@ -538,6 +680,7 @@ func (c *Conn) sendCtrlBatch(b *sendBatch) error {
 	if c.bw != nil && len(b.msgs) > 1 {
 		var err error
 		c.ledger.Time(timing.BucketUDPWrite, func() { err = c.bw.writeBatch(b.msgs, c.raddr) })
+		c.sendSyscalls.Add(1)
 		return err
 	}
 	for _, m := range b.msgs {
@@ -548,11 +691,20 @@ func (c *Conn) sendCtrlBatch(b *sendBatch) error {
 	return nil
 }
 
-// handleDatagram processes one UDP datagram addressed to this connection.
-// It is called by the socket reader goroutine (dialed) or the listener's
-// demultiplexer (accepted).
+// handleDatagram processes one UDP datagram addressed to this connection,
+// stamping its arrival at the moment of processing. The mux read loop
+// calls handleDatagramAt instead with the batch read time: stamping each
+// packet of a recvmmsg batch (or GRO train) individually would record the
+// engine's per-packet processing time — a few µs of CPU — as inter-arrival
+// spacing, inflating the §3.2 arrival-speed and §3.4 capacity estimators
+// by orders of magnitude on fast links.
 func (c *Conn) handleDatagram(raw []byte) {
-	now := c.clock.Now()
+	c.handleDatagramAt(raw, c.clock.Now())
+}
+
+// handleDatagramAt processes one UDP datagram that arrived at time now on
+// the connection's clock.
+func (c *Conn) handleDatagramAt(raw []byte, now int64) {
 	if !packet.IsControl(raw) {
 		var d packet.Data
 		var err error

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 )
 
 // The sendfile/recvfile protocol frames each transfer with an 8-byte
@@ -28,6 +29,52 @@ func (c *Conn) SendFile(r io.Reader, n int64) (int64, error) {
 		return written, fmt.Errorf("udt: sendfile: %w", err)
 	}
 	return written, nil
+}
+
+// SendFileZC sends f's entire contents as one length-framed transfer
+// without copying the payload: the file is mapped read-only and the send
+// buffer's packet slots alias the mapping, so bytes move from the page
+// cache to the socket with zero intermediate copies — the send-side dual
+// of the overlapped receive path (§4.3). The wire stream is identical to
+// SendFile's, so the receiver always uses plain RecvFile.
+//
+// When the platform or the file rules out mapping (non-regular file,
+// empty file, mmap failure), SendFileZC transparently falls back to the
+// copying SendFile loop. The mapping is released once every payload byte
+// is acknowledged; if the connection dies mid-drain, teardown is
+// deferred to Close so in-flight packet slots never dangle.
+func (c *Conn) SendFileZC(f *os.File) (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("udt: sendfile: %w", err)
+	}
+	size := fi.Size()
+	if !fi.Mode().IsRegular() || size == 0 {
+		return c.SendFile(f, size)
+	}
+	m, err := mmapFile(f.Fd(), size)
+	if err != nil {
+		return c.SendFile(f, size)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(size))
+	if _, err := c.Write(hdr[:]); err != nil {
+		munmapFile(m) //nolint:errcheck // nothing queued yet; mapping unreferenced
+		return 0, err
+	}
+	written, werr := c.writeZC(m)
+	if derr := c.waitAcked(); derr == nil && werr == nil {
+		if err := munmapFile(m); err != nil {
+			return int64(written), fmt.Errorf("udt: sendfile: %w", err)
+		}
+		return int64(written), nil
+	} else if werr == nil {
+		werr = derr
+	}
+	// The connection failed with mapped bytes possibly still referenced
+	// by send-buffer slots; let Close unmap after the sender loop exits.
+	c.adoptMapping(m)
+	return int64(written), fmt.Errorf("udt: sendfile: %w", werr)
 }
 
 // RecvFile receives one length-framed transfer into w, returning the number

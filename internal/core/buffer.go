@@ -17,6 +17,14 @@ type SndBuffer struct {
 	headSeq int32 // sequence number of the oldest occupied slot
 	headIdx int   // its slot index
 	n       int   // occupied slots
+
+	// ext holds per-slot external payloads from zero-copy writes
+	// (WriteZC): a non-nil entry overrides the slot's copied data. The
+	// caller owns the backing memory (typically a file mapping) and must
+	// keep it valid until the slot is released; Release nils entries as
+	// acknowledgements free them. Allocated lazily — ordinary streams
+	// never pay for it.
+	ext [][]byte
 }
 
 // NewSndBuffer returns a send buffer of capacity packets whose payloads hold
@@ -60,6 +68,36 @@ func (b *SndBuffer) Write(p []byte) int {
 			n = len(p)
 		}
 		copy(b.data[idx*b.payload:], p[:n])
+		if b.ext != nil {
+			b.ext[idx] = nil
+		}
+		b.lens[idx] = int32(n)
+		b.n++
+		p = p[n:]
+		written += n
+	}
+	return written
+}
+
+// WriteZC packs p into packets without copying: each slot records a
+// sub-slice of p, and Packet serves those bytes straight from the
+// caller's memory — the zero-copy half of the paper's copy-avoidance
+// story (§4.3), applied to the send side for file transfer. The chunking
+// matches Write exactly (full payload-size packets, short final packet),
+// so the wire stream is indistinguishable from a copied send. p must
+// stay valid and unmodified until every packet it backs is released.
+func (b *SndBuffer) WriteZC(p []byte) int {
+	if b.ext == nil {
+		b.ext = make([][]byte, len(b.lens))
+	}
+	written := 0
+	for len(p) > 0 && b.n < len(b.lens) {
+		idx := (b.headIdx + b.n) % len(b.lens)
+		n := b.payload
+		if n > len(p) {
+			n = len(p)
+		}
+		b.ext[idx] = p[:n:n]
 		b.lens[idx] = int32(n)
 		b.n++
 		p = p[n:]
@@ -77,6 +115,11 @@ func (b *SndBuffer) Packet(seq int32) ([]byte, bool) {
 		return nil, false
 	}
 	idx := (b.headIdx + int(off)) % len(b.lens)
+	if b.ext != nil {
+		if e := b.ext[idx]; e != nil {
+			return e, true
+		}
+	}
 	return b.data[idx*b.payload : idx*b.payload+int(b.lens[idx])], true
 }
 
@@ -89,6 +132,11 @@ func (b *SndBuffer) Release(seq int32) int {
 	k := int(off)
 	if k > b.n {
 		k = b.n
+	}
+	if b.ext != nil {
+		for i := 0; i < k; i++ {
+			b.ext[(b.headIdx+i)%len(b.lens)] = nil
+		}
 	}
 	b.headIdx = (b.headIdx + k) % len(b.lens)
 	b.headSeq = seqno.Add(b.headSeq, int32(k))

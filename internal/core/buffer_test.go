@@ -314,3 +314,68 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// TestSndBufferWriteZC checks the zero-copy write path: packets alias the
+// caller's memory (no copy), chunking matches Write exactly, Release
+// drops the alias so the caller may unpin the backing memory, and mixed
+// Write/WriteZC traffic never serves stale external bytes.
+func TestSndBufferWriteZC(t *testing.T) {
+	b := NewSndBuffer(4, 10, 100)
+	src := []byte("abcdefghijklmno") // packets of 10 and 5, like Write
+	if n := b.WriteZC(src); n != 15 || b.Pending() != 2 {
+		t.Fatalf("WriteZC = %d, pending = %d", n, b.Pending())
+	}
+	p, ok := b.Packet(100)
+	if !ok || string(p) != "abcdefghij" {
+		t.Fatalf("Packet(100) = %q,%v", p, ok)
+	}
+	if &p[0] != &src[0] {
+		t.Fatal("zero-copy packet does not alias the source")
+	}
+	// Mutating the source must show through: the slot holds no copy.
+	src[0] = 'Z'
+	if p, _ := b.Packet(100); p[0] != 'Z' {
+		t.Fatal("packet did not reflect source mutation; a copy was made")
+	}
+	p, ok = b.Packet(101)
+	if !ok || string(p) != "klmno" || &p[0] != &src[10] {
+		t.Fatalf("Packet(101) = %q,%v (aliased=%v)", p, ok, ok && &p[0] == &src[10])
+	}
+	if k := b.Release(102); k != 2 {
+		t.Fatalf("Release = %d", k)
+	}
+	for i := range b.ext {
+		if b.ext[i] != nil {
+			t.Fatalf("ext slot %d still pins caller memory after release", i)
+		}
+	}
+	// A copied write reusing the same slots must not resurface external
+	// bytes.
+	if n := b.Write([]byte("0123456789XY")); n != 12 {
+		t.Fatalf("Write = %d", n)
+	}
+	if p, ok := b.Packet(102); !ok || string(p) != "0123456789" {
+		t.Fatalf("Packet(102) after slot reuse = %q,%v", p, ok)
+	}
+	if p, ok := b.Packet(103); !ok || string(p) != "XY" {
+		t.Fatalf("Packet(103) after slot reuse = %q,%v", p, ok)
+	}
+}
+
+// TestSndBufferWriteZCInterleaved mixes copied and zero-copy writes in
+// one stream: packet contents must come out in write order regardless of
+// which path queued them.
+func TestSndBufferWriteZCInterleaved(t *testing.T) {
+	b := NewSndBuffer(8, 4, 0)
+	b.Write([]byte("AAAA"))
+	zc := []byte("BBBBCC")
+	b.WriteZC(zc)
+	b.Write([]byte("DD"))
+	want := []string{"AAAA", "BBBB", "CC", "DD"}
+	for i, w := range want {
+		p, ok := b.Packet(int32(i))
+		if !ok || string(p) != w {
+			t.Fatalf("Packet(%d) = %q,%v want %q", i, p, ok, w)
+		}
+	}
+}

@@ -122,7 +122,7 @@ type Conn struct {
 	sndLoss      *losslist.Sender
 	curSeq       int32 // largest data sequence sent
 	sndLastAck   int32 // everything before this is acknowledged
-	peerWindow   int32 // flow window advertised by the peer (min(W, buffer), §3.2)
+	peerWindow   int32 // flow window advertised by the peer: min(W = AS·(SYN+RTT), its free buffer)
 	forcedWindow int32 // ablation override; see ForceWindow
 	sendSchedule float64
 	sentAny      bool
@@ -135,6 +135,7 @@ type Conn struct {
 	prevSeq       int32 // immediately previous arrival, for packet-pair spotting
 	prevArrival   int64
 	arrival       *flow.ArrivalWindow
+	burstArr      *flow.ArrivalWindow
 	probe         *flow.ProbeWindow
 	ackWin        *flow.AckWindow
 	rtt           *flow.RTT
@@ -192,6 +193,7 @@ func NewConn(cfg Config, peerISN int32) *Conn {
 		lrsn:       seqno.Dec(peerISN),
 		prevSeq:    -1,
 		arrival:    flow.NewArrivalWindow(flow.DefaultArrivalWindow),
+		burstArr:   flow.NewBurstArrivalWindow(flow.DefaultArrivalWindow),
 		probe:      flow.NewProbeWindow(flow.DefaultProbeWindow),
 		ackWin:     flow.NewAckWindow(1024),
 		rtt:        flow.NewRTT(100_000),
@@ -395,12 +397,17 @@ func (c *Conn) sendACK(now int64) {
 	if first, ok := c.rcvLoss.First(); ok {
 		ack = first
 	}
-	// Window: W = AS·(SYN + RTT); before AS is measurable, stay at the
-	// slow-start floor.
+	// Window: W = AS·(SYN + RTT), §3.2, where AS is the burst (peak)
+	// arrival-speed estimate — how fast packets CAN arrive, so that a
+	// window-limited sender's bursts grow the window toward the bandwidth-
+	// delay product. The achieved-rate estimate must not be used here: a
+	// window derived from the rate the sender actually achieved is a fixed
+	// point it can never grow past (see NewBurstArrivalWindow). Before AS
+	// is measurable, stay at the slow-start floor.
 	recvRate := c.arrival.Rate()
 	w := float64(slowStartCwnd)
-	if recvRate > 0 {
-		w = float64(recvRate) * float64(c.cfg.SYN+c.rtt.Smoothed()) / 1e6
+	if br := c.burstArr.Rate(); br > 0 {
+		w = float64(br) * float64(c.cfg.SYN+c.rtt.Smoothed()) / 1e6
 		if w < slowStartCwnd {
 			w = slowStartCwnd
 		}
@@ -468,7 +475,30 @@ func (c *Conn) onEXP(now int64) {
 	if c.Unacked() > 0 {
 		c.Stats.Timeouts++
 		if c.sndLoss.Len() == 0 {
-			c.sndLoss.Insert(c.sndLastAck, c.curSeq)
+			// First expiration since the peer was last heard: assume the
+			// repair feedback (ACK or NAK) was lost and requeue the whole
+			// unacknowledged window. On consecutive expirations the full
+			// requeue has already gone unanswered once — repeating it every
+			// time just floods a drowning receiver with duplicates
+			// (retransmissions bypass the window check, so each expiration
+			// would pump the entire window again). Requeue a probe chunk
+			// that doubles per consecutive expiration instead: the
+			// duplicates it produces trigger a re-ACK if the receiver had
+			// the data, or fresh delivery plus a NAK if it did not; either
+			// response resets expCount and restores full repair, and the
+			// doubling guarantees the chunk reaches the whole window again
+			// even if no response ever comes.
+			end := c.curSeq
+			if n := c.expCount - 2; n >= 0 {
+				chunk := int32(slowStartCwnd)
+				for ; n > 0 && chunk < c.cfg.MaxFlowWindow; n-- {
+					chunk *= 2
+				}
+				if probe := seqno.Add(c.sndLastAck, chunk-1); seqno.Cmp(probe, end) < 0 {
+					end = probe
+				}
+			}
+			c.sndLoss.Insert(c.sndLastAck, end)
 		}
 		c.cc.OnTimeout(now, c.curSeq)
 	} else {
@@ -488,8 +518,15 @@ func (c *Conn) HandleData(now int64, seq int32) (fresh bool) {
 	c.gotAnyData = true
 
 	c.arrival.OnArrival(now)
+	c.burstArr.OnArrival(now)
 	// Packet-pair probe: the packet after a seq%16 == 0 packet was sent
-	// back-to-back with it (§3.4); consecutive arrival spots the pair.
+	// back-to-back with it (§3.4); consecutive arrival spots the pair. A
+	// zero gap clamps to 1 µs inside OnPair — "faster than the clock
+	// resolves" — which on batched receive paths makes the capacity
+	// estimate an upper bound rather than a measurement; the arrival-speed
+	// window (whose honest burst amortization bounds the flow window and
+	// the slow-start exit rate) is what keeps that optimism from
+	// overdriving the link.
 	if c.prevSeq >= 0 && c.prevSeq%flow.ProbeInterval == 0 && seq == seqno.Inc(c.prevSeq) {
 		c.probe.OnPair(now - c.prevArrival)
 	}

@@ -615,3 +615,18 @@ func TestConnSoakRandomImpairment(t *testing.T) {
 		})
 	}
 }
+
+func TestZeroGapProbePairsClampToClockFloor(t *testing.T) {
+	// Both halves of a §3.4 packet pair delivered in the same microsecond
+	// — a batched read, or a genuinely fast virtual link — clamp to the
+	// 1 µs clock floor: capacity reads as an upper bound (~1e6 pkts/s).
+	// The arrival-speed window's burst amortization, not the pair probe,
+	// is what keeps batched delivery from inflating the flow window.
+	c := NewConn(Config{ISN: 5000}, 0)
+	c.Start(0)
+	c.HandleData(1000, 0)
+	c.HandleData(1000, 1)
+	if got := c.probe.Capacity(); got != 1e6 {
+		t.Fatalf("zero-gap pair capacity = %d, want 1000000", got)
+	}
+}

@@ -21,13 +21,18 @@ type ArrivalWindow struct {
 	filled    int
 	last      int64 // previous arrival time
 	seen      bool
+	coalesced int  // arrivals in the same µs as their predecessor, pending amortization
+	burst     bool // clamp coalesced gaps to 1 µs instead of amortizing
 }
 
 // DefaultArrivalWindow is the history size used by UDT (16 packets).
 const DefaultArrivalWindow = 16
 
 // NewArrivalWindow returns an arrival-speed estimator over the last n
-// inter-arrival intervals.
+// inter-arrival intervals. Coalesced arrivals (zero gap from a batched
+// read) are amortized over the next measurable gap, so the estimate is the
+// *achieved* delivery rate — what the rate laws (slow-start exit, the AIMD
+// base) want.
 func NewArrivalWindow(n int) *ArrivalWindow {
 	if n < 2 {
 		n = 2
@@ -35,7 +40,34 @@ func NewArrivalWindow(n int) *ArrivalWindow {
 	return &ArrivalWindow{intervals: make([]int64, n)}
 }
 
+// NewBurstArrivalWindow returns an arrival-speed estimator with *peak*
+// semantics: coalesced arrivals record the 1 µs clock floor instead of
+// being amortized, so a window-limited burst that lands in one read batch
+// reads as a very fast arrival run, and the idle stretches between bursts
+// are dropped by the median filter. This is the §3.2 arrival speed that
+// sizes the flow window W = AS·(SYN+RTT): it must reflect how fast packets
+// CAN arrive, not the average achieved rate — a window derived from the
+// achieved rate is a fixed point the sender can never grow past. Where
+// arrivals carry honest per-packet times (the simulator, sparse traffic)
+// the two estimators see identical gaps and agree.
+func NewBurstArrivalWindow(n int) *ArrivalWindow {
+	w := NewArrivalWindow(n)
+	w.burst = true
+	return w
+}
+
 // OnArrival records a data packet arrival at time now.
+//
+// Arrivals in the same microsecond as their predecessor carry no timing
+// information of their own: a batched read (recvmmsg, a GRO train) hands
+// the whole burst to user space at once, so the zero spacing reflects the
+// read mechanism, not the wire. Recording them as 1 µs samples would let
+// them dominate the median under segmentation offload — where MOST
+// arrivals are coalesced — and inflate AS by orders of magnitude, blowing
+// up both the flow window W = AS·(SYN+RTT) and the sender's slow-start
+// exit rate. Instead the burst is counted and the next measurable gap is
+// amortized over it: a 16-packet train followed by a 200 µs gap records
+// sixteen 12.5 µs samples, the burst's true average spacing.
 func (w *ArrivalWindow) OnArrival(now int64) {
 	if !w.seen {
 		w.seen = true
@@ -45,12 +77,25 @@ func (w *ArrivalWindow) OnArrival(now int64) {
 	gap := now - w.last
 	w.last = now
 	if gap <= 0 {
-		gap = 1
+		if w.burst {
+			gap = 1 // faster than the clock resolves: clamp to the floor
+		} else {
+			w.coalesced++
+			return
+		}
 	}
-	w.intervals[w.pos] = gap
-	w.pos = (w.pos + 1) % len(w.intervals)
-	if w.filled < len(w.intervals) {
-		w.filled++
+	n := int64(w.coalesced) + 1
+	w.coalesced = 0
+	per := gap / n
+	if per <= 0 {
+		per = 1
+	}
+	for i := int64(0); i < n && i < int64(len(w.intervals)); i++ {
+		w.intervals[w.pos] = per
+		w.pos = (w.pos + 1) % len(w.intervals)
+		if w.filled < len(w.intervals) {
+			w.filled++
+		}
 	}
 }
 
@@ -118,7 +163,13 @@ func NewProbeWindow(n int) *ProbeWindow {
 	return &ProbeWindow{intervals: make([]int64, n)}
 }
 
-// OnPair records the arrival spacing (µs) of a packet pair.
+// OnPair records the arrival spacing (µs) of a packet pair. A non-positive
+// gap is clamped to 1 µs — the pair arrived faster than the clock
+// resolves — so on fast paths (virtual links, batched reads that deliver
+// both halves at once) the capacity estimate reads as an upper bound of
+// ~1e6 packets per second rather than starving at zero. The arrival-speed
+// window, which amortizes coalesced bursts honestly, is what bounds the
+// flow window and the slow-start exit rate on such paths.
 func (w *ProbeWindow) OnPair(gap int64) {
 	if gap <= 0 {
 		gap = 1

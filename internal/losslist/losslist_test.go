@@ -491,3 +491,104 @@ func TestNaiveWindowBounds(t *testing.T) {
 		t.Fatalf("Len = %d, want 2", n.Len())
 	}
 }
+
+// walkBounded traverses the receiver list asserting it terminates within the
+// node count — a link cycle (the corruption mode of a wrapped slot collision)
+// would otherwise loop forever in Ranges/Report/First.
+func walkBounded(t *testing.T, r *Receiver) []packet.Range {
+	t.Helper()
+	var out []packet.Range
+	steps := 0
+	for i := r.head; i != -1; i = r.next[i] {
+		if steps++; steps > r.nodes {
+			t.Fatalf("list cycle: %d steps for %d nodes", steps, r.nodes)
+		}
+		out = append(out, packet.Range{Start: r.start[i], End: r.end[i]})
+	}
+	return out
+}
+
+func TestReceiverWideRangeSplitNoCycle(t *testing.T) {
+	// A single loss range wider than the slot capacity, split by a
+	// retransmission near its far edge. Before the span-aware grow in
+	// Insert, the split node's slot wrapped onto the head's slot and
+	// produced next[slot] == slot — an infinite loop in every list walk
+	// (observed as a NAK-path hang under a retransmission storm).
+	r := NewReceiver(16) // capacity 16: [0,20] spans 21 > 16
+	r.Insert(0, 20)
+	if !r.Remove(15) {
+		t.Fatal("Remove(15) failed")
+	}
+	sameRanges(t, walkBounded(t, r), []packet.Range{rg(0, 14), rg(16, 20)})
+	if got := r.Report(1000, 10000, 128); len(got) != 2 {
+		t.Fatalf("Report after wide split: %v", got)
+	}
+	if r.Len() != 20 || r.Events() != 2 {
+		t.Fatalf("Len=%d Events=%d, want 20/2", r.Len(), r.Events())
+	}
+}
+
+func TestReceiverMergedTailBeyondCapacity(t *testing.T) {
+	// The tail-merge path must also respect the capacity invariant: a
+	// contiguous Insert used to extend the tail end past capacity without
+	// growing, and removals inside the overhang either failed (locate's
+	// bounds check) or corrupted the links (wrapped split slot).
+	r := NewReceiver(16)
+	r.Insert(0, 5)
+	r.Insert(6, 30) // merges with tail → [0,30], spans 31 > 16
+	sameRanges(t, walkBounded(t, r), []packet.Range{rg(0, 30)})
+	for _, s := range []int32{15, 17, 29} { // all inside the former overhang
+		if !r.Remove(s) {
+			t.Fatalf("Remove(%d) failed", s)
+		}
+	}
+	sameRanges(t, walkBounded(t, r),
+		[]packet.Range{rg(0, 14), rg(16, 16), rg(18, 28), rg(30, 30)})
+	if got := r.Report(1000, 10000, 128); len(got) != 4 {
+		t.Fatalf("Report: %v", got)
+	}
+}
+
+func TestReceiverStormNoCycle(t *testing.T) {
+	// Randomized retransmission storm: bursty inserts whose gaps and spans
+	// routinely exceed the initial capacity, interleaved with removals of
+	// random tracked packets. After every operation the list must stay
+	// cycle-free, ordered, and disjoint.
+	rng := rand.New(rand.NewSource(7))
+	r := NewReceiver(16)
+	next := int32(0)
+	var tracked []int32
+	check := func() {
+		rs := walkBounded(t, r)
+		for i := 1; i < len(rs); i++ {
+			if seqno.Cmp(rs[i-1].End, rs[i].Start) >= 0 {
+				t.Fatalf("ranges out of order/overlapping: %v", rs)
+			}
+		}
+	}
+	for op := 0; op < 2000; op++ {
+		if len(tracked) == 0 || rng.Intn(3) == 0 {
+			gap := int32(rng.Intn(100) + 1)
+			span := int32(rng.Intn(60))
+			s := next + gap
+			e := s + span
+			next = e + 1
+			r.Insert(s, e)
+			for q := s; q <= e; q++ {
+				tracked = append(tracked, q)
+			}
+		} else {
+			i := rng.Intn(len(tracked))
+			seq := tracked[i]
+			tracked[i] = tracked[len(tracked)-1]
+			tracked = tracked[:len(tracked)-1]
+			if !r.Remove(seq) {
+				t.Fatalf("op %d: Remove(%d) failed", op, seq)
+			}
+		}
+		check()
+	}
+	if r.Len() != len(tracked) {
+		t.Fatalf("Len=%d, tracked=%d", r.Len(), len(tracked))
+	}
+}

@@ -128,6 +128,9 @@ func (r *Receiver) Insert(s1, s2 int32) {
 	}
 	n := seqno.Len(s1, s2)
 	if r.head == -1 {
+		for n > int32(len(r.start)) {
+			r.grow()
+		}
 		slot := int32(0)
 		r.head, r.tail = slot, slot
 		r.start[slot], r.end[slot] = s1, s2
@@ -145,6 +148,16 @@ func (r *Receiver) Insert(s1, s2 int32) {
 		s1 = seqno.Inc(r.end[r.tail])
 		n = seqno.Len(s1, s2)
 	}
+	// Every tracked sequence number's slot is its offset from the head
+	// start, so the whole span [head.start, s2] must stay within capacity —
+	// including a tail end about to be extended by the merge below. If only
+	// the new node's *start* were checked (as it once was), a merged tail
+	// could stretch past capacity and a later mid-range Remove would compute
+	// a wrapped slot for the split node, colliding with a live slot and
+	// corrupting the links into a cycle that hangs every list walk.
+	for seqno.Off(r.start[r.head], s2) >= int32(len(r.start)) {
+		r.grow()
+	}
 	// Merge with the tail when contiguous.
 	if seqno.Inc(r.end[r.tail]) == s1 {
 		r.end[r.tail] = s2
@@ -153,13 +166,6 @@ func (r *Receiver) Insert(s1, s2 int32) {
 		r.reports[r.tail] = 0
 		r.lastReport[r.tail] = 0
 		return
-	}
-	for {
-		off := seqno.Off(r.start[r.head], s1)
-		if off < int32(len(r.start)) {
-			break
-		}
-		r.grow()
 	}
 	slot := r.slotFor(s1)
 	r.start[slot], r.end[slot] = s1, s2

@@ -30,6 +30,19 @@ func NewSysClock() *SysClock { return &SysClock{base: time.Now()} }
 // Now implements Clock.
 func (c *SysClock) Now() int64 { return time.Since(c.base).Microseconds() }
 
+// At converts an absolute time to this clock's microsecond timeline,
+// clamped at 0 for instants that precede the clock's origin (a datagram
+// read racing ahead of connection setup). It lets a shared socket reader
+// stamp a whole receive batch once and hand each connection an arrival
+// time on its own clock.
+func (c *SysClock) At(t time.Time) int64 {
+	us := t.Sub(c.base).Microseconds()
+	if us < 0 {
+		return 0
+	}
+	return us
+}
+
 // Pacer enforces inter-packet send times with microsecond precision.
 //
 // Operating-system sleep primitives cannot be trusted below a few hundred

@@ -7,14 +7,48 @@ import (
 	"sync"
 )
 
-// ownedSock is a dialed connection's private transport.
+// ownedSock is a dialed connection's private transport. When that
+// transport is a real UDP socket it carries the platform batch and
+// segmentation-offload send paths, so dialed connections reach sendmmsg
+// and GSO exactly like multiplexed ones; on any other fabric (netem,
+// proxies) both upgrades are absent and every send is one writeTo.
 type ownedSock struct {
-	c PacketConn
+	c  PacketConn
+	bw batchWriter // nil off-UDP: writeBatch falls back to writeTo
+	sw segWriter   // nil when the platform or probe rules out GSO
+}
+
+func newOwnedSock(pc PacketConn, offload bool) *ownedSock {
+	s := &ownedSock{c: pc}
+	s.bw = newBatchSender(pc, offload)
+	s.sw, _ = s.bw.(segWriter)
+	return s
 }
 
 func (s *ownedSock) writeTo(b []byte, addr net.Addr) (int, error) {
 	return s.c.WriteTo(b, addr)
 }
+
+func (s *ownedSock) writeBatch(bufs [][]byte, addr net.Addr) error {
+	if s.bw != nil {
+		return s.bw.writeBatch(bufs, addr)
+	}
+	for _, b := range bufs {
+		if _, err := s.c.WriteTo(b, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *ownedSock) writeSegments(bufs [][]byte, segSize int, addr net.Addr) (bool, error) {
+	if s.sw == nil {
+		return false, nil
+	}
+	return s.sw.writeSegments(bufs, segSize, addr)
+}
+
+func (s *ownedSock) offloadActive() bool { return s.sw != nil && s.sw.offloadActive() }
 
 func (s *ownedSock) headroom() int { return 0 }
 
@@ -85,17 +119,40 @@ type Listener struct {
 	ownsMux bool
 	backlog chan *Conn
 
+	// shards are the extra SO_REUSEPORT group members beyond m
+	// (Config.ReusePortShards > 1 on Linux): each is a full Mux — own
+	// socket, own read loop, own demux tables — bound to the same
+	// address, and the kernel spreads client flows across the group by
+	// 4-tuple hash. All shards feed this listener's one backlog, so
+	// Accept is oblivious to which socket a connection arrived on.
+	// Always owned: only Listen builds groups.
+	shards []*Mux
+
 	mu     sync.Mutex
 	closed bool
 	done   chan struct{}
 }
 
 // Listen starts a UDT listener on the given UDP address. cfg may be nil.
-// To listen on a different transport, use ListenOn.
+// With Config.ReusePortShards > 1 on Linux the listener binds an
+// SO_REUSEPORT socket group instead of one socket: N sockets on the same
+// address, each with its own read loop and demultiplexer, with the
+// kernel spreading client flows across them by 4-tuple hash — the §4.1
+// syscall/interrupt work then scales across cores instead of serializing
+// on one socket lock. Elsewhere, or with shards ≤ 1, exactly one socket
+// is bound. To listen on a different transport, use ListenOn.
 func Listen(address string, cfg *Config) (*Listener, error) {
 	laddr, err := net.ResolveUDPAddr("udp", address)
 	if err != nil {
 		return nil, fmt.Errorf("udt: listen %s: %w", address, err)
+	}
+	if cfg != nil {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if cfg.ReusePortShards > 1 && reusePortSupported {
+			return listenReusePort(laddr, cfg)
+		}
 	}
 	sock, err := net.ListenUDP("udp", laddr)
 	if err != nil {
@@ -103,6 +160,57 @@ func Listen(address string, cfg *Config) (*Listener, error) {
 	}
 	rcvBuf, sndBuf := tuneUDPBuffers(sock)
 	return listenOn(sock, cfg, rcvBuf, sndBuf)
+}
+
+// listenReusePort binds cfg.ReusePortShards sockets to laddr as one
+// SO_REUSEPORT group and stacks a Mux on each; the first carries the
+// Listener, the rest attach to it as shards.
+func listenReusePort(laddr *net.UDPAddr, cfg *Config) (*Listener, error) {
+	shards := cfg.ReusePortShards
+	if shards > 64 {
+		shards = 64
+	}
+	socks := make([]*net.UDPConn, 0, shards)
+	fail := func(err error) (*Listener, error) {
+		for _, s := range socks {
+			s.Close() //nolint:errcheck
+		}
+		return nil, fmt.Errorf("udt: listen %s: %w", laddr, err)
+	}
+	for i := 0; i < shards; i++ {
+		s, err := listenUDPReusePort(laddr)
+		if err != nil {
+			return fail(err)
+		}
+		socks = append(socks, s)
+		if i == 0 {
+			// A wildcard port resolves at the first bind; the rest of the
+			// group must join that concrete port.
+			laddr = s.LocalAddr().(*net.UDPAddr)
+		}
+	}
+	rcvBuf, sndBuf := tuneUDPBuffers(socks[0])
+	l, err := listenOn(socks[0], cfg, rcvBuf, sndBuf)
+	if err != nil {
+		socks = socks[1:] // listenOn closed its socket
+		return fail(err)
+	}
+	for i, s := range socks[1:] {
+		rcvBuf, sndBuf := tuneUDPBuffers(s)
+		m, merr := newMux(s, cfg, rcvBuf, sndBuf) // closes s on error
+		if merr == nil {
+			if merr = m.attachListener(l); merr != nil {
+				m.Close() //nolint:errcheck
+			}
+		}
+		if merr != nil {
+			l.Close()           //nolint:errcheck // tears down every mux built so far
+			socks = socks[i+2:] // only sockets no mux ever owned remain open
+			return fail(merr)
+		}
+		l.shards = append(l.shards, m)
+	}
+	return l, nil
 }
 
 // Addr returns the listening transport address.
@@ -133,25 +241,33 @@ func (l *Listener) Close() error {
 	l.mu.Unlock()
 	if alreadyClosed {
 		if l.ownsMux {
+			for _, m := range l.shards {
+				m.Close() //nolint:errcheck
+			}
 			return l.m.Close()
 		}
 		return nil
 	}
-	m := l.m
-	m.mu.Lock()
-	if m.listener == l {
-		m.listener = nil
+	for _, m := range append([]*Mux{l.m}, l.shards...) {
+		m.mu.Lock()
+		if m.listener == l {
+			m.listener = nil
+		}
+		conns := make([]*Conn, 0, len(m.accepted))
+		for _, e := range m.accepted {
+			conns = append(conns, e.conn)
+		}
+		m.mu.Unlock()
+		for _, c := range conns {
+			c.Close() //nolint:errcheck
+		}
 	}
-	conns := make([]*Conn, 0, len(m.accepted))
-	for _, e := range m.accepted {
-		conns = append(conns, e.conn)
-	}
-	m.mu.Unlock()
-	for _, c := range conns {
-		c.Close() //nolint:errcheck
+	// Shards exist only when the listener owns the whole group.
+	for _, m := range l.shards {
+		m.Close() //nolint:errcheck
 	}
 	if l.ownsMux {
-		return m.Close()
+		return l.m.Close()
 	}
 	return nil
 }

@@ -1,0 +1,14 @@
+//go:build !(linux || darwin)
+
+package udt
+
+import "errors"
+
+// Platforms without a (tested) mmap path: SendFileZC degrades to the
+// copying SendFile loop, which is always correct.
+
+var errNoMmap = errors.New("udt: file mapping not supported on this platform")
+
+func mmapFile(fd uintptr, length int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(m []byte) error { return nil }

@@ -1,0 +1,33 @@
+//go:build linux || darwin
+
+package udt
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// mmapFile maps length bytes of the file behind fd read-only. The
+// mapping is the zero-copy source for SendFileZC: send-buffer slots
+// alias it directly, so file bytes go from page cache to socket without
+// ever being copied into protocol buffers (§4.3, applied to the send
+// side). MAP_SHARED keeps the mapping backed by the page cache rather
+// than forcing private copies on first touch.
+func mmapFile(fd uintptr, length int64) ([]byte, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("udt: mmap: invalid length %d", length)
+	}
+	if length != int64(int(length)) {
+		return nil, fmt.Errorf("udt: mmap: file too large for address space (%d bytes)", length)
+	}
+	return syscall.Mmap(int(fd), 0, int(length), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile; nil and already-unmapped
+// slices are ignored.
+func munmapFile(m []byte) error {
+	if m == nil {
+		return nil
+	}
+	return syscall.Munmap(m)
+}

@@ -4,7 +4,10 @@ package udt
 
 // recvmmsg/sendmmsg syscall numbers for linux/amd64. The frozen syscall
 // package predates sendmmsg (kernel 3.0), so both are spelled out here.
+// sendmsg is listed too: the GSO path submits its segment trains through a
+// raw sendmsg so the UDP_SEGMENT control message rides along.
 const (
 	sysRECVMMSG = 299
 	sysSENDMMSG = 307
+	sysSENDMSG  = 46
 )

@@ -2,8 +2,10 @@
 
 package udt
 
-// recvmmsg/sendmmsg syscall numbers for linux/arm64 (asm-generic table).
+// recvmmsg/sendmmsg/sendmsg syscall numbers for linux/arm64 (asm-generic
+// table). sendmsg carries the GSO path's UDP_SEGMENT control message.
 const (
 	sysRECVMMSG = 243
 	sysSENDMMSG = 269
+	sysSENDMSG  = 211
 )

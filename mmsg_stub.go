@@ -3,8 +3,11 @@
 package udt
 
 // Platforms without the recvmmsg/sendmmsg fast path: the Mux falls back
-// to the portable single-datagram read loop and a WriteTo send loop.
+// to the portable single-datagram read loop and a WriteTo send loop, and
+// segmentation offload (GSO/GRO) is unavailable — writeSegments is never
+// offered, so every caller takes the portable path. The batch size and
+// offload knobs are accepted and ignored.
 
-func newBatchReader(PacketConn) batchReader { return nil }
+func newBatchReader(PacketConn, int, bool, *offloadStats) batchReader { return nil }
 
-func newBatchSender(PacketConn) batchWriter { return nil }
+func newBatchSender(PacketConn, bool) batchWriter { return nil }

@@ -34,8 +34,19 @@ type Mux struct {
 
 	udpRcvBuf, udpSndBuf int // achieved kernel buffer sizes (0 off-UDP)
 
-	reader batchReader // platform read path
-	sender batchWriter // platform batched write path; nil → WriteTo loop
+	reader batchReader  // platform read path
+	sender batchWriter  // platform batched write path; nil → WriteTo loop
+	ostats offloadStats // GRO state + counters for the shared socket
+
+	// batchAt is the arrival stamp of the datagram currently being
+	// demultiplexed: the kernel receive timestamp when available, else
+	// one read time shared by the whole batch (readStamp). Both fields
+	// are written and read only on the readLoop goroutine (delivery is
+	// synchronous); they exist so the engine's arrival-speed and
+	// packet-pair estimators see socket arrival times, not per-packet
+	// processing time.
+	batchAt   time.Time
+	readStamp time.Time
 
 	randMu sync.Mutex // serializes cfg.randInt31 (cfg.Rand is not goroutine safe)
 
@@ -72,9 +83,13 @@ type acceptEntry struct {
 
 // batchReader is the platform read path: one call reads one or more
 // datagrams, invoking deliver for each. Buffers and addresses passed to
-// deliver are only valid during that call.
+// deliver are only valid during that call. at is the datagram's kernel
+// receive timestamp when the platform provides one (SO_TIMESTAMPNS), or
+// the zero time — the caller then stamps the whole batch with one read
+// time, which keeps batched delivery from polluting arrival-interval
+// measurements with per-packet processing time.
 type batchReader interface {
-	readBatch(deliver func(raw []byte, from net.Addr)) error
+	readBatch(deliver func(raw []byte, from net.Addr, at time.Time)) error
 }
 
 // NewMux wraps pc as a shared multi-flow socket and starts its read loop.
@@ -109,14 +124,26 @@ func newMux(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Mux, error) {
 		done:      make(chan struct{}),
 	}
 	m.core = mux.NewCore(m.handleHandshake)
-	m.reader = newBatchReader(pc)
+	m.reader = newBatchReader(pc, c.BatchSize, !c.DisableOffload, &m.ostats)
 	if m.reader == nil {
 		m.reader = &singleReader{pc: pc, buf: make([]byte, 65536)}
 	}
-	m.sender = newBatchSender(pc)
+	m.sender = newBatchSender(pc, !c.DisableOffload)
 	m.wg.Add(1)
 	go m.readLoop()
 	return m, nil
+}
+
+// Offload reports the shared socket's segmentation-offload verdicts, as
+// probed once at socket setup: gso — the send path can submit
+// UDP_SEGMENT trains; gro — the read loop receives kernel-coalesced
+// trains. Both are false when offload is disabled, unsupported, or the
+// transport is not a UDP socket.
+func (m *Mux) Offload() (gso, gro bool) {
+	if s, ok := m.sender.(segWriter); ok && s != nil {
+		gso = s.offloadActive()
+	}
+	return gso, m.ostats.groOn.Load()
 }
 
 // Addr returns the shared transport's local address.
@@ -162,8 +189,19 @@ func transientNetErr(err error) bool {
 // queued ICMP errors are skipped, not treated as a closed transport.
 func (m *Mux) readLoop() {
 	defer m.wg.Done()
-	deliver := func(raw []byte, from net.Addr) { m.core.Dispatch(raw, from) }
+	deliver := func(raw []byte, from net.Addr, at time.Time) {
+		if at.IsZero() {
+			// No kernel stamp: one read time for the whole batch.
+			if m.readStamp.IsZero() {
+				m.readStamp = time.Now()
+			}
+			at = m.readStamp
+		}
+		m.batchAt = at
+		m.core.Dispatch(raw, from)
+	}
 	for {
+		m.readStamp = time.Time{}
 		if err := m.reader.readBatch(deliver); err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				select {
@@ -189,7 +227,7 @@ type singleReader struct {
 	i   int
 }
 
-func (r *singleReader) readBatch(deliver func([]byte, net.Addr)) error {
+func (r *singleReader) readBatch(deliver func([]byte, net.Addr, time.Time)) error {
 	if r.i%16 == 0 {
 		r.pc.SetReadDeadline(time.Now().Add(100 * time.Millisecond)) //nolint:errcheck
 	}
@@ -198,7 +236,7 @@ func (r *singleReader) readBatch(deliver func([]byte, net.Addr)) error {
 	if err != nil {
 		return err
 	}
-	deliver(r.buf[:n], from)
+	deliver(r.buf[:n], from, time.Time{})
 	return nil
 }
 
@@ -222,6 +260,10 @@ type muxFlow struct {
 // Conn is wired) are dropped; the protocol's timers repair the loss.
 func (f *muxFlow) HandleDatagram(raw []byte) {
 	if c := f.conn.Load(); c != nil {
+		if at := f.m.batchAt; !at.IsZero() {
+			c.handleDatagramAt(raw, c.clock.At(at))
+			return
+		}
 		c.handleDatagram(raw)
 	}
 }
@@ -264,6 +306,35 @@ func (f *muxFlow) writeBatch(bufs [][]byte, addr net.Addr) error {
 		}
 	}
 	return nil
+}
+
+// writeSegments offers the shared socket's GSO path to the flow's Conn.
+// Socket-ID stamping happens before the kernel segments the train, so
+// every recovered datagram demultiplexes exactly like a bare send. A
+// false return leaves the batch unconsumed; PutDest is idempotent, so
+// the sendmmsg fallback re-stamping the same headroom is harmless.
+func (f *muxFlow) writeSegments(bufs [][]byte, segSize int, addr net.Addr) (bool, error) {
+	s, ok := f.m.sender.(segWriter)
+	if !ok || s == nil {
+		return false, nil
+	}
+	if f.peerID != 0 {
+		for _, b := range bufs {
+			mux.PutDest(b, f.peerID)
+		}
+	}
+	return s.writeSegments(bufs, segSize, addr)
+}
+
+func (f *muxFlow) offloadActive() bool {
+	if s, ok := f.m.sender.(segWriter); ok && s != nil {
+		return s.offloadActive()
+	}
+	return false
+}
+
+func (f *muxFlow) groCounters() (uint64, uint64) {
+	return f.m.ostats.groReads.Load(), f.m.ostats.groSegments.Load()
 }
 
 func (f *muxFlow) muxCounters() (uint64, uint64) { return f.m.core.Counters() }
@@ -435,6 +506,22 @@ func (m *Mux) Listen() (*Listener, error) {
 	}
 	m.listener = l
 	return l, nil
+}
+
+// attachListener points this Mux's accept path at an existing listener:
+// handshakes arriving on this socket then feed l's backlog. It is how
+// the secondary members of an SO_REUSEPORT group join the one Listener.
+func (m *Mux) attachListener(l *Listener) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if m.listener != nil {
+		return errors.New("udt: mux already has a listener")
+	}
+	m.listener = l
+	return nil
 }
 
 // Close tears the whole shared socket down: every flow, the listener, and

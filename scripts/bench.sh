@@ -17,7 +17,22 @@
 #                                             (BenchmarkSenderPacketTraced);
 #                                             allocs must stay exactly zero
 #   loopback_mbps                             memory-to-memory UDP loopback
-#                                             transfer (BenchmarkFig14CPU)
+#                                             transfer over the bare
+#                                             sendmmsg path (BenchmarkFig14CPU,
+#                                             offload disabled)
+#   loopback_gso_mbps / syscalls_per_packet   same transfer with UDP_SEGMENT/
+#                                             UDP_GRO offload live
+#                                             (BenchmarkLoopbackGSO); on kernels
+#                                             without offload this converges to
+#                                             loopback_mbps with ~1/batch
+#                                             syscalls per packet
+#   reuseport_4shard_mbps                     aggregate goodput of 4 flows into
+#                                             a 4-socket SO_REUSEPORT listener
+#                                             group (BenchmarkLoopbackReusePort4);
+#                                             scales with cores, not on 1-CPU
+#                                             machines
+#   sendfile_zc_mbps                          mmap-backed zero-copy file send
+#                                             (BenchmarkSendFileZC)
 #   mux_demux_ns_per_packet / mux_demux_allocs_per_packet  shared-socket
 #                                             socket-ID dispatch, one flow
 #                                             (BenchmarkMuxDemux); allocs must
@@ -34,6 +49,9 @@ old=$(go test ./internal/netsim -run XXX -bench 'SimEventsContainerHeap$' -bench
 snd=$(go test . -run XXX -bench 'SenderPacket$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacket/ {print $3, $7}')
 sndtr=$(go test . -run XXX -bench 'SenderPacketTraced$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacketTraced/ {print $3, $7}')
 mbps=$(go test . -run XXX -bench 'Fig14CPU$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkFig14CPU/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+gso=$(go test . -run XXX -bench 'LoopbackGSO$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkLoopbackGSO/ {m = s = "null"; for (i = 1; i < NF; i++) { if ($(i+1) == "Mbps") m = $i; if ($(i+1) == "syscalls/pkt") s = $i } print m, s}')
+rp=$(go test . -run XXX -bench 'LoopbackReusePort4$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkLoopbackReusePort4/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+zc=$(go test . -run XXX -bench 'SendFileZC$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkSendFileZC/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 mux=$(go test ./internal/mux -run XXX -bench 'MuxDemux$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemux/ {print $3, $7}')
 muxwide=$(go test ./internal/mux -run XXX -bench 'MuxDemuxFlows/flows=4096$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemuxFlows/ {print $3}')
 
@@ -41,6 +59,7 @@ set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
 set -- $sndtr; sndtr_ns=$1; sndtr_allocs=$2
 set -- $mux; mux_ns=$1; mux_allocs=$2
+set -- $gso; gso_mbps=$1; gso_syscalls=$2
 
 cat > "$out" <<EOF
 {
@@ -52,6 +71,10 @@ cat > "$out" <<EOF
   "send_traced_ns_per_packet": $sndtr_ns,
   "send_traced_allocs_per_packet": $sndtr_allocs,
   "loopback_mbps": $mbps,
+  "loopback_gso_mbps": $gso_mbps,
+  "syscalls_per_packet": $gso_syscalls,
+  "reuseport_4shard_mbps": $rp,
+  "sendfile_zc_mbps": $zc,
   "mux_demux_ns_per_packet": $mux_ns,
   "mux_demux_allocs_per_packet": $mux_allocs,
   "mux_demux_4096flows_ns_per_packet": $muxwide

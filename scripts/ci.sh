@@ -5,6 +5,11 @@ set -eux
 cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
+# Cross-compile gates: the Linux offload fast path (GSO/GRO, SO_REUSEPORT
+# groups, mmap sendfile) must keep the portable stubs compiling on
+# platforms that lack it.
+GOOS=darwin go build ./...
+GOOS=windows go build ./...
 # Documentation gates: every exported identifier in the audited packages must
 # carry a doc comment, and every relative Markdown link must resolve.
 go run ./scripts/doccheck internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
@@ -13,6 +18,11 @@ go run ./scripts/mdcheck
 # the chaos harness in short mode, before the full (slower) race run.
 go test -race -short ./internal/mux ./internal/netem/chaos
 go test -race ./...
+# Offload smoke: proves UDP_SEGMENT trains actually flow on capable
+# kernels and prints the train/syscall verdict; the test skips itself
+# (never fails) where the kernel or container runtime withholds
+# segmentation offload.
+go test -run 'TestGSOSmoke' -count=1 -v .
 # Fault-injection gate: the fixed-seed chaos matrix with determinism replay
 # and a real-stack smoke pass (a few seconds under the virtual clock).
 go run ./cmd/udtchaos -determinism -real

@@ -3,9 +3,48 @@
 package udt
 
 import (
+	"context"
 	"net"
 	"syscall"
 )
+
+// reusePortSupported gates Config.ReusePortShards: only Linux's
+// SO_REUSEPORT load-balances datagrams across the group by flow hash
+// (other platforms at best allow the bind), so socket groups are a
+// Linux-only upgrade and everything else degrades to one socket.
+const reusePortSupported = true
+
+// soReusePort is SO_REUSEPORT; the frozen syscall package does not
+// export it on Linux.
+const soReusePort = 0xf
+
+// listenUDPReusePort binds one member socket of an SO_REUSEPORT group:
+// every socket in the group binds the same address, and the kernel
+// spreads incoming flows across them by 4-tuple hash — each peer's
+// datagrams consistently reach one member, so per-flow ordering and
+// demultiplexing are unaffected.
+func listenUDPReusePort(laddr *net.UDPAddr) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	addr := ":0"
+	if laddr != nil {
+		addr = laddr.String()
+	}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}
 
 // socketBufferSizes reads SO_RCVBUF/SO_SNDBUF back from the socket,
 // reporting the sizes the kernel actually granted (on Linux these include

@@ -7,3 +7,12 @@ import "net"
 // socketBufferSizes reports the kernel socket buffer sizes when the
 // platform can read them back; this stub returns zeros elsewhere.
 func socketBufferSizes(*net.UDPConn) (rcv, snd int) { return 0, 0 }
+
+// Only Linux's SO_REUSEPORT load-balances datagrams by flow hash, so
+// socket groups degrade to a single socket everywhere else;
+// listenUDPReusePort is never reached but keeps the call site portable.
+const reusePortSupported = false
+
+func listenUDPReusePort(laddr *net.UDPAddr) (*net.UDPConn, error) {
+	return net.ListenUDP("udp", laddr)
+}

@@ -139,7 +139,7 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 		c.MaxFlowWindow = int(resp.FlowWindow)
 	}
 
-	conn := newConn(c, &ownedSock{c: pc}, func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq)
+	conn := newConn(c, newOwnedSock(pc, !c.DisableOffload), func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq)
 	go dialedReadLoop(pc, conn)
 	return conn, nil
 }

@@ -82,6 +82,28 @@ type Config struct {
 	// CongestionControl ("native", "ctcp", "scalable", "hstcp"). Both ends
 	// choose independently — the law is sender-side state, not negotiated.
 	CC CongestionFactory
+	// BatchSize is how many datagrams one batched syscall moves: the
+	// recvmmsg slot count on the read path, the sendmmsg batch on the write
+	// path, and the upper bound on the data burst one sender-lock
+	// acquisition claims (which is also the segment train one GSO send
+	// carries). Default 16; values are clamped to [1, 64], and the data
+	// burst is further capped so a full train fits in one 64 KB
+	// super-datagram.
+	BatchSize int
+	// ReusePortShards, when > 1, makes Listen open that many SO_REUSEPORT
+	// sockets bound to the same address — each with its own mux shard and
+	// read loop — so the kernel fans incoming flows across CPUs instead of
+	// serializing them on one socket lock. Linux only; elsewhere (and on
+	// transports that are not UDP sockets) it silently degrades to one
+	// socket. Default 1; clamped to [1, 64]. Each flow's datagrams hash to
+	// one shard by 4-tuple, so per-flow ordering is unaffected.
+	ReusePortShards int
+	// DisableOffload turns off UDP segmentation offload for endpoints using
+	// this Config: no UDP_SEGMENT sends, no UDP_GRO receives. The stack
+	// then uses the plain sendmmsg/recvmmsg batching. Offload is also
+	// disabled automatically when the kernel or socket does not support it
+	// (the capability is probed once per socket).
+	DisableOffload bool
 
 	// sockID is this endpoint's socket ID on a shared (multiplexed)
 	// socket, filled in by Mux before the connection is wired; zero for a
@@ -129,6 +151,12 @@ func (c *Config) Validate() error {
 	if c.PerfEverySYN < 0 {
 		return fmt.Errorf("udt: config: PerfEverySYN %d is negative", c.PerfEverySYN)
 	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("udt: config: BatchSize %d is negative", c.BatchSize)
+	}
+	if c.ReusePortShards < 0 {
+		return fmt.Errorf("udt: config: ReusePortShards %d is negative", c.ReusePortShards)
+	}
 	return nil
 }
 
@@ -169,6 +197,18 @@ func (c *Config) fill() {
 	if c.PerfEverySYN == 0 {
 		c.PerfEverySYN = 1
 	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	if c.BatchSize > 64 {
+		c.BatchSize = 64
+	}
+	if c.ReusePortShards == 0 {
+		c.ReusePortShards = 1
+	}
+	if c.ReusePortShards > 64 {
+		c.ReusePortShards = 64
+	}
 }
 
 func (c *Config) coreConfig(isn int32) core.Config {
@@ -205,6 +245,28 @@ type Stats struct {
 	// same values); zero when the connection has a private socket.
 	MuxUnknownDest   uint64
 	MuxShortDatagram uint64
+	// GSOEnabled reports whether the send path can hand the kernel
+	// segmentation-offload trains (UDP_SEGMENT) on this connection's
+	// socket: the capability was probed successfully and offload was not
+	// disabled. When false every datagram costs its own sendmmsg slot.
+	GSOEnabled bool
+	// GSOSends counts segmentation-offload sends — each one syscall
+	// carrying a train of MSS-sized data packets — and GSOSegments the
+	// packets those trains carried. Their ratio is the send-side
+	// amortization factor.
+	GSOSends    int64
+	GSOSegments int64
+	// SendSyscalls counts every send syscall the connection issued (plain
+	// writes, sendmmsg batches, and GSO trains each count one).
+	// SendSyscalls / (PktsSent + retransmissions + control traffic) is the
+	// syscalls-per-packet figure the wire-rate datapath drives toward zero.
+	SendSyscalls int64
+	// GROReads counts receive syscall deliveries on the shared socket that
+	// arrived as kernel-coalesced trains (UDP_GRO), and GROSegments the
+	// packets recovered from them. Like the mux drop counters they are
+	// socket-wide totals; zero on a private or non-UDP transport.
+	GROReads    uint64
+	GROSegments uint64
 	// CCName names the congestion-control law driving the sender
 	// ("native", "ctcp", "scalable", "hstcp").
 	CCName string
