@@ -34,9 +34,10 @@ bench:
 	@cat BENCH_current.json
 
 # docs runs the documentation gates: godoc coverage of the audited packages
-# and Markdown link integrity.
+# (including the root package and the timer wheel) and Markdown link
+# integrity.
 docs:
-	$(GO) run ./scripts/doccheck internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
+	$(GO) run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
 	$(GO) run ./scripts/mdcheck
 
 # chaos runs the fixed-seed fault-injection matrix: full transfers of

@@ -45,8 +45,9 @@ func (g *gsoDiscardSock) writeSegments(bufs [][]byte, segSize int, _ net.Addr) (
 func (g *gsoDiscardSock) offloadActive() bool { return true }
 
 // newSendPathConn assembles a Conn exactly as newConn does, minus the
-// sender goroutine, so tests can drive claimBurstLocked/drainOutboxLocked
-// deterministically from one goroutine. With traced set, a perfmon ring is
+// scheduler shard (c.shard stays nil; kickSender tolerates that), so tests
+// can drive claimBurstLocked/drainOutboxLocked deterministically from one
+// goroutine. With traced set, a perfmon ring is
 // attached just as newConn attaches one, so the alloc gates cover telemetry.
 // cc selects the congestion controller (nil = native), so the gates cover
 // every registered law's interface dispatch.
@@ -62,7 +63,6 @@ func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory) *Conn {
 	c.bw, _ = sock.(batchWriter)
 	c.sw, _ = sock.(segWriter)
 	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
-	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(0), 0)
 	payload := cfg.MSS - packet.DataHeaderSize
 	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, 0)

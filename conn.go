@@ -58,8 +58,17 @@ type Conn struct {
 	burst  int         // data packets one sender-lock acquisition may claim
 	closer func()      // tears down socket/listener registration
 
+	// shard is the scheduler seat: the connection is a passive poolTask
+	// run by its shard's worker, parked on the shard's timing wheel
+	// between services. clock is the shard's clock — every deadline the
+	// connection reports must be on the wheel's timeline. ownPool is
+	// non-nil for dialed connections with a private socket, which own a
+	// degenerate one-shard pool torn down on Close.
+	shard   *poolShard
+	schedSt schedState
+	ownPool *connPool
+
 	clock  *timing.SysClock
-	pacer  *timing.Pacer
 	ledger *timing.Ledger
 
 	mu       sync.Mutex
@@ -69,7 +78,6 @@ type Conn struct {
 	rcv      *core.RcvBuffer
 	rdReady  *sync.Cond // receive buffer has data / state change
 	wrReady  *sync.Cond // send buffer has room / state change
-	sndKick  chan struct{}
 	closed   chan struct{}
 	err      error
 	overlap  bool    // a reader's buffer is attached to the receive buffer
@@ -78,8 +86,19 @@ type Conn struct {
 	// rcvBatch is the receive path's control-send batch. handleDatagram is
 	// only ever invoked from one goroutine (the dialed socket's reader or
 	// the listener's demultiplexer), so one reusable batch suffices; the
-	// sender loop and Close keep their own.
+	// sender path (runTask) and Close keep their own.
 	rcvBatch sendBatch
+
+	// Sender-service working set, touched only by runTask (the shard
+	// worker serializes services, so no lock is needed beyond mu inside
+	// runTask itself). scratch/lens/burstBufs are the data-burst encode
+	// arena, allocated lazily on the first service that has data to send —
+	// a receive-only or idle flow never pays for them (at 100k flows the
+	// difference is gigabytes).
+	sndBatch  sendBatch
+	scratch   []byte
+	lens      []int
+	burstBufs [][]byte
 
 	bytesSent int64
 	bytesRecv int64
@@ -99,28 +118,28 @@ type Conn struct {
 	// udpRcvBuf and udpSndBuf are the kernel socket buffer sizes the OS
 	// actually granted (0 when the transport is not a UDP socket).
 	udpRcvBuf, udpSndBuf int
-
-	wg sync.WaitGroup
 }
 
-// newConn wires an established connection (post-handshake).
-func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, isn, peerISN int32) *Conn {
+// newConn wires an established connection (post-handshake) onto a
+// scheduler shard. The connection is passive: its sender state machine
+// runs only when the shard's worker services it — there is no goroutine
+// or runtime timer per connection.
+func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, isn, peerISN int32, shard *poolShard) *Conn {
 	c := &Conn{
-		cfg:     cfg,
-		raddr:   raddr,
-		laddr:   laddr,
-		sock:    sock,
-		closer:  closer,
-		clock:   timing.NewSysClock(),
-		ledger:  cfg.Ledger,
-		sndKick: make(chan struct{}, 1),
-		closed:  make(chan struct{}),
+		cfg:    cfg,
+		raddr:  raddr,
+		laddr:  laddr,
+		sock:   sock,
+		closer: closer,
+		shard:  shard,
+		clock:  shard.clock,
+		ledger: cfg.Ledger,
+		closed: make(chan struct{}),
 	}
 	c.hr = sock.headroom()
 	c.bw, _ = sock.(batchWriter)
 	c.sw, _ = sock.(segWriter)
 	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
-	c.pacer = timing.NewPacer(c.clock)
 	c.core = core.NewConn(cfg.coreConfig(isn), peerISN)
 	payload := cfg.MSS - packet.DataHeaderSize
 	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, isn)
@@ -141,8 +160,8 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 	c.rdReady = sync.NewCond(&c.mu)
 	c.wrReady = sync.NewCond(&c.mu)
 	c.core.Start(c.clock.Now())
-	c.wg.Add(1)
-	go c.senderLoop()
+	shard.attach(c)
+	shard.wake(c) // first service arms the protocol timers on the wheel
 	return c
 }
 
@@ -152,11 +171,14 @@ func (c *Conn) LocalAddr() net.Addr { return c.laddr }
 // RemoteAddr returns the peer's UDP address.
 func (c *Conn) RemoteAddr() net.Addr { return c.raddr }
 
-// kickSender wakes the sender loop.
+// kickSender asks the shard to service this connection: new data to send,
+// freed receive buffer, arrived control packet — anything that may change
+// what the state machine wants to do next. Safe under c.mu (the shard
+// lock nests inside connection locks). Nil-safe for test harnesses that
+// drive the send path synchronously without a scheduler.
 func (c *Conn) kickSender() {
-	select {
-	case c.sndKick <- struct{}{}:
-	default:
+	if c.shard != nil {
+		c.shard.wake(c)
 	}
 }
 
@@ -190,8 +212,16 @@ func (c *Conn) Close() error {
 	if !alreadyClosed && c.closer != nil {
 		c.closer()
 	}
-	c.wg.Wait()
-	// With the sender loop finished, nothing can reference a mapped file
+	// Leave the scheduler: after detach the shard guarantees no service
+	// run is in flight or will ever start. A dialed connection also owns
+	// its one-shard pool; stop that worker too.
+	if c.shard != nil {
+		c.shard.detach(c)
+	}
+	if c.ownPool != nil {
+		c.ownPool.close()
+	}
+	// With sender service finished, nothing can reference a mapped file
 	// region anymore; release mappings whose teardown SendFileZC deferred.
 	c.mu.Lock()
 	mms := c.mmaps
@@ -282,7 +312,13 @@ func (c *Conn) Read(p []byte) (int, error) {
 	defer c.mu.Unlock()
 	for {
 		if n := c.rcv.Available(); n > 0 {
-			return c.rcv.Read(p), nil
+			got := c.rcv.Read(p)
+			// Freed buffer space reopens the advertised window; service the
+			// engine so the reopening ACK goes out now rather than at the
+			// next scheduled wake — a parked idle flow sleeps all the way to
+			// its EXP deadline, far too late to unstall the peer.
+			c.kickSender()
+			return got, nil
 		}
 		if c.err != nil || c.core.Closed() {
 			err := c.err
@@ -304,6 +340,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 				if rest := c.rcv.Read(p[direct:]); rest > 0 {
 					n += rest
 				}
+				c.kickSender() // window may have reopened; see above
 				return n, nil
 			}
 		}
@@ -347,6 +384,8 @@ func (c *Conn) Stats() Stats {
 	s.GSOSends = c.gsoSends.Load()
 	s.GSOSegments = c.gsoSegments.Load()
 	s.SendSyscalls = c.sendSyscalls.Load()
+	s.Goroutines = noteGoroutines()
+	s.PeakGoroutines = int(peakGoroutines.Load())
 	return s
 }
 
@@ -476,7 +515,12 @@ func burstSize(batch, stride int) int {
 // add overhead. It returns the claim count, the next wakeup deadline and
 // the last engine decision (meaningful when n == 0). Callers hold mu.
 func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens []int) (n int, wake int64, d core.SendDecision) {
-	wake = c.core.NextTimer()
+	// NextWake, not NextTimer: a quiescent flow parks until its EXP
+	// keep-alive deadline instead of every ACK/NAK/SYN period — the ~30×
+	// wakeup reduction that lets one shard hold tens of thousands of idle
+	// flows. Any event that ends quiescence (app write, arriving packet)
+	// kicks the connection, which re-derives an earlier wake here.
+	wake = c.core.NextWake()
 	stride := c.hr + c.cfg.MSS
 	for n < c.burst {
 		newAvail := seqno.Cmp(c.snd.NextWriteSeq(), seqno.Inc(c.core.CurSeq())) > 0
@@ -514,94 +558,91 @@ func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens []int) (n int, w
 	return n, now, d
 }
 
-// senderLoop is the sender thread of §4.8: it paces data packets out
-// according to the engine's schedule, retransmits losses first, emits
-// control packets the engine queues, and services the protocol timers.
-// Each cycle drains the control outbox and claims a data burst under one
-// lock acquisition, then transmits everything in one pass without the lock.
-func (c *Conn) senderLoop() {
-	defer c.wg.Done()
-	timer := time.NewTimer(time.Hour)
-	defer timer.Stop()
-	var batch sendBatch
-	stride := c.hr + c.cfg.MSS
-	scratch := make([]byte, c.burst*stride)
-	burst := make([][]byte, 0, c.burst)
-	lens := make([]int, c.burst)
-	for {
-		c.mu.Lock()
-		now := c.clock.Now()
-		c.core.Advance(now)
-		batch.reset()
-		c.drainOutboxLocked(&batch)
-		if c.core.Broken() {
-			c.failLocked(ErrPeerDead)
-			c.mu.Unlock()
-			return
-		}
-		nData, wake, decision := c.claimBurstLocked(now, scratch, lens)
-		closedNow := c.core.Closed() && c.snd.Pending() == 0
-		c.mu.Unlock()
+// sched implements poolTask.
+func (c *Conn) sched() *schedState { return &c.schedSt }
 
-		if err := c.sendCtrlBatch(&batch); err != nil {
+// runTask is one sender service — the body of §4.8's sender thread,
+// re-cast as a scheduler callback: it services the protocol timers, emits
+// control packets the engine queued, retransmits losses first, and paces
+// data packets out per the engine's schedule. Each service drains the
+// control outbox and claims a data burst under one lock acquisition, then
+// transmits everything without the lock. The returned wake is when the
+// engine next needs service (taskNever once the connection is finished);
+// spin asks the shard for §4.5 busy-wait precision on short pacing gaps.
+func (c *Conn) runTask() (int64, bool) {
+	c.mu.Lock()
+	if c.err != nil {
+		// Failed or closed: Close drains the final shutdown notices.
+		c.mu.Unlock()
+		return taskNever, false
+	}
+	now := c.clock.Now()
+	c.core.Advance(now)
+	c.sndBatch.reset()
+	c.drainOutboxLocked(&c.sndBatch)
+	if c.core.Broken() {
+		c.failLocked(ErrPeerDead)
+		c.mu.Unlock()
+		return taskNever, false
+	}
+	var nData int
+	wake, decision := int64(0), core.SendData
+	if c.scratch == nil && c.snd.Pending() > 0 {
+		// First service with data queued: allocate the burst encode arena.
+		// Loss/retransmission state implies earlier data services, so a
+		// nil arena also proves there is nothing to retransmit — flows
+		// that never send (or haven't yet) skip both the allocation and
+		// the claim walk entirely.
+		stride := c.hr + c.cfg.MSS
+		c.scratch = make([]byte, c.burst*stride)
+		c.lens = make([]int, c.burst)
+		c.burstBufs = make([][]byte, 0, c.burst)
+	}
+	if c.scratch != nil {
+		nData, wake, decision = c.claimBurstLocked(now, c.scratch, c.lens)
+	} else {
+		wake = c.core.NextWake()
+	}
+	closedNow := c.core.Closed() && c.snd.Pending() == 0
+	c.mu.Unlock()
+
+	if err := c.sendCtrlBatch(&c.sndBatch); err != nil {
+		c.mu.Lock()
+		c.failLocked(fmt.Errorf("udt: send: %w", err))
+		c.mu.Unlock()
+		return taskNever, false
+	}
+	if nData > 0 {
+		t0 := time.Now()
+		sent, err := c.sendDataBurst(c.scratch, c.lens, nData, &c.burstBufs)
+		if err != nil {
 			c.mu.Lock()
 			c.failLocked(fmt.Errorf("udt: send: %w", err))
 			c.mu.Unlock()
-			return
+			return taskNever, false
 		}
-		if nData > 0 {
-			t0 := time.Now()
-			sent, err := c.sendDataBurst(scratch, lens, nData, &burst)
-			if err != nil {
-				c.mu.Lock()
-				c.failLocked(fmt.Errorf("udt: send: %w", err))
-				c.mu.Unlock()
-				return
-			}
-			cost := float64(time.Since(t0).Microseconds()) / float64(nData)
-			c.mu.Lock()
-			c.bytesSent += int64(sent)
-			// §4.4: never let rate control tune the period below the real
-			// per-packet send time.
-			if c.sendCost == 0 {
-				c.sendCost = cost
-			} else {
-				c.sendCost += (cost - c.sendCost) / 8
-			}
-			c.core.Controller().SetMinPeriod(c.sendCost)
-			c.mu.Unlock()
-			continue // look for more work immediately
+		cost := float64(time.Since(t0).Microseconds()) / float64(nData)
+		c.mu.Lock()
+		c.bytesSent += int64(sent)
+		// §4.4: never let rate control tune the period below the real
+		// per-packet send time.
+		if c.sendCost == 0 {
+			c.sendCost = cost
+		} else {
+			c.sendCost += (cost - c.sendCost) / 8
 		}
-		if closedNow {
-			return
-		}
-
-		// Sleep until the next deadline or a kick. Short pacing waits use
-		// the hybrid spin pacer for microsecond accuracy (§4.5).
-		now = c.clock.Now()
-		delay := wake - now
-		if decision == core.WaitPacing && delay > 0 && delay < 2000 {
-			c.ledger.Time(timing.BucketTiming, func() { c.pacer.WaitUntil(wake) })
-			continue
-		}
-		if delay < 100 {
-			delay = 100
-		}
-		if delay > 100_000 {
-			delay = 100_000
-		}
-		timer.Reset(time.Duration(delay) * time.Microsecond)
-		select {
-		case <-c.sndKick:
-			if !timer.Stop() {
-				<-timer.C
-			}
-		case <-timer.C:
-		case <-c.closed:
-			// Final drain of shutdown notices happens in Close.
-			return
-		}
+		c.core.Controller().SetMinPeriod(c.sendCost)
+		c.mu.Unlock()
+		return 0, false // more work may be ready; re-queue immediately
 	}
+	if closedNow {
+		return taskNever, false
+	}
+	// Parked until wake. Short pacing gaps ask for spin service so the
+	// inter-packet period keeps microsecond accuracy when the shard can
+	// afford it (§4.5).
+	spin := decision == core.WaitPacing && wake > now && wake-now < spinDelayMax
+	return wake, spin
 }
 
 // sendDataBurst transmits n encoded data packets from scratch (laid out
@@ -733,6 +774,11 @@ func (c *Conn) handleDatagramAt(raw []byte, now int64) {
 		c.drainOutboxLocked(&c.rcvBatch)
 		c.mu.Unlock()
 		c.sendCtrlBatch(&c.rcvBatch) //nolint:errcheck // control losses are repaired by timers
+		// Arriving data ends quiescence: a flow parked until its EXP
+		// deadline must be rescheduled onto the ACK/NAK cadence, and only
+		// a service run re-derives its wake deadline. For a flow already
+		// awake this is a cheap state check on the shard.
+		c.kickSender()
 		return
 	}
 

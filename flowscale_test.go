@@ -1,0 +1,404 @@
+package udt
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// This file is the flow-scale stress rig: many concurrent connections
+// multiplexed over ONE in-memory socket pair, exercising the shared
+// scheduler (pool.go + internal/timerwheel) in the regime it was built
+// for — goroutine count O(shards), not O(flows). TestFlowScaleSmall is the
+// tier-1 gate (a few thousand flows, asserts the goroutine bound);
+// BenchmarkFlowScale100k is the headline 100k-flow run behind scripts/
+// bench.sh, reporting goodput, p99 write→acked latency, allocs/packet and
+// peak goroutines. EXPERIMENTS.md walks through running and reading it.
+
+// pipeAddr is a stable in-process transport address.
+type pipeAddr string
+
+func (a pipeAddr) Network() string { return "pipe" }
+func (a pipeAddr) String() string  { return string(a) }
+
+// pipeTimeoutError satisfies net.Error with Timeout() true, which is how
+// the mux read loop distinguishes a deadline from a dead transport.
+type pipeTimeoutError struct{}
+
+func (pipeTimeoutError) Error() string   { return "pipe: read deadline exceeded" }
+func (pipeTimeoutError) Timeout() bool   { return true }
+func (pipeTimeoutError) Temporary() bool { return true }
+
+// pipeEnd is one side of an in-memory datagram pair: a bounded channel of
+// copied datagrams, dropping on overflow exactly like a congested NIC
+// queue (the protocol's loss recovery repairs the drop). Buffers recycle
+// through a shared sync.Pool so a long benchmark run does not allocate per
+// datagram.
+type pipeEnd struct {
+	addr     pipeAddr
+	peerAddr pipeAddr
+	in       chan []byte
+	peer     *pipeEnd
+	pool     *sync.Pool
+	closed   chan struct{}
+	once     sync.Once
+	deadline atomic.Int64 // unix µs; 0 = none
+	drops    atomic.Int64
+}
+
+// newPipePair connects two endpoints with the given queue depth (packets).
+func newPipePair(depth int) (*pipeEnd, *pipeEnd) {
+	pool := &sync.Pool{New: func() any { return make([]byte, 0, 2048) }}
+	a := &pipeEnd{addr: "pipe-a", peerAddr: "pipe-b", in: make(chan []byte, depth), pool: pool, closed: make(chan struct{})}
+	b := &pipeEnd{addr: "pipe-b", peerAddr: "pipe-a", in: make(chan []byte, depth), pool: pool, closed: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (p *pipeEnd) LocalAddr() net.Addr { return p.addr }
+
+func (p *pipeEnd) SetReadDeadline(t time.Time) error {
+	if t.IsZero() {
+		p.deadline.Store(0)
+	} else {
+		p.deadline.Store(t.UnixMicro())
+	}
+	return nil
+}
+
+func (p *pipeEnd) ReadFrom(b []byte) (int, net.Addr, error) {
+	select { // fast path: data already queued
+	case buf := <-p.in:
+		n := copy(b, buf)
+		p.pool.Put(buf[:0]) //nolint:staticcheck // slice recycles by design
+		return n, p.peerAddr, nil
+	default:
+	}
+	var timeout <-chan time.Time
+	if dl := p.deadline.Load(); dl != 0 {
+		d := time.Until(time.UnixMicro(dl))
+		if d <= 0 {
+			return 0, nil, pipeTimeoutError{}
+		}
+		tm := time.NewTimer(d)
+		defer tm.Stop()
+		timeout = tm.C
+	}
+	select {
+	case buf := <-p.in:
+		n := copy(b, buf)
+		p.pool.Put(buf[:0]) //nolint:staticcheck
+		return n, p.peerAddr, nil
+	case <-p.closed:
+		return 0, nil, net.ErrClosed
+	case <-timeout:
+		return 0, nil, pipeTimeoutError{}
+	}
+}
+
+func (p *pipeEnd) WriteTo(b []byte, _ net.Addr) (int, error) {
+	select {
+	case <-p.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	buf := append(p.pool.Get().([]byte)[:0], b...)
+	select {
+	case p.peer.in <- buf:
+	default: // peer queue full: the datagram is lost, like UDP under load
+		p.drops.Add(1)
+		p.pool.Put(buf[:0]) //nolint:staticcheck
+	}
+	return len(b), nil
+}
+
+func (p *pipeEnd) Close() error {
+	p.once.Do(func() { close(p.closed) })
+	return nil
+}
+
+// flowScaleConfig is the stress rig's endpoint configuration: small
+// packets and buffers so memory stays flat at 100k flows, telemetry off
+// (a perfmon ring per flow would dominate the footprint), and a deep EXP
+// floor so established-but-idle flows park on the wheel for seconds at a
+// time — the regime the shared scheduler exists for.
+func flowScaleConfig(minEXP time.Duration) *Config {
+	return &Config{
+		MSS:              256,
+		SndBuf:           16,
+		RcvBuf:           16,
+		MaxFlowWindow:    16,
+		BatchSize:        4,
+		PerfHistory:      -1,
+		MinEXPInterval:   minEXP,
+		PeerDeathTimeout: 10 * minEXP,
+	}
+}
+
+// flowScaleResult is one stress run's record, mirrored (via scripts/
+// bench.sh) into BENCH_baseline.json.
+type flowScaleResult struct {
+	flows          int
+	goodputMbps    float64
+	p99AckLatency  time.Duration
+	allocsPerPkt   float64
+	peakGoroutines int
+	drops          int64
+}
+
+// runFlowScale dials `flows` connections from one client Mux to one
+// listener over a shared in-memory socket pair, with `dialers` worker
+// goroutines each owning an equal slice of flows: dial, write one payload,
+// wait until every byte is acknowledged, record the write→acked latency,
+// then leave the flow open and idle. Established flows accumulate on the
+// scheduler, so by the tail of the run the wheels hold (flows) parked
+// state machines while new handshakes and transfers still make progress.
+func runFlowScale(t testing.TB, flows, dialers int, minEXP time.Duration) flowScaleResult {
+	cfg := flowScaleConfig(minEXP)
+	cEnd, sEnd := newPipePair(1 << 16)
+	ln, err := ListenOn(sEnd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMux(cEnd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted sync.Map // *Conn -> struct{}
+	var nAccepted atomic.Int64
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accepted.Store(c, struct{}{})
+			nAccepted.Add(1)
+		}
+	}()
+
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+
+	conns := make([]*Conn, flows)
+	lat := make([]time.Duration, flows)
+	var setupErr atomic.Value
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	per := (flows + dialers - 1) / dialers
+	for d := 0; d < dialers; d++ {
+		lo, hi := d*per, min((d+1)*per, flows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				c, err := m.Dial(pipeAddr("pipe-b"))
+				if err != nil {
+					setupErr.Store(fmt.Errorf("dial %d: %w", i, err))
+					return
+				}
+				conns[i] = c
+				t0 := time.Now()
+				if _, err := c.Write(payload); err != nil {
+					setupErr.Store(fmt.Errorf("write %d: %w", i, err))
+					return
+				}
+				if err := c.waitAcked(); err != nil {
+					setupErr.Store(fmt.Errorf("drain %d: %w", i, err))
+					return
+				}
+				lat[i] = time.Since(t0)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err, _ := setupErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything is parked now; the live goroutine count is the scheduler's
+	// whole footprint: two pool shard sets, two read loops, the accept
+	// drainer and the test harness — O(shards + sockets), not O(flows).
+	liveGoroutines := runtime.NumGoroutine()
+	res := flowScaleResult{flows: flows}
+	res.peakGoroutines = int(peakGoroutines.Load())
+	res.goodputMbps = float64(flows) * float64(len(payload)) * 8 / elapsed.Seconds() / 1e6
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	res.p99AckLatency = lat[flows*99/100]
+	var pkts int64
+	for _, c := range conns {
+		pkts += c.core.Stats.PktsSent + c.core.Stats.PktsRecv
+	}
+	if pkts > 0 {
+		res.allocsPerPkt = float64(ms1.Mallocs-ms0.Mallocs) / float64(pkts)
+	}
+	res.drops = cEnd.drops.Load() + sEnd.drops.Load()
+
+	if liveGoroutines > 64+dialers {
+		t.Errorf("flow scale: %d live goroutines with %d flows parked; want O(shards+sockets)",
+			liveGoroutines, flows)
+	}
+	if got := int(nAccepted.Load()); got != flows {
+		t.Errorf("accepted %d flows, dialed %d", got, flows)
+	}
+
+	// Spot-check integrity: the server side must hold every payload byte,
+	// intact, in its receive buffers.
+	check := flows / 100
+	if check < 8 {
+		check = 8
+	}
+	got := make([]byte, len(payload))
+	checked := 0
+	accepted.Range(func(k, _ any) bool {
+		c := k.(*Conn)
+		n, err := readFull(c, got)
+		if err != nil || n != len(payload) || !bytes.Equal(got, payload) {
+			t.Errorf("server flow payload mismatch: n=%d err=%v", n, err)
+		}
+		checked++
+		return checked < check
+	})
+
+	for _, c := range conns {
+		if c != nil {
+			c.Close() //nolint:errcheck
+		}
+	}
+	m.Close()  //nolint:errcheck
+	ln.Close() //nolint:errcheck
+	<-acceptDone
+	return res
+}
+
+// readFull reads exactly len(p) bytes (the data is already buffered, so
+// this does not block in practice).
+func readFull(c *Conn, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := c.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// TestMuxDialTimeoutOnWheel pins the pendingDial rework: handshake
+// retransmission and expiry now ride the scheduler shard's timing wheel
+// (no per-dial runtime timer or ticker), and a burst of dials to a silent
+// peer must all die with ErrTimeout at the configured deadline.
+func TestMuxDialTimeoutOnWheel(t *testing.T) {
+	cEnd, _ := newPipePair(8) // server end never read: requests vanish
+	cfg := &Config{HandshakeTimeout: 400 * time.Millisecond}
+	m, err := NewMux(cEnd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close() //nolint:errcheck
+
+	const dials = 16
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, dials)
+	for i := 0; i < dials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = m.Dial(pipeAddr("pipe-b"))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for i, err := range errs {
+		if err != ErrTimeout {
+			t.Fatalf("dial %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	if elapsed < 350*time.Millisecond || elapsed > 3*time.Second {
+		t.Fatalf("dial burst timed out after %v, configured 400ms", elapsed)
+	}
+}
+
+// TestMuxCloseAbortsPendingDial covers the detach-versus-pool-close race:
+// a dial parked on the wheel must return ErrClosed promptly when its Mux
+// closes underneath it, even though Close stops the shard workers the
+// pending handshake is scheduled on.
+func TestMuxCloseAbortsPendingDial(t *testing.T) {
+	cEnd, _ := newPipePair(8)
+	cfg := &Config{HandshakeTimeout: 30 * time.Second}
+	m, err := NewMux(cEnd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Dial(pipeAddr("pipe-b"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	m.Close() //nolint:errcheck
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending dial not aborted by Mux.Close")
+	}
+}
+
+// TestFlowScaleSmall is the tier-1 slice of the stress rig: a few thousand
+// flows over one socket pair, asserting the scheduler's goroutine bound
+// and end-to-end integrity. The full 100k run lives in
+// BenchmarkFlowScale100k.
+func TestFlowScaleSmall(t *testing.T) {
+	flows := 2000
+	if testing.Short() {
+		flows = 300
+	}
+	res := runFlowScale(t, flows, 32, time.Second)
+	t.Logf("flows=%d goodput=%.1f Mbps p99(write→acked)=%v allocs/pkt=%.2f peak goroutines=%d drops=%d",
+		res.flows, res.goodputMbps, res.p99AckLatency, res.allocsPerPkt, res.peakGoroutines, res.drops)
+	if res.p99AckLatency <= 0 {
+		t.Fatal("no latency samples recorded")
+	}
+}
+
+// BenchmarkFlowScale100k is the headline 100k-concurrent-flow stress run.
+// One iteration dials 100 000 flows over a single in-memory socket pair,
+// pushes 1 KB through each, and reports the four scale metrics; see
+// EXPERIMENTS.md ("The 100k-flow stress bench") for how to run and read
+// it. It is deliberately heavyweight (tens of seconds on one CPU) — run
+// it via scripts/bench.sh or with -bench=FlowScale100k -benchtime=1x.
+func BenchmarkFlowScale100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := runFlowScale(b, 100_000, 64, 2*time.Second)
+		b.ReportMetric(res.goodputMbps, "goodput-Mbps")
+		b.ReportMetric(float64(res.p99AckLatency.Microseconds()), "p99-ack-µs")
+		b.ReportMetric(res.allocsPerPkt, "allocs/pkt")
+		b.ReportMetric(float64(res.peakGoroutines), "peak-goroutines")
+	}
+}

@@ -195,12 +195,29 @@ func NewConn(cfg Config, peerISN int32) *Conn {
 		arrival:    flow.NewArrivalWindow(flow.DefaultArrivalWindow),
 		burstArr:   flow.NewBurstArrivalWindow(flow.DefaultArrivalWindow),
 		probe:      flow.NewProbeWindow(flow.DefaultProbeWindow),
-		ackWin:     flow.NewAckWindow(1024),
+		ackWin:     flow.NewAckWindow(ackWindowSize(cfg.RecvBufPkts)),
 		rtt:        flow.NewRTT(100_000),
 		lastAckSeq: peerISN,
 	}
 	c.AvailBuf = func() int32 { return c.cfg.RecvBufPkts }
 	return c
+}
+
+// ackWindowSize scales the ACK↔ACK2 matching history with the receive
+// buffer: outstanding ACK records are bounded by how much the peer can
+// have in flight, so a small-buffer flow (100k-flow deployments shrink
+// buffers to fit) doesn't pay the reference implementation's fixed 1024
+// entries (~16 KB per connection). Default-sized flows keep exactly the
+// UDT constant.
+func ackWindowSize(recvBufPkts int32) int {
+	n := int(recvBufPkts)
+	if n > 1024 {
+		n = 1024
+	}
+	if n < 64 {
+		n = 64
+	}
+	return n
 }
 
 // Start arms the timers; call once when the connection is established.
@@ -340,26 +357,25 @@ func (c *Conn) Advance(now int64) {
 	if !c.started || c.closed {
 		return
 	}
+	// Periodic timers catch up arithmetically: after an idle stretch the
+	// deadline jumps to the first multiple of SYN past now in O(1), and the
+	// handler still runs exactly once per Advance — identical behavior to
+	// stepping the deadline in a loop, without O(gap/SYN) iterations when a
+	// long-quiescent connection finally wakes.
 	if now >= c.tSYN {
 		c.cc.OnRateTick()
-		for c.tSYN <= now {
-			c.tSYN += c.cfg.SYN
-		}
+		c.tSYN += ((now-c.tSYN)/c.cfg.SYN + 1) * c.cfg.SYN
 		if c.perf.sink != nil {
 			c.perfTick(now)
 		}
 	}
 	if now >= c.tACK {
 		c.sendACK(now)
-		for c.tACK <= now {
-			c.tACK += c.cfg.SYN
-		}
+		c.tACK += ((now-c.tACK)/c.cfg.SYN + 1) * c.cfg.SYN
 	}
 	if now >= c.tNAK {
 		c.sendNAK(now)
-		for c.tNAK <= now {
-			c.tNAK += c.cfg.SYN
-		}
+		c.tNAK += ((now-c.tNAK)/c.cfg.SYN + 1) * c.cfg.SYN
 	}
 	if now >= c.tEXP {
 		c.onEXP(now)
@@ -379,6 +395,43 @@ func (c *Conn) NextTimer() int64 {
 		d = c.tEXP
 	}
 	return d
+}
+
+// Quiescent reports whether the engine has no protocol work pending:
+// nothing in flight, no loss to repair or report, no control output
+// queued, and every byte the peer sent acknowledged. A quiescent engine's
+// periodic ACK/NAK handlers are provably no-ops (sendACK has no progress,
+// duplicate, or reopening to report; sendNAK has an empty loss list), so
+// the only deadline that still matters is EXP — keep-alive and peer-death
+// detection. The caller must separately ensure it has no unsent data
+// buffered; the engine cannot see the transport's send queue.
+//
+// Quiescence is a transport-side scheduling hint: the shared scheduler
+// parks idle flows until NextWake instead of waking them every SYN. It is
+// deliberately not consulted by the deterministic simulator, whose driver
+// wakes engines at NextTimer, so scheduling-policy changes cannot perturb
+// the chaos oracle.
+func (c *Conn) Quiescent() bool {
+	return c.started && !c.closed && !c.broken &&
+		c.Unacked() == 0 &&
+		c.sndLoss.Len() == 0 &&
+		c.rcvLoss.Len() == 0 &&
+		len(c.outbox) == 0 &&
+		c.dupSinceACK == 0 &&
+		(!c.gotAnyData || c.lastAckSeq == seqno.Inc(c.lrsn))
+}
+
+// NextWake returns the deadline the transport scheduler should wake this
+// engine at: EXP for a quiescent flow (its other periodic handlers would
+// do nothing — see Quiescent), the earliest of all four timers otherwise.
+// With the default 10 ms SYN and a ~300 ms minimum EXP interval this cuts
+// an idle flow's wakeups by ~30×, which is what makes parking 100k idle
+// flows on one worker pool tractable.
+func (c *Conn) NextWake() int64 {
+	if c.Quiescent() {
+		return c.tEXP
+	}
+	return c.NextTimer()
 }
 
 // sendACK builds the periodic selective acknowledgement (§3.1) carrying the

@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// quickMatrixDigest folds every observable field of a QuickMatrix run into
+// one FNV-64a value: virtual elapsed time, timeout flags, both peers' full
+// counter sets, per-direction path impairment counters, and the mux cell's
+// per-flow outcomes. Any behavioral drift in the engine, the fabric, or the
+// driver loop changes it.
+func quickMatrixDigest(seed int64) uint64 {
+	h := fnv.New64a()
+	for _, cr := range RunMatrix(seed, QuickMatrix()) {
+		fmt.Fprintf(h, "%s|%v|%d|%v|%+v|%+v|%v\n",
+			cr.Case.Name, cr.Pass, cr.Result.Elapsed, cr.Result.TimedOut, cr.Result.A, cr.Result.B, cr.Mux)
+	}
+	return h.Sum64()
+}
+
+// TestQuickMatrixReplayDigest pins the QuickMatrix replay to the exact
+// digest produced before the timer-wheel/worker-pool refactor. The chaos
+// harness drives internal/core engines single-threaded under the virtual
+// clock, so this value is a bit-identical oracle: if a refactor of the
+// engine's timer bookkeeping changes any scheduling decision, any counter,
+// or any byte on the wire, this test fails — even if every transfer still
+// completes.
+//
+// If you change protocol behavior ON PURPOSE (new control packet, different
+// timer policy), re-derive the constant by running this test with -v and
+// copying the printed digest; note the change in the PR description.
+func TestQuickMatrixReplayDigest(t *testing.T) {
+	const pinned uint64 = 0x90b6468f84fe8f49
+	got := quickMatrixDigest(1)
+	t.Logf("QuickMatrix(seed=1) digest: %016x", got)
+	if got != pinned {
+		t.Fatalf("QuickMatrix replay digest drifted: got %016x, pinned %016x — engine behavior is no longer bit-identical", got, pinned)
+	}
+}

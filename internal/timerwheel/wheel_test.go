@@ -1,0 +1,287 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"udt/internal/netem"
+)
+
+// TestFireOrderAndBounds schedules timers across every wheel level and
+// checks each fires within one tick after its deadline, in deadline order,
+// with Next never overshooting the actual fire time.
+func TestFireOrderAndBounds(t *testing.T) {
+	w := New()
+	deadlines := []int64{
+		1, 63, 64, 100, 1000, // level 0
+		5_000, 100_000, 260_000, // level 1 (≤ 64² ticks ≈ 262 ms)
+		300_000, 5_000_000, 16_000_000, // level 2 (≤ 64³ ticks ≈ 16.8 s)
+		20_000_000, 900_000_000, // level 3
+	}
+	timers := make([]Timer, len(deadlines))
+	for i, d := range deadlines {
+		timers[i].Owner = int64(d)
+		w.Schedule(&timers[i], d)
+	}
+	if w.Len() != len(deadlines) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(deadlines))
+	}
+
+	var fired []int64
+	now := int64(0)
+	for w.Len() > 0 {
+		next := w.Next()
+		if next == NoDeadline {
+			t.Fatalf("Next = NoDeadline with %d timers armed", w.Len())
+		}
+		if next < now {
+			t.Fatalf("Next went backwards: %d < now %d", next, now)
+		}
+		now = next
+		w.Advance(now, func(tm *Timer) {
+			d := tm.Owner.(int64)
+			if now < d {
+				t.Fatalf("timer %d fired early at now=%d", d, now)
+			}
+			if now > d+2*Tick {
+				t.Fatalf("timer %d fired late at now=%d (> deadline+2 ticks)", d, now)
+			}
+			fired = append(fired, d)
+		})
+	}
+	if len(fired) != len(deadlines) {
+		t.Fatalf("fired %d of %d timers", len(fired), len(deadlines))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out-of-order fire: %d after %d", fired[i], fired[i-1])
+		}
+	}
+}
+
+// TestCascadeCorrectness drives the wheel with a pseudo-random workload of
+// schedules, reschedules, and cancels spanning all four levels, advancing
+// time in uneven jumps so cascades land mid-walk. Every surviving timer
+// must fire exactly once, within a tick of its final deadline.
+func TestCascadeCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := New()
+
+	const n = 2000
+	timers := make([]Timer, n)
+	want := make(map[*Timer]int64) // surviving timer -> final deadline
+	now := int64(0)
+
+	for i := range timers {
+		d := now + 1 + rng.Int63n(30_000_000) // up to 30 s out: hits level 3
+		timers[i].Owner = i
+		w.Schedule(&timers[i], d)
+		want[&timers[i]] = d
+	}
+	// Churn: cancel some, reschedule others.
+	for i := 0; i < n/2; i++ {
+		tm := &timers[rng.Intn(n)]
+		if !tm.Armed() {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			w.Cancel(tm)
+			delete(want, tm)
+		} else {
+			d := now + 1 + rng.Int63n(30_000_000)
+			w.Schedule(tm, d)
+			want[tm] = d
+		}
+	}
+
+	got := make(map[*Timer]int64)
+	for w.Len() > 0 {
+		// Jump by uneven amounts so ticks, cycle boundaries, and multi-level
+		// cascades all get exercised; sometimes jump far past several fires.
+		now += 1 + rng.Int63n(500_000)
+		w.Advance(now, func(tm *Timer) {
+			if _, dup := got[tm]; dup {
+				t.Fatalf("timer %v fired twice", tm.Owner)
+			}
+			got[tm] = now
+		})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d timers, want %d", len(got), len(want))
+	}
+	for tm, d := range want {
+		at, ok := got[tm]
+		if !ok {
+			t.Fatalf("timer %v (deadline %d) never fired", tm.Owner, d)
+		}
+		if at < d {
+			t.Fatalf("timer %v fired at %d before deadline %d", tm.Owner, at, d)
+		}
+	}
+}
+
+// TestVirtualClockDrive runs the wheel off netem's virtual clock the same
+// way the chaos harness drives a shard: schedule periodic re-arming
+// timers, advance virtual time to the wheel's Next bound, and verify the
+// resulting fire sequence is deterministic across two runs.
+func TestVirtualClockDrive(t *testing.T) {
+	type fire struct {
+		who string
+		at  int64
+	}
+	run := func() []fire {
+		vc := netem.NewVirtualClock(0)
+		w := New()
+		var tick, exp Timer
+		const period = 10_000 // SYN-like 10 ms
+		fires := []fire{}
+		tick.Owner = "tick"
+		exp.Owner = "exp"
+		w.Schedule(&tick, vc.Now()+period)
+		w.Schedule(&exp, vc.Now()+300_000)
+		for len(fires) < 40 {
+			next := w.Next()
+			if next > vc.Now() {
+				vc.AdvanceTo(next)
+			}
+			w.Advance(vc.Now(), func(tm *Timer) {
+				who := tm.Owner.(string)
+				fires = append(fires, fire{who, vc.Now()})
+				switch who {
+				case "tick":
+					w.Schedule(tm, tm.Deadline()+period)
+				case "exp":
+					w.Schedule(tm, tm.Deadline()+300_000)
+				}
+			})
+		}
+		return fires
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("virtual-clock drive diverged at fire %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Re-arming from Deadline keeps the 10 ms cadence: individual fires
+	// quantize to the tick, but the error never accumulates.
+	var periodic []int64
+	for _, f := range a {
+		if f.who == "tick" {
+			periodic = append(periodic, f.at)
+		}
+	}
+	for i := 1; i < len(periodic); i++ {
+		gap := periodic[i] - periodic[i-1]
+		if gap < 10_000-Tick || gap > 10_000+Tick {
+			t.Fatalf("periodic cadence drifted: gap %d µs at fire %d", gap, i)
+		}
+	}
+}
+
+// TestCancelVsFire races Cancel calls from a second goroutine against an
+// advancing wheel through the owner's lock — the usage contract: every
+// wheel access serialized by the shard mutex. Run under -race this pins
+// the contract's soundness; the assertion pins that a canceled timer
+// never fires afterwards.
+func TestCancelVsFire(t *testing.T) {
+	var mu sync.Mutex
+	w := New()
+
+	const n = 512
+	timers := make([]Timer, n)
+	canceled := make([]bool, n)
+	fired := make([]bool, n)
+	for i := range timers {
+		timers[i].Owner = i
+		w.Schedule(&timers[i], int64(1+i*37))
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i += 3 {
+			mu.Lock()
+			if !fired[i] {
+				w.Cancel(&timers[i])
+				canceled[i] = true
+			}
+			mu.Unlock()
+		}
+	}()
+
+	for now := int64(0); now < n*37+3*Tick; now += 97 {
+		mu.Lock()
+		w.Advance(now, func(tm *Timer) {
+			i := tm.Owner.(int)
+			if canceled[i] {
+				t.Errorf("timer %d fired after cancel", i)
+			}
+			fired[i] = true
+		})
+		mu.Unlock()
+	}
+	<-done
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := range timers {
+		if !fired[i] && !canceled[i] {
+			t.Errorf("timer %d neither fired nor canceled", i)
+		}
+	}
+}
+
+// TestScheduleCancelAllocs pins the zero-allocation contract: arming,
+// rescheduling, canceling, and firing intrusive timers allocates nothing.
+func TestScheduleCancelAllocs(t *testing.T) {
+	w := New()
+	var tms [8]Timer
+	for i := range tms {
+		tms[i].Owner = i // pre-boxed: small ints don't allocate, but be explicit
+	}
+	var now int64
+	fire := func(tm *Timer) { w.Schedule(tm, tm.Deadline()+1000) }
+	avg := testing.AllocsPerRun(1000, func() {
+		for i := range tms {
+			w.Schedule(&tms[i], now+int64(i)*700_000)
+		}
+		w.Cancel(&tms[3])
+		now += 2_000_000
+		w.Advance(now, fire)
+		for i := range tms {
+			w.Cancel(&tms[i])
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/advance/cancel allocated %.2f per cycle, want 0", avg)
+	}
+}
+
+// TestNextBoundNeverLate verifies Next's contract directly: sleeping to
+// the bound and advancing there must fire a level-parked timer after at
+// most a handful of cascade refinements, never sooner than its deadline.
+func TestNextBoundNeverLate(t *testing.T) {
+	for _, d := range []int64{50, 5_000, 400_000, 30_000_000, 1_200_000_000} {
+		w := New()
+		var tm Timer
+		w.Schedule(&tm, d)
+		now, hops := int64(0), 0
+		for w.Len() > 0 {
+			next := w.Next()
+			if next < now {
+				t.Fatalf("deadline %d: bound %d behind now %d", d, next, now)
+			}
+			now = next
+			w.Advance(now, func(*Timer) {
+				if now < d {
+					t.Fatalf("deadline %d fired early at %d", d, now)
+				}
+			})
+			if hops++; hops > 12 {
+				t.Fatalf("deadline %d: %d wakeups without firing (bound too loose)", d, hops)
+			}
+		}
+	}
+}

@@ -31,6 +31,7 @@ type Mux struct {
 	cfg  Config // validated and filled; the defaults every flow inherits
 	sock PacketConn
 	core *mux.Core
+	pool *connPool // shared connection scheduler: cfg.PoolShards workers
 
 	udpRcvBuf, udpSndBuf int // achieved kernel buffer sizes (0 off-UDP)
 
@@ -60,11 +61,54 @@ type Mux struct {
 	wg       sync.WaitGroup
 }
 
-// pendingDial tracks one in-flight Mux.Dial handshake.
+// hsRetryUS is the handshake retransmission interval in µs (the paper's
+// client keeps requesting until answered or timed out).
+const hsRetryUS = 250_000
+
+// pendingDial tracks one in-flight Mux.Dial handshake. It is a poolTask:
+// instead of a per-dial runtime timer and ticker, the retransmission
+// schedule is an intrusive timer on a scheduler shard's wheel, so a churn
+// of thousands of concurrent dials costs zero allocations and zero extra
+// goroutines in the timer layer.
 type pendingDial struct {
 	connID int32
 	raddr  net.Addr
 	resp   chan hsResp // buffered 1; first response wins
+
+	m        *Mux
+	shard    *poolShard
+	buf      []byte // encoded handshake request, resent as-is
+	deadline int64  // µs on the shard clock; after this the dial dies
+	dead     chan error // buffered 1; delivers ErrTimeout or a send error
+	schedSt  schedState
+}
+
+func (pd *pendingDial) sched() *schedState { return &pd.schedSt }
+
+// runTask fires on the shard worker at each retransmission deadline:
+// resend the request, or declare the dial dead past its deadline. The
+// dialing goroutine is parked on pd.resp/pd.dead the whole time.
+func (pd *pendingDial) runTask() (int64, bool) {
+	now := pd.shard.clock.Now()
+	if now >= pd.deadline {
+		select {
+		case pd.dead <- ErrTimeout:
+		default:
+		}
+		return taskNever, false
+	}
+	if _, err := pd.m.sock.WriteTo(pd.buf, pd.raddr); err != nil {
+		select {
+		case pd.dead <- fmt.Errorf("udt: handshake: %w", err):
+		default:
+		}
+		return taskNever, false
+	}
+	wake := now + hsRetryUS
+	if wake > pd.deadline {
+		wake = pd.deadline
+	}
+	return wake, false
 }
 
 // hsResp is a handshake response routed to a pending dial.
@@ -124,6 +168,7 @@ func newMux(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Mux, error) {
 		done:      make(chan struct{}),
 	}
 	m.core = mux.NewCore(m.handleHandshake)
+	m.pool = newConnPool(c.PoolShards, c.Ledger)
 	m.reader = newBatchReader(pc, c.BatchSize, !c.DisableOffload, &m.ostats)
 	if m.reader == nil {
 		m.reader = &singleReader{pc: pc, buf: make([]byte, 65536)}
@@ -393,7 +438,13 @@ func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
 	flow.id = id
 	isn := m.randInt31() & seqno.Max
 	connID := m.randInt31()
-	pd := &pendingDial{connID: connID, raddr: flow.raddr, resp: make(chan hsResp, 1)}
+	shard := m.pool.shard()
+	pd := &pendingDial{
+		connID: connID, raddr: flow.raddr, resp: make(chan hsResp, 1),
+		m: m, shard: shard,
+		deadline: shard.clock.Now() + cfg.HandshakeTimeout.Microseconds(),
+		dead:     make(chan error, 1),
+	}
 
 	m.mu.Lock()
 	if m.closed {
@@ -426,32 +477,28 @@ func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
 		return fail(err)
 	}
 
-	// Send the request, retrying until the read loop routes a response
-	// back to us (responses arrive bare; internal/mux hands them to
-	// handleHandshake, which matches them by our socket ID or, for old
+	// Send the request, then park this goroutine: the scheduler shard's
+	// timing wheel owns the 250 ms retransmission cadence and the overall
+	// deadline (no per-dial runtime timers). The read loop routes the
+	// response back to us (responses arrive bare; internal/mux hands them
+	// to handleHandshake, which matches them by our socket ID or, for old
 	// peers, by connection ID and address).
 	if _, err := m.sock.WriteTo(buf[:n], raddr); err != nil {
 		return fail(fmt.Errorf("udt: handshake: %w", err))
 	}
-	deadline := time.NewTimer(cfg.HandshakeTimeout)
-	defer deadline.Stop()
-	retry := time.NewTicker(250 * time.Millisecond)
-	defer retry.Stop()
+	pd.buf = buf[:n]
+	shard.attach(pd)
+	shard.sleep(pd, shard.clock.Now()+hsRetryUS)
 	var r hsResp
-wait:
-	for {
-		select {
-		case r = <-pd.resp:
-			break wait
-		case <-retry.C:
-			if _, err := m.sock.WriteTo(buf[:n], raddr); err != nil {
-				return fail(fmt.Errorf("udt: handshake: %w", err))
-			}
-		case <-deadline.C:
-			return fail(ErrTimeout)
-		case <-m.done:
-			return fail(ErrClosed)
-		}
+	select {
+	case r = <-pd.resp:
+		shard.detach(pd)
+	case err := <-pd.dead:
+		shard.detach(pd)
+		return fail(err)
+	case <-m.done:
+		shard.detach(pd)
+		return fail(ErrClosed)
 	}
 	m.mu.Lock()
 	delete(m.pending, id)
@@ -472,7 +519,7 @@ wait:
 		m.core.RegisterAddr(flow.addrKey, flow)
 	}
 	cfg.sockID = id
-	conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq)
+	conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard())
 	conn.mu.Lock()
 	conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
 	conn.mu.Unlock()
@@ -546,6 +593,10 @@ func (m *Mux) Close() error {
 	for _, c := range conns {
 		c.Close() //nolint:errcheck
 	}
+	// Every Conn has detached from its shard (Close blocks on that), so the
+	// scheduler can stop; dials racing Close detach safely against stopped
+	// shards — see poolShard.detach.
+	m.pool.close()
 	err := m.sock.Close()
 	m.wg.Wait()
 	return err
@@ -649,7 +700,7 @@ func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr) {
 			m.core.RegisterAddr(flow.addrKey, flow)
 		}
 		cfg.sockID = flow.id
-		conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq)
+		conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard())
 		conn.mu.Lock()
 		conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
 		conn.mu.Unlock()

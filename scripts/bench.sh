@@ -40,6 +40,15 @@
 #   mux_demux_4096flows_ns_per_packet         same dispatch with 4096 flows
 #                                             resident on the socket
 #                                             (BenchmarkMuxDemuxFlows)
+#   flowscale_100k_goodput_mbps               aggregate goodput of 100 000
+#   flowscale_100k_p99_ack_us                 flows dialed over ONE in-memory
+#   flowscale_100k_allocs_per_packet          socket pair, 1 KB pushed through
+#   flowscale_100k_peak_goroutines            each (BenchmarkFlowScale100k):
+#                                             goodput, p99 write→acked latency,
+#                                             allocs per packet, and the peak
+#                                             process goroutine count — which
+#                                             must stay O(shards + sockets),
+#                                             not O(flows); see EXPERIMENTS.md
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-/dev/stdout}"
@@ -54,12 +63,14 @@ rp=$(go test . -run XXX -bench 'LoopbackReusePort4$' -benchtime 1x 2>/dev/null |
 zc=$(go test . -run XXX -bench 'SendFileZC$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkSendFileZC/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 mux=$(go test ./internal/mux -run XXX -bench 'MuxDemux$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemux/ {print $3, $7}')
 muxwide=$(go test ./internal/mux -run XXX -bench 'MuxDemuxFlows/flows=4096$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemuxFlows/ {print $3}')
+scale=$(go test . -run XXX -bench 'FlowScale100k$' -benchtime 1x -timeout 30m 2>/dev/null | awk '/^BenchmarkFlowScale100k/ {g = p = a = k = "null"; for (i = 1; i < NF; i++) { if ($(i+1) == "goodput-Mbps") g = $i; if ($(i+1) == "p99-ack-µs") p = $i; if ($(i+1) == "allocs/pkt") a = $i; if ($(i+1) == "peak-goroutines") k = $i } print g, p, a, k}')
 
 set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
 set -- $sndtr; sndtr_ns=$1; sndtr_allocs=$2
 set -- $mux; mux_ns=$1; mux_allocs=$2
 set -- $gso; gso_mbps=$1; gso_syscalls=$2
+set -- $scale; scale_mbps=$1; scale_p99=$2; scale_allocs=$3; scale_peak=$4
 
 cat > "$out" <<EOF
 {
@@ -77,6 +88,10 @@ cat > "$out" <<EOF
   "sendfile_zc_mbps": $zc,
   "mux_demux_ns_per_packet": $mux_ns,
   "mux_demux_allocs_per_packet": $mux_allocs,
-  "mux_demux_4096flows_ns_per_packet": $muxwide
+  "mux_demux_4096flows_ns_per_packet": $muxwide,
+  "flowscale_100k_goodput_mbps": $scale_mbps,
+  "flowscale_100k_p99_ack_us": $scale_p99,
+  "flowscale_100k_allocs_per_packet": $scale_allocs,
+  "flowscale_100k_peak_goroutines": $scale_peak
 }
 EOF

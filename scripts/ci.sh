@@ -10,9 +10,11 @@ go build ./...
 # platforms that lack it.
 GOOS=darwin go build ./...
 GOOS=windows go build ./...
-# Documentation gates: every exported identifier in the audited packages must
-# carry a doc comment, and every relative Markdown link must resolve.
-go run ./scripts/doccheck internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/trace
+# Documentation gates: every exported identifier in the audited packages —
+# including the root package (Conn/Mux/pool scheduler APIs) and the shared
+# timer wheel — must carry a doc comment, and every relative Markdown link
+# must resolve (mdcheck covers DESIGN.md, EXPERIMENTS.md and README.md).
+go run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
 go run ./scripts/mdcheck
 # Fast fail on the concurrency-heavy packages first: the demultiplexer and
 # the chaos harness in short mode, before the full (slower) race run.

@@ -139,7 +139,11 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 		c.MaxFlowWindow = int(resp.FlowWindow)
 	}
 
-	conn := newConn(c, newOwnedSock(pc, !c.DisableOffload), func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq)
+	// A dedicated socket carries exactly one flow, so it gets a degenerate
+	// single-shard scheduler of its own; Conn.Close stops it.
+	pool := newConnPool(1, c.Ledger)
+	conn := newConn(c, newOwnedSock(pc, !c.DisableOffload), func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq, pool.shard())
+	conn.ownPool = pool
 	go dialedReadLoop(pc, conn)
 	return conn, nil
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	randv2 "math/rand/v2"
+	"runtime"
 	"time"
 
 	"udt/internal/congestion"
@@ -98,6 +99,14 @@ type Config struct {
 	// socket. Default 1; clamped to [1, 64]. Each flow's datagrams hash to
 	// one shard by 4-tuple, so per-flow ordering is unaffected.
 	ReusePortShards int
+	// PoolShards is how many connection-scheduler shards a Mux runs: worker
+	// goroutines, each owning a hierarchical timing wheel and a run queue,
+	// that service every flow on the shared socket (see internal/timerwheel
+	// and DESIGN.md §"Scaling to 100k flows"). Flows are passive state
+	// machines; goroutine count is O(PoolShards), not O(flows). Default
+	// GOMAXPROCS; clamped to [1, 64]. Dedicated-socket connections (Dial /
+	// DialOn) always use one private shard regardless of this setting.
+	PoolShards int
 	// DisableOffload turns off UDP segmentation offload for endpoints using
 	// this Config: no UDP_SEGMENT sends, no UDP_GRO receives. The stack
 	// then uses the plain sendmmsg/recvmmsg batching. Offload is also
@@ -157,6 +166,9 @@ func (c *Config) Validate() error {
 	if c.ReusePortShards < 0 {
 		return fmt.Errorf("udt: config: ReusePortShards %d is negative", c.ReusePortShards)
 	}
+	if c.PoolShards < 0 {
+		return fmt.Errorf("udt: config: PoolShards %d is negative", c.PoolShards)
+	}
 	return nil
 }
 
@@ -208,6 +220,12 @@ func (c *Config) fill() {
 	}
 	if c.ReusePortShards > 64 {
 		c.ReusePortShards = 64
+	}
+	if c.PoolShards == 0 {
+		c.PoolShards = runtime.GOMAXPROCS(0)
+	}
+	if c.PoolShards > 64 {
+		c.PoolShards = 64
 	}
 }
 
@@ -267,6 +285,14 @@ type Stats struct {
 	// socket-wide totals; zero on a private or non-UDP transport.
 	GROReads    uint64
 	GROSegments uint64
+	// Goroutines is the process goroutine count sampled when this snapshot
+	// was taken, and PeakGoroutines the high-water mark observed at
+	// scheduler park points and connection setup since process start. With
+	// the shared connection scheduler the peak stays O(PoolShards +
+	// sockets) no matter how many flows are resident — the 100k-flow
+	// regime's key invariant (see DESIGN.md §"Scaling to 100k flows").
+	Goroutines     int
+	PeakGoroutines int
 	// CCName names the congestion-control law driving the sender
 	// ("native", "ctcp", "scalable", "hstcp").
 	CCName string
