@@ -7,6 +7,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/packet"
+	"udt/internal/secure"
 	"udt/internal/seqno"
 	"udt/internal/timing"
 	"udt/internal/trace"
@@ -51,20 +52,25 @@ func (g *gsoDiscardSock) offloadActive() bool { return true }
 // attached just as newConn attaches one, so the alloc gates cover telemetry.
 // cc selects the congestion controller (nil = native), so the gates cover
 // every registered law's interface dispatch.
-func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory) *Conn {
+func newSendPathConn(sock sockWriter, traced bool, cc CongestionFactory, sec *secure.Session) *Conn {
 	cfg := Config{CC: cc}
 	cfg.fill()
 	c := &Conn{
 		cfg:   cfg,
 		sock:  sock,
 		clock: timing.NewSysClock(),
+		sec:   sec,
 	}
+	c.aead = sec != nil && sec.AEAD()
 	c.hr = sock.headroom()
 	c.bw, _ = sock.(batchWriter)
 	c.sw, _ = sock.(segWriter)
 	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
 	c.core = core.NewConn(cfg.coreConfig(0), 0)
 	payload := cfg.MSS - packet.DataHeaderSize
+	if c.aead {
+		payload -= secure.Overhead
+	}
 	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, 0)
 	c.rcv = core.NewRcvBuffer(cfg.RcvBuf, payload, 0)
 	c.core.AvailBuf = c.rcv.Free
@@ -121,49 +127,118 @@ func sendCycle(c *Conn, data []byte, batch *sendBatch, scratch []byte, lens []in
 // controller is gated, since the engine now reaches its law through the
 // congestion.Controller interface on each packet sent and ACK handled.
 func TestSenderPathAllocs(t *testing.T) {
-	for _, name := range CongestionControls() {
-		t.Run(name, func(t *testing.T) {
-			cc, err := CongestionControl(name)
-			if err != nil {
-				t.Fatal(err)
+	for _, secureOn := range []bool{false, true} {
+		for _, name := range CongestionControls() {
+			run := name
+			if secureOn {
+				run = "psk-aead/" + name
 			}
-			sock := &discardSock{}
-			c := newSendPathConn(sock, true, cc)
-			var batch sendBatch
-			scratch := make([]byte, c.burst*(c.hr+c.cfg.MSS))
-			lens := make([]int, c.burst)
-			burst := make([][]byte, 0, c.burst)
-			data := make([]byte, c.cfg.MSS-packet.DataHeaderSize)
+			t.Run(run, func(t *testing.T) {
+				cc, err := CongestionControl(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sess *secure.Session
+				if secureOn {
+					sess, _ = testSessionPair(true)
+				}
+				sock := &discardSock{}
+				c := newSendPathConn(sock, true, cc, sess)
+				var batch sendBatch
+				scratch := make([]byte, c.burst*(c.hr+c.cfg.MSS))
+				lens := make([]int, c.burst)
+				burst := make([][]byte, 0, c.burst)
+				payload := c.cfg.MSS - packet.DataHeaderSize
+				if secureOn {
+					payload -= secure.Overhead
+				}
+				data := make([]byte, payload)
 
-			// Warm up: grow the batch arena, the engine's outbox and the ACK
-			// history window to steady state.
-			for i := 0; i < 64; i++ {
-				sendCycle(c, data, &batch, scratch, lens, &burst)
-			}
-			sentBefore := c.core.Stats.PktsSent
-			avg := testing.AllocsPerRun(500, func() {
-				sendCycle(c, data, &batch, scratch, lens, &burst)
+				// Warm up: grow the batch arena, the engine's outbox and the
+				// ACK history window to steady state.
+				for i := 0; i < 64; i++ {
+					sendCycle(c, data, &batch, scratch, lens, &burst)
+				}
+				sentBefore := c.core.Stats.PktsSent
+				avg := testing.AllocsPerRun(500, func() {
+					sendCycle(c, data, &batch, scratch, lens, &burst)
+				})
+				sent := c.core.Stats.PktsSent - sentBefore
+				if sent < 500 {
+					t.Fatalf("send path stalled during measurement: only %d packets sent", sent)
+				}
+				if avg != 0 {
+					t.Fatalf("send path allocates %.2f objects per packet, want 0", avg)
+				}
+				// The measured cycles may all fall inside one SYN interval;
+				// cross a SYN boundary explicitly to prove the sampler really
+				// was attached and live.
+				c.mu.Lock()
+				c.core.Advance(c.clock.Now() + 2*c.cfg.SYN.Microseconds())
+				c.mu.Unlock()
+				if c.perfRing.Total() == 0 {
+					t.Fatal("perf ring recorded nothing; the traced gate proved nothing")
+				}
+				if r, ok := c.perfRing.Last(); !ok || r.CCName != name {
+					t.Fatalf("perf record carries cc %q, want %q", r.CCName, name)
+				}
 			})
-			sent := c.core.Stats.PktsSent - sentBefore
-			if sent < 500 {
-				t.Fatalf("send path stalled during measurement: only %d packets sent", sent)
-			}
-			if avg != 0 {
-				t.Fatalf("send path allocates %.2f objects per packet, want 0", avg)
-			}
-			// The measured cycles may all fall inside one SYN interval; cross
-			// a SYN boundary explicitly to prove the sampler really was
-			// attached and live.
-			c.mu.Lock()
-			c.core.Advance(c.clock.Now() + 2*c.cfg.SYN.Microseconds())
-			c.mu.Unlock()
-			if c.perfRing.Total() == 0 {
-				t.Fatal("perf ring recorded nothing; the traced gate proved nothing")
-			}
-			if r, ok := c.perfRing.Last(); !ok || r.CCName != name {
-				t.Fatalf("perf record carries cc %q, want %q", r.CCName, name)
-			}
-		})
+		}
+	}
+}
+
+// testSessionPair builds the two ends of one Secure UDT session over a
+// fixed key and nonces: local is the client side, peer the server side.
+// Both ends start their epoch trackers at ISN 0, matching the zero ISNs
+// newSendPathConn wires.
+func testSessionPair(aead bool) (local, peer *secure.Session) {
+	k := secure.DeriveKeys([]byte("alloc-test pre-shared key 32by.."))
+	cn := []byte("client-nonce-16b")
+	sn := []byte("server-nonce-16b")
+	local = secure.NewSession(k, cn, sn, true, 0, 0, aead)
+	peer = secure.NewSession(k, cn, sn, false, 0, 0, aead)
+	return local, peer
+}
+
+// TestSecureRecvPathAllocs gates the receive side of the sealed channel:
+// opening a sealed data packet and running it through the full
+// handleDatagramAt path — AEAD open, engine bookkeeping, control drain —
+// must allocate nothing. The packet is a duplicate every iteration, which
+// exercises the dup-triggered re-ACK emission too; retransmissions seal
+// byte-identically, so one sealed image is recopied per run (opening
+// decrypts in place).
+func TestSecureRecvPathAllocs(t *testing.T) {
+	sess, peer := testSessionPair(true)
+	sock := &discardSock{}
+	c := newSendPathConn(sock, false, nil, sess)
+
+	payload := make([]byte, c.cfg.MSS-packet.DataHeaderSize-secure.Overhead)
+	pkt := make([]byte, c.cfg.MSS)
+	n, err := packet.EncodeData(pkt, &packet.Data{Seq: 0, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := append([]byte(nil), peer.SealData(pkt[:n])...)
+	if len(sealed) != c.cfg.MSS {
+		t.Fatalf("sealed full packet is %d bytes, want MSS %d", len(sealed), c.cfg.MSS)
+	}
+	buf := make([]byte, len(sealed))
+	deliver := func() {
+		copy(buf, sealed)
+		c.handleDatagram(buf)
+	}
+	for i := 0; i < 16; i++ {
+		deliver() // warm the receive-side control batch arena
+	}
+	if avg := testing.AllocsPerRun(500, deliver); avg != 0 {
+		t.Fatalf("secure receive path allocates %.2f objects per packet, want 0", avg)
+	}
+	af, _ := sess.Drops()
+	if af != 0 {
+		t.Fatalf("authentic packets failed to open %d times", af)
+	}
+	if got := c.core.Stats.PktsRecv; got < 500 {
+		t.Fatalf("engine saw only %d packets; the open path short-circuited", got)
 	}
 }
 
@@ -174,7 +249,7 @@ func TestSenderPathAllocs(t *testing.T) {
 // zero-allocation invariant on the offloaded path too.
 func TestGSOPackAllocs(t *testing.T) {
 	sock := &gsoDiscardSock{}
-	c := newSendPathConn(sock, false, nil)
+	c := newSendPathConn(sock, false, nil, nil)
 	stride := c.hr + c.cfg.MSS
 	scratch := make([]byte, c.burst*stride)
 	lens := make([]int, c.burst)
@@ -219,7 +294,7 @@ func BenchmarkSenderPacketTraced(b *testing.B) {
 
 func benchmarkSenderPacket(b *testing.B, traced bool) {
 	sock := &discardSock{}
-	c := newSendPathConn(sock, traced, nil)
+	c := newSendPathConn(sock, traced, nil, nil)
 	var batch sendBatch
 	scratch := make([]byte, c.burst*(c.hr+c.cfg.MSS))
 	lens := make([]int, c.burst)
@@ -240,7 +315,7 @@ func benchmarkSenderPacket(b *testing.B, traced bool) {
 // it, including NAKs with long compressed loss lists.
 func TestDrainOutboxSizing(t *testing.T) {
 	sock := &discardSock{}
-	c := newSendPathConn(sock, false, nil)
+	c := newSendPathConn(sock, false, nil, nil)
 	now := c.clock.Now()
 
 	// Provoke one of each control kind. Losses with many disjoint ranges

@@ -317,6 +317,22 @@ func BenchmarkLoopbackGSO(b *testing.B) {
 	}
 }
 
+// BenchmarkLoopbackAEAD is BenchmarkLoopbackGSO with Secure UDT fully on:
+// PSK-authenticated handshake, then every data packet sealed with
+// ChaCha20-Poly1305 in the send arena and opened in place on receive. The
+// delta against loopback_gso_mbps is the whole-stack crypto tax tracked in
+// BENCH_baseline.json as aead_mbps.
+func BenchmarkLoopbackAEAD(b *testing.B) {
+	cfg := &udt.Config{PSK: []byte("bench loopback pre-shared key 32"), AEAD: true}
+	for i := 0; i < b.N; i++ {
+		mbps, st := loopbackTransfer(b, cfg, 32<<20)
+		b.ReportMetric(mbps, "Mbps")
+		if st.AuthRejects != 0 || st.ReplayDrops != 0 {
+			b.Fatalf("clean loopback counted crypto rejects: %+v", st)
+		}
+	}
+}
+
 // BenchmarkLoopbackBatchSize sweeps Config.BatchSize — the burst claimed
 // per sender-lock acquisition, the sendmmsg batch, and the GSO train
 // ceiling (kernel-capped at 44 segments).

@@ -4,6 +4,10 @@
 // Receive side:  udtfile -recv -addr :9001 -out dir/ [-once]
 // Send side:     udtfile -send path/to/file -to host:9001 [-cc ctcp]
 //
+// With -psk (both sides, min 16 bytes) the handshake is authenticated and
+// unauthenticated peers are refused; -aead additionally seals every data
+// packet with ChaCha20-Poly1305.
+//
 // Both sides print the connection's final protocol statistics (congestion
 // controller, retransmissions, loss, RTT) and exit nonzero when a transfer
 // fails — -once makes the receiver serve exactly one transfer so scripts
@@ -29,13 +33,15 @@ func main() {
 	send := flag.String("send", "", "file to send")
 	to := flag.String("to", "", "destination host:port")
 	ccName := flag.String("cc", "", fmt.Sprintf("congestion controller for the sending side %v; default native", udt.CongestionControls()))
+	psk := flag.String("psk", "", "pre-shared key: authenticate the handshake (Config.PSK; min 16 bytes, both sides)")
+	aead := flag.Bool("aead", false, "seal data packets with ChaCha20-Poly1305 (Config.AEAD; requires -psk)")
 	flag.Parse()
 
 	switch {
 	case *recv:
-		runRecv(*addr, *out, *once)
+		runRecv(*addr, *out, *once, *psk, *aead)
 	case *send != "" && *to != "":
-		runSend(*send, *to, *ccName)
+		runSend(*send, *to, *ccName, *psk, *aead)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -45,13 +51,14 @@ func main() {
 // statsLine summarizes a connection's final protocol counters — the same
 // fields udtperf reports, so the two tools' outputs line up.
 func statsLine(st udt.Stats) string {
-	return fmt.Sprintf("cc %s, retrans %d, loss events %d, dups %d, rtt %v, mux drops %d/%d",
+	return fmt.Sprintf("cc %s, retrans %d, loss events %d, dups %d, rtt %v, mux drops %d/%d, auth rejects %d, cookies %d",
 		st.CCName, st.PktsRetrans, st.LossEvents, st.PktsDup,
-		st.RTT.Round(10*time.Microsecond), st.MuxUnknownDest, st.MuxShortDatagram)
+		st.RTT.Round(10*time.Microsecond), st.MuxUnknownDest, st.MuxShortDatagram,
+		st.AuthRejects, st.CookieSent)
 }
 
-func runRecv(addr, dir string, once bool) {
-	ln, err := udt.Listen(addr, nil)
+func runRecv(addr, dir string, once bool, psk string, aead bool) {
+	ln, err := udt.Listen(addr, &udt.Config{PSK: []byte(psk), AEAD: aead})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +100,7 @@ func runRecv(addr, dir string, once bool) {
 	}
 }
 
-func runSend(path, to, ccName string) {
+func runSend(path, to, ccName, psk string, aead bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -107,7 +114,7 @@ func runSend(path, to, ccName string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, err := udt.Dial(to, &udt.Config{CC: cc})
+	c, err := udt.Dial(to, &udt.Config{CC: cc, PSK: []byte(psk), AEAD: aead})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,11 @@
 // shared UDP socket (udt.Mux) and reports aggregate throughput — the
 // listener side always accepts multiplexed flows.
 //
+// With -psk (both sides, min 16 bytes) the handshake is authenticated and
+// unauthenticated peers are refused; -aead additionally seals every data
+// packet with ChaCha20-Poly1305. The monitor's authrej/cookie columns
+// surface the corresponding Stats counters.
+//
 // With -monitor the client instead prints a live perfmon readout: one line
 // per telemetry sample straight from the first flow's PerfRecord stream
 // (sending period, paced and measured rates, flow window, in-flight, RTT,
@@ -49,24 +54,27 @@ func main() {
 	noOffload := flag.Bool("no-offload", false, "disable UDP GSO/GRO segmentation offload (Config.DisableOffload)")
 	batch := flag.Int("batch", 0, "send/receive batch size in packets (Config.BatchSize; 0 = default)")
 	shards := flag.Int("shards", 0, "server: SO_REUSEPORT socket group size (Config.ReusePortShards; 0 = one socket)")
+	psk := flag.String("psk", "", "pre-shared key: authenticate the handshake (Config.PSK; min 16 bytes, both sides)")
+	aead := flag.Bool("aead", false, "seal data packets with ChaCha20-Poly1305 (Config.AEAD; requires -psk)")
 	flag.Parse()
 
 	switch {
 	case *server:
-		runServer(*addr, *mss, *noOffload, *batch, *shards)
+		runServer(*addr, *mss, *noOffload, *batch, *shards, *psk, *aead)
 	case *client != "":
 		if *streams < 1 {
 			log.Fatalf("-streams %d: need at least one flow", *streams)
 		}
-		runClient(*client, *dur, *mss, *interval, *streams, *monitor, *expAddr, *ccName, *noOffload, *batch)
+		runClient(*client, *dur, *mss, *interval, *streams, *monitor, *expAddr, *ccName, *noOffload, *batch, *psk, *aead)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func runServer(addr string, mss int, noOffload bool, batch, shards int) {
-	ln, err := udt.Listen(addr, &udt.Config{MSS: mss, DisableOffload: noOffload, BatchSize: batch, ReusePortShards: shards})
+func runServer(addr string, mss int, noOffload bool, batch, shards int, psk string, aead bool) {
+	ln, err := udt.Listen(addr, &udt.Config{MSS: mss, DisableOffload: noOffload, BatchSize: batch,
+		ReusePortShards: shards, PSK: []byte(psk), AEAD: aead})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,12 +130,13 @@ func dialFlows(addr string, cfg *udt.Config, streams int) ([]*udt.Conn, *udt.Mux
 	return conns, m
 }
 
-func runClient(addr string, dur time.Duration, mss int, interval time.Duration, streams int, monitor bool, expAddr, ccName string, noOffload bool, batch int) {
+func runClient(addr string, dur time.Duration, mss int, interval time.Duration, streams int, monitor bool, expAddr, ccName string, noOffload bool, batch int, psk string, aead bool) {
 	cc, err := udt.CongestionControl(ccName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := &udt.Config{MSS: mss, CC: cc, DisableOffload: noOffload, BatchSize: batch}
+	cfg := &udt.Config{MSS: mss, CC: cc, DisableOffload: noOffload, BatchSize: batch,
+		PSK: []byte(psk), AEAD: aead}
 	if monitor {
 		// One perf sample per report interval: sample every
 		// interval/SYN rate ticks (default SYN is 10 ms).
@@ -264,24 +273,27 @@ func runClient(addr string, dur time.Duration, mss int, interval time.Duration, 
 }
 
 // monitorHeader labels the -monitor columns.
-const monitorHeader = "      t       cc     period     cwnd      pace      wire    win  inflight      rtt    bw-est  retrans   naks  sys/pkt  mux-unk  mux-short"
+const monitorHeader = "      t       cc     period     cwnd      pace      wire    win  inflight      rtt    bw-est  retrans   naks  sys/pkt  mux-unk  mux-short  authrej  cookie"
 
 // monitorLine formats one PerfRecord as a perfmon readout line:
 // time, congestion controller and its sending period and window, paced
 // target rate, measured wire rate, flow window, packets in flight, smoothed
 // RTT, estimated link bandwidth, cumulative retransmissions and NAKs
 // received, the cumulative send-syscall amortization (syscalls per data
-// packet: 1.0 bare, ~1/batch with sendmmsg, down to ~1/44 with GSO), and
-// the shared socket's demux drop counters (zero on a private socket).
-// The PerfRecord stream itself is unchanged — the extra columns come
-// from Stats, so recorded telemetry stays byte-identical.
+// packet: 1.0 bare, ~1/batch with sendmmsg, down to ~1/44 with GSO), the
+// shared socket's demux drop counters (zero on a private socket), and the
+// Secure UDT counters — authentication rejects and cookie challenges sent
+// (both zero on cleartext runs). The PerfRecord stream itself is unchanged
+// — the extra columns come from Stats, so recorded telemetry stays
+// byte-identical.
 func monitorLine(r *udt.PerfRecord, st udt.Stats) string {
 	sysPerPkt := 0.0
 	if st.PktsSent > 0 {
 		sysPerPkt = float64(st.SendSyscalls) / float64(st.PktsSent)
 	}
-	return fmt.Sprintf("%6.1fs %8s %7.1fµs %8.0f %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d %8.3f %8d %10d",
+	return fmt.Sprintf("%6.1fs %8s %7.1fµs %8.0f %6.1fMb/s %6.1fMb/s %6d %9d %7.2fms %6.1fMb/s %8d %6d %8.3f %8d %10d %8d %7d",
 		float64(r.T)/1e6, r.CCName, r.PeriodUs, r.Cwnd, r.SendRateMbps, r.SendMbps,
 		r.FlowWindow, r.InFlight, float64(r.RTTUs)/1e3, r.BandwidthMbps,
-		r.PktsRetrans, r.NAKsRecv, sysPerPkt, st.MuxUnknownDest, st.MuxShortDatagram)
+		r.PktsRetrans, r.NAKsRecv, sysPerPkt, st.MuxUnknownDest, st.MuxShortDatagram,
+		st.AuthRejects, st.CookieSent)
 }

@@ -11,6 +11,7 @@ import (
 
 	"udt/internal/core"
 	"udt/internal/packet"
+	"udt/internal/secure"
 	"udt/internal/seqno"
 	"udt/internal/timing"
 	"udt/internal/trace"
@@ -22,6 +23,10 @@ var (
 	ErrPeerDead   = errors.New("udt: peer stopped responding")
 	ErrTimeout    = errors.New("udt: handshake timeout")
 	errBufferFull = errors.New("udt: receive buffer overrun") // internal
+
+	// errAuthRequired fails a secure dial whose peer answered with the
+	// clear protocol while AllowUnauth is off.
+	errAuthRequired = errors.New("udt: handshake: peer did not authenticate (set Config.AllowUnauth to permit clear fallback)")
 )
 
 // sockWriter abstracts the datagram transport: a dialed Conn owns its
@@ -70,6 +75,14 @@ type Conn struct {
 
 	clock  *timing.SysClock
 	ledger *timing.Ledger
+
+	// sec is the connection's Secure UDT sealing state, nil on a clear
+	// connection. Its send-side methods run under mu (drainOutboxLocked,
+	// claimBurstLocked); its receive-side methods run on the single
+	// datagram-delivery goroutine. aead caches sec.AEAD() for the per-
+	// packet checks.
+	sec  *secure.Session
+	aead bool
 
 	mu       sync.Mutex
 	core     *core.Conn
@@ -124,7 +137,7 @@ type Conn struct {
 // scheduler shard. The connection is passive: its sender state machine
 // runs only when the shard's worker services it — there is no goroutine
 // or runtime timer per connection.
-func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, isn, peerISN int32, shard *poolShard) *Conn {
+func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, isn, peerISN int32, shard *poolShard, sec *secure.Session) *Conn {
 	c := &Conn{
 		cfg:    cfg,
 		raddr:  raddr,
@@ -135,13 +148,21 @@ func newConn(cfg Config, sock sockWriter, closer func(), laddr, raddr net.Addr, 
 		clock:  shard.clock,
 		ledger: cfg.Ledger,
 		closed: make(chan struct{}),
+		sec:    sec,
 	}
+	c.aead = sec != nil && sec.AEAD()
 	c.hr = sock.headroom()
 	c.bw, _ = sock.(batchWriter)
 	c.sw, _ = sock.(segWriter)
 	c.burst = burstSize(cfg.BatchSize, c.hr+cfg.MSS)
 	c.core = core.NewConn(cfg.coreConfig(isn), peerISN)
 	payload := cfg.MSS - packet.DataHeaderSize
+	if c.aead {
+		// The Poly1305 tag rides inside the packet's payload budget, so a
+		// sealed full packet is still exactly MSS on the wire (GSO trains
+		// stay uniform).
+		payload -= secure.Overhead
+	}
 	c.snd = core.NewSndBuffer(cfg.SndBuf, payload, isn)
 	c.rcv = core.NewRcvBuffer(cfg.RcvBuf, payload, peerISN)
 	c.core.AvailBuf = c.rcv.Free
@@ -353,6 +374,12 @@ type muxCounterSource interface {
 	muxCounters() (unknownDest, shortDatagram uint64)
 }
 
+// secCounterSource lets multiplexed flows surface their shared socket's
+// pre-connection authentication counters in Stats.
+type secCounterSource interface {
+	secCounters() (authRejects, cookieSent uint64)
+}
+
 // Stats returns a snapshot of the connection's protocol counters.
 func (c *Conn) Stats() Stats {
 	c.mu.Lock()
@@ -376,6 +403,16 @@ func (c *Conn) Stats() Stats {
 	c.mu.Unlock()
 	if mc, ok := c.sock.(muxCounterSource); ok {
 		s.MuxUnknownDest, s.MuxShortDatagram = mc.muxCounters()
+	}
+	if c.sec != nil {
+		af, rp := c.sec.Drops()
+		s.AuthRejects += af
+		s.ReplayDrops = rp
+	}
+	if sc, ok := c.sock.(secCounterSource); ok {
+		ar, cs := sc.secCounters()
+		s.AuthRejects += ar
+		s.CookieSent = cs
 	}
 	if gc, ok := c.sock.(groCounterSource); ok {
 		s.GROReads, s.GROSegments = gc.groCounters()
@@ -464,6 +501,9 @@ func (c *Conn) drainOutboxLocked(b *sendBatch) {
 		default: // ACK2, keep-alive, shutdown: bare control header
 			size = packet.CtrlHeaderSize
 		}
+		if c.sec != nil {
+			size += secure.CtrlOverhead
+		}
 		buf := b.grab(hr + size)
 		var n int
 		var err error
@@ -480,7 +520,14 @@ func (c *Conn) drainOutboxLocked(b *sendBatch) {
 			n, err = packet.EncodeSimple(buf[hr:], packet.TypeShutdown, now32)
 		}
 		if err == nil && n > 0 {
-			b.msgs = append(b.msgs, buf[:hr+n])
+			end := hr + n
+			if c.sec != nil {
+				// Seal in place; the grab above reserved the trailer room.
+				// The full-capacity reslice is load-bearing: buf's spare
+				// capacity aliases the arena's free tail.
+				end = hr + len(c.sec.SealCtrl(buf[hr:end:len(buf)]))
+			}
+			b.msgs = append(b.msgs, buf[:end])
 		}
 	}
 }
@@ -548,6 +595,15 @@ func (c *Conn) claimBurstLocked(now int64, scratch []byte, lens []int) (n int, w
 		buf := scratch[n*stride+c.hr : (n+1)*stride]
 		c.ledger.Time(timing.BucketPack, func() {
 			m, _ := packet.EncodeData(buf, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
+			if c.aead {
+				// Seal in the burst arena: payload encrypted in place, tag
+				// appended. A full packet grows back to exactly MSS, so the
+				// GSO all-MSS train check downstream is unaffected; a
+				// retransmission re-seals byte-identically (the timestamp is
+				// outside AEAD coverage), so the reused nonce carries the
+				// same message.
+				m = len(c.sec.SealData(buf[:m]))
+			}
 			lens[n] = m
 		})
 		n++
@@ -746,6 +802,28 @@ func (c *Conn) handleDatagram(raw []byte) {
 // handleDatagramAt processes one UDP datagram that arrived at time now on
 // the connection's clock.
 func (c *Conn) handleDatagramAt(raw []byte, now int64) {
+	if c.sec != nil {
+		// Open before the engine sees anything. Data packets are sealed
+		// only in AEAD mode; control packets are always sealed and
+		// replay-checked on a secure connection — except handshakes, which
+		// predate the session (a duplicate response is ignored below
+		// anyway). Failures drop the datagram and count in Stats.
+		if packet.IsControl(raw) {
+			if !packet.IsHandshake(raw) {
+				opened, ok := c.sec.OpenCtrl(raw)
+				if !ok {
+					return
+				}
+				raw = opened
+			}
+		} else if c.aead {
+			opened, ok := c.sec.OpenData(raw)
+			if !ok {
+				return
+			}
+			raw = opened
+		}
+	}
 	if !packet.IsControl(raw) {
 		var d packet.Data
 		var err error

@@ -1,0 +1,50 @@
+package congestion
+
+// bicCC is BIC TCP (Xu, Harfoush, Rhee, INFOCOM '04) on the shared
+// window-law machinery — the last of the paper's §5.2 high-speed baselines
+// to land on the real stack. The binary-search state rides alongside the
+// shared window: a loss records the window it happened at (wMax) and the
+// window kept after the decrease (wMin); congestion avoidance then
+// binary-searches the midpoint and probes additively past the old maximum,
+// via the same BicIncrease the simulator's model pins.
+type bicCC struct {
+	windowCC
+	wMin, wMax float64
+}
+
+// NewBIC returns the BIC TCP controller, registered as "bic".
+func NewBIC() Controller {
+	c := &bicCC{}
+	c.name = "bic"
+	// Per-ACK increment is the per-RTT increment spread over the window.
+	c.inc = func(w float64) float64 { return BicIncrease(w, c.wMin, c.wMax) / max1(w) }
+	// keep runs exactly once per congestion event (windowCC deduplicates
+	// re-reports), so it is the hook that snapshots the binary-search
+	// state: wMax is the window at the loss, wMin the window kept.
+	c.keep = func(w float64) float64 {
+		f := BicBeta
+		if w < BicLowWindow {
+			f = 0.5
+		}
+		c.wMax = w
+		c.wMin = w * f
+		return f
+	}
+	return c
+}
+
+// Init implements Controller; the pre-loss search target is the full
+// window so the first epoch is pure max probing.
+func (c *bicCC) Init(p Params) {
+	c.windowCC.Init(p)
+	c.wMax = c.maxCwnd
+	c.wMin = 0
+}
+
+// OnTimeout collapses the window the TCP way and restarts the binary
+// search from the collapsed window towards the pre-timeout one.
+func (c *bicCC) OnTimeout(now int64, sentSeq int32) {
+	c.wMax = c.cwnd
+	c.windowCC.OnTimeout(now, sentSeq)
+	c.wMin = c.cwnd
+}

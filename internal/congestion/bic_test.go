@@ -1,0 +1,87 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+)
+
+func newBicForTest(t *testing.T) *bicCC {
+	t.Helper()
+	cc := NewBIC().(*bicCC)
+	cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 25600})
+	return cc
+}
+
+// A loss snapshots the binary-search interval: wMax at the pre-loss
+// window, wMin at the kept window.
+func TestBicLossSetsSearchInterval(t *testing.T) {
+	cc := newBicForTest(t)
+	cc.OnACK(998, 0, 0, 100_000) // slow start to 1000
+	pre := cc.Window()
+	cc.OnNAK(0, 900, 1100)
+	if cc.wMax != pre {
+		t.Fatalf("wMax = %v, want pre-loss window %v", cc.wMax, pre)
+	}
+	if math.Abs(cc.wMin-pre*BicBeta) > 1e-9 {
+		t.Fatalf("wMin = %v, want %v", cc.wMin, pre*BicBeta)
+	}
+	if math.Abs(cc.Window()-pre*BicBeta) > 1e-9 {
+		t.Fatalf("window = %v, want %v", cc.Window(), pre*BicBeta)
+	}
+}
+
+// During recovery the per-RTT increment follows BicIncrease exactly:
+// capped binary search far from the target, shrinking near it, then
+// additive max probing past the old maximum — the shape that makes BIC
+// RTT-fair at high windows (§5.2's missing baseline).
+func TestBicIncrementTracksLaw(t *testing.T) {
+	cc := newBicForTest(t)
+	cc.OnACK(998, 0, 0, 100_000)
+	cc.OnNAK(0, 900, 1100) // wMin=875, wMax=1000
+	for i := 0; i < 400; i++ {
+		w := cc.Window()
+		wantInc := BicIncrease(w, cc.wMin, cc.wMax) / w // one acked packet
+		cc.OnACK(1, 0, 0, 100_000)
+		if got := cc.Window() - w; math.Abs(got-wantInc) > 1e-9 {
+			t.Fatalf("step %d: increment %v, want %v (w=%v)", i, got, wantInc, w)
+		}
+	}
+	// Far below the midpoint the per-RTT step is capped at BicSMax…
+	cc2 := newBicForTest(t)
+	cc2.OnACK(3998, 0, 0, 100_000)
+	cc2.OnNAK(0, 900, 4100) // wMin=3500, wMax=4000, midpoint 3750
+	w := cc2.Window()
+	if inc := BicIncrease(w, cc2.wMin, cc2.wMax); inc != BicSMax {
+		t.Fatalf("far-from-target increment %v, want cap %v", inc, BicSMax)
+	}
+	// …close to the old maximum it collapses towards BicSMin…
+	if inc := BicIncrease(cc2.wMax-0.001, cc2.wMin, cc2.wMax); inc >= 1 {
+		t.Fatalf("near-target increment %v, want < 1", inc)
+	}
+	// …and past it, additive probing grows away from wMax.
+	p1 := BicIncrease(cc2.wMax+10, cc2.wMin, cc2.wMax)
+	p2 := BicIncrease(cc2.wMax+20, cc2.wMin, cc2.wMax)
+	if !(p2 > p1) {
+		t.Fatalf("max probing not increasing: %v then %v", p1, p2)
+	}
+	// Below BicLowWindow BIC is standard TCP: +1 per RTT.
+	if inc := BicIncrease(10, 2, 8); inc != 1 {
+		t.Fatalf("low-window increment %v, want 1", inc)
+	}
+}
+
+// A timeout restarts the search from the collapsed window towards the
+// pre-timeout one.
+func TestBicTimeoutResetsSearch(t *testing.T) {
+	cc := newBicForTest(t)
+	cc.OnACK(998, 0, 0, 100_000)
+	cc.OnNAK(0, 900, 1100)
+	pre := cc.Window()
+	cc.OnTimeout(1_000_000, 1200)
+	if cc.wMax != pre {
+		t.Fatalf("wMax after timeout = %v, want %v", cc.wMax, pre)
+	}
+	if cc.wMin != cc.Window() {
+		t.Fatalf("wMin after timeout = %v, want collapsed window %v", cc.wMin, cc.Window())
+	}
+}

@@ -49,3 +49,43 @@ const (
 	// ScalableBeta is the window fraction kept on a loss event.
 	ScalableBeta = 0.875
 )
+
+// BIC TCP parameters (Xu, Harfoush, Rhee, INFOCOM '04; the authors'
+// recommended values).
+const (
+	// BicLowWindow is the window below which BIC behaves as standard TCP.
+	BicLowWindow = 14.0
+	// BicSMax is BIC's maximum window increment per RTT.
+	BicSMax = 32.0
+	// BicSMin is BIC's minimum window increment per RTT.
+	BicSMin = 0.01
+	// BicBeta is the window fraction kept on a loss event (above
+	// BicLowWindow; standard TCP's 0.5 applies below it).
+	BicBeta = 0.875
+)
+
+// BicIncrease returns BIC's per-RTT window increment given the current
+// window and the binary-search state: the window kept after the last loss
+// (wMin) and the window the loss occurred at (wMax). Below wMax it
+// binary-searches towards the midpoint; above, it probes additively away
+// from the old maximum.
+func BicIncrease(w, wMin, wMax float64) float64 {
+	if w < BicLowWindow {
+		return 1 // standard TCP region
+	}
+	var inc float64
+	if w < wMax {
+		// Binary search towards the midpoint of [wMin, wMax].
+		inc = (wMin+wMax)/2 - w
+	} else {
+		// Max probing: slow start away from the old maximum.
+		inc = w - wMax + 1
+	}
+	if inc > BicSMax {
+		inc = BicSMax
+	}
+	if inc < BicSMin {
+		inc = BicSMin
+	}
+	return inc
+}

@@ -12,6 +12,7 @@ var factories = map[string]Factory{
 	"ctcp":     NewCTCP,
 	"scalable": NewScalable,
 	"hstcp":    NewHSTCP,
+	"bic":      NewBIC,
 }
 
 // New returns the factory for the named controller. The empty string

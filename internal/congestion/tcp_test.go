@@ -15,6 +15,12 @@ var windowControllers = []struct {
 	{"ctcp", NewCTCP, func(float64) float64 { return 0.5 }},
 	{"scalable", NewScalable, func(float64) float64 { return ScalableBeta }},
 	{"hstcp", NewHSTCP, func(w float64) float64 { return 1 - HSBeta(w) }},
+	{"bic", NewBIC, func(w float64) float64 {
+		if w < BicLowWindow {
+			return 0.5
+		}
+		return BicBeta
+	}},
 }
 
 func newWindowCC(t *testing.T, f Factory) Controller {
@@ -169,7 +175,7 @@ func TestWindowPeriodTracksRTT(t *testing.T) {
 
 // TestRegistry checks name resolution, the default, and the error path.
 func TestRegistry(t *testing.T) {
-	for _, name := range []string{"", "native", "ctcp", "scalable", "hstcp"} {
+	for _, name := range []string{"", "native", "ctcp", "scalable", "hstcp", "bic"} {
 		f, err := New(name)
 		if err != nil {
 			t.Fatalf("New(%q): %v", name, err)
@@ -188,7 +194,7 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("New must reject unknown controller names")
 	}
 	names := Names()
-	if len(names) != 4 {
+	if len(names) != 5 {
 		t.Fatalf("Names() = %v", names)
 	}
 }

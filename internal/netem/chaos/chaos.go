@@ -24,6 +24,7 @@ import (
 	"udt/internal/core"
 	"udt/internal/netem"
 	"udt/internal/packet"
+	"udt/internal/secure"
 	"udt/internal/seqno"
 )
 
@@ -63,6 +64,14 @@ type Config struct {
 	// "ctcp", "scalable", "hstcp"). Empty selects the native law with a
 	// nil factory — the exact pre-pluggable construction path.
 	CCA, CCB string
+	// Secure runs the transfer over the sealed AEAD channel: both peers
+	// hold seed-derived sessions (key material drawn from the run's RNG,
+	// exactly as a completed authenticated handshake would leave them) and
+	// every packet is sealed on send and opened on receive. Duplication
+	// impairments then double as replay attacks against the control
+	// channel, which the anti-replay window must absorb without breaking
+	// the transfer.
+	Secure bool
 }
 
 // ccFactory resolves a controller name for the engine config; the empty
@@ -104,6 +113,9 @@ type PeerResult struct {
 	Broken bool
 	// BrokenAt is the virtual time of death detection, µs (0 if !Broken).
 	BrokenAt int64
+	// AuthFails and ReplayDrops are the secure session's receive-side
+	// rejection counters (zero on cleartext runs).
+	AuthFails, ReplayDrops uint64
 	// Stats is the engine's final protocol counters.
 	Stats core.Stats
 }
@@ -134,7 +146,8 @@ type peer struct {
 	rcv      *core.RcvBuffer
 	ep       *netem.Endpoint
 	peerAddr net.Addr
-	out      func(b []byte) // transmit one datagram (RunMux stamps a socket-ID prefix)
+	out      func(b []byte)  // transmit one datagram (RunMux stamps a socket-ID prefix)
+	sec      *secure.Session // nil = cleartext; else every packet seals/opens
 
 	payload  []byte // stream this peer sends
 	sendOff  int
@@ -200,8 +213,21 @@ func Run(cfg Config) Result {
 
 	isnA := rng.Int31() & seqno.Max
 	isnB := rng.Int31() & seqno.Max
-	a := newPeer("a", cfg, cfg.CCA, isnA, isnB, epA, epB.LocalAddr(), payA, payB)
-	b := newPeer("b", cfg, cfg.CCB, isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+	// Seed-derived sealing state, drawn after the payloads and ISNs so a
+	// secure run moves the same stream bytes as its cleartext twin.
+	var secA, secB *secure.Session
+	if cfg.Secure {
+		var psk [32]byte
+		var nonceA, nonceB [16]byte
+		rng.Read(psk[:])    //nolint:errcheck // never fails
+		rng.Read(nonceA[:]) //nolint:errcheck
+		rng.Read(nonceB[:]) //nolint:errcheck
+		keys := secure.DeriveKeys(psk[:])
+		secA = secure.NewSession(keys, nonceA[:], nonceB[:], true, isnA, isnB, true)
+		secB = secure.NewSession(keys, nonceA[:], nonceB[:], false, isnB, isnA, true)
+	}
+	a := newPeer("a", cfg, cfg.CCA, isnA, isnB, epA, epB.LocalAddr(), payA, payB, secA)
+	b := newPeer("b", cfg, cfg.CCB, isnB, isnA, epB, epA.LocalAddr(), payB, payA, secB)
 
 	events := append([]Event(nil), cfg.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -283,7 +309,7 @@ func Run(cfg Config) Result {
 	return res
 }
 
-func newPeer(name string, cfg Config, cc string, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte) *peer {
+func newPeer(name string, cfg Config, cc string, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte, sec *secure.Session) *peer {
 	ccfg := core.Config{
 		MSS:           cfg.MSS,
 		ISN:           isn,
@@ -292,19 +318,31 @@ func newPeer(name string, cfg Config, cc string, isn, peerISN int32, ep *netem.E
 		PeerDeathTime: cfg.PeerDeathTime,
 		CC:            ccFactory(cc),
 	}
+	scratch := cfg.MSS
+	if sec != nil {
+		// Control packets grow by CtrlOverhead when sealed; give the encode
+		// buffer that slack so sealing never truncates an emission.
+		scratch += secure.CtrlOverhead
+	}
 	p := &peer{
 		name:     name,
 		eng:      core.NewConn(ccfg, peerISN),
 		ep:       ep,
 		peerAddr: peerAddr,
+		sec:      sec,
 		payload:  payload,
 		wantLen:  len(expect),
 		wantHash: hashOf(expect),
 		recvHash: newHash(),
-		scratch:  make([]byte, cfg.MSS),
+		scratch:  make([]byte, scratch),
 		rbuf:     make([]byte, 65536),
 	}
 	pl := cfg.MSS - packet.DataHeaderSize
+	if sec != nil {
+		// The Poly1305 tag rides inside the packet budget, exactly like the
+		// real stack: a sealed data packet is still one MSS on the wire.
+		pl -= secure.Overhead
+	}
 	p.snd = core.NewSndBuffer(cfg.SndBufPkts, pl, isn)
 	p.rcv = core.NewRcvBuffer(cfg.RcvBufPkts, pl, peerISN)
 	p.eng.AvailBuf = p.rcv.Free
@@ -366,7 +404,7 @@ func (p *peer) service(now int64) (progress bool) {
 		if err != nil {
 			panic(fmt.Sprintf("chaos: encode data: %v", err))
 		}
-		p.out(p.scratch[:n])
+		p.transmit(p.scratch[:n])
 		progress = true
 	}
 	// Drain received stream bytes into the running checksum.
@@ -382,9 +420,35 @@ func (p *peer) service(now int64) (progress bool) {
 	return progress
 }
 
+// transmit seals the packet when the run is secure, then hands it to the
+// fabric. The scratch slices passed in carry the extra capacity sealing
+// needs; RunMux's prefixed writers prepend the socket-ID after sealing,
+// the same layering as the real mux send path.
+func (p *peer) transmit(b []byte) {
+	if p.sec != nil {
+		if packet.IsControl(b) {
+			b = p.sec.SealCtrl(b)
+		} else {
+			b = p.sec.SealData(b)
+		}
+	}
+	p.out(b)
+}
+
 // handleDatagram is conn.Conn.handleDatagram without the locks: one
 // arriving datagram through the real engine.
 func (p *peer) handleDatagram(now int64, raw []byte) {
+	if p.sec != nil {
+		var ok bool
+		if packet.IsControl(raw) {
+			raw, ok = p.sec.OpenCtrl(raw)
+		} else {
+			raw, ok = p.sec.OpenData(raw)
+		}
+		if !ok {
+			return // forged, corrupt, or a control replay: dropped
+		}
+	}
 	if !packet.IsControl(raw) {
 		d, err := packet.DecodeData(raw)
 		if err != nil {
@@ -444,14 +508,14 @@ func (p *peer) flushOutbox(now int64) (sent bool) {
 			n, err = packet.EncodeSimple(p.scratch, packet.TypeShutdown, int32(now))
 		}
 		if err == nil && n > 0 {
-			p.out(p.scratch[:n])
+			p.transmit(p.scratch[:n])
 			sent = true
 		}
 	}
 }
 
 func (p *peer) result() PeerResult {
-	return PeerResult{
+	r := PeerResult{
 		SentBytes: p.sendOff,
 		RecvBytes: p.recvBytes,
 		RecvOK:    p.recvBytes == p.wantLen && uint64(p.recvHash) == p.wantHash,
@@ -460,4 +524,8 @@ func (p *peer) result() PeerResult {
 		BrokenAt:  p.brokenAt,
 		Stats:     p.eng.Stats,
 	}
+	if p.sec != nil {
+		r.AuthFails, r.ReplayDrops = p.sec.Drops()
+	}
+	return r
 }

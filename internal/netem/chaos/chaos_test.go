@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"udt"
 	"udt/internal/netem"
 )
 
@@ -148,6 +149,74 @@ func TestCCMatrixDeterministic(t *testing.T) {
 	}
 	if !one.Pass {
 		t.Fatalf("cc-fair-native-ctcp failed at seed 42: %+v", *one.Mux)
+	}
+}
+
+// TestSecureChaosReplayIdentity pins the Secure mode three ways: a sealed
+// run is a pure function of the seed (bit-identical replay), it delivers
+// the exact stream its cleartext twin delivers (crypto is invisible to the
+// application), and under a duplicating link the control-channel replays
+// are absorbed by the anti-replay window rather than surfacing as failures.
+func TestSecureChaosReplayIdentity(t *testing.T) {
+	cfg := Config{
+		Seed:     17,
+		PayloadA: 512 << 10,
+		PayloadB: 256 << 10,
+		Link:     netem.LinkConfig{Delay: 3000, Jitter: 1000, Loss: 0.01, Dup: 0.01},
+		Secure:   true,
+	}
+	one, two := Run(cfg), Run(cfg)
+	if !reflect.DeepEqual(one, two) {
+		t.Fatalf("same-seed secure runs diverged:\n%+v\n%+v", one, two)
+	}
+	if !one.OK {
+		t.Fatalf("sealed transfer failed: %+v", one)
+	}
+	if one.A.AuthFails != 0 || one.B.AuthFails != 0 {
+		t.Fatalf("impairment alone caused auth failures: a=%+v b=%+v", one.A, one.B)
+	}
+	if one.A.ReplayDrops+one.B.ReplayDrops == 0 {
+		t.Fatal("1% duplication produced no control replays — the window was never exercised")
+	}
+
+	clear := cfg
+	clear.Secure = false
+	plain := Run(clear)
+	if !plain.OK {
+		t.Fatalf("cleartext twin failed: %+v", plain)
+	}
+	if plain.A.RecvHash != one.A.RecvHash || plain.B.RecvHash != one.B.RecvHash {
+		t.Fatalf("sealed and cleartext runs delivered different streams: %x/%x vs %x/%x",
+			one.A.RecvHash, one.B.RecvHash, plain.A.RecvHash, plain.B.RecvHash)
+	}
+}
+
+// TestRunRealSecureImpaired drives the production stack — authenticated
+// handshake, cookie exchange, sealed channel — through loss and asserts
+// the transfer is bit-exact with the crypto counters in their expected
+// states.
+func TestRunRealSecureImpaired(t *testing.T) {
+	psk := []byte("chaos runreal pre-shared key 32b")
+	res, err := RunReal(RealConfig{
+		Seed:    13,
+		Payload: 1 << 20,
+		Link:    netem.LinkConfig{Delay: 2000, Jitter: 1000, Loss: 0.01},
+		UDT:     udt.Config{PSK: psk, AEAD: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatalf("sealed transfer not bit-exact: %+v", res)
+	}
+	if res.Client.PktsRetrans == 0 {
+		t.Fatal("1% loss produced no retransmissions")
+	}
+	if res.Server.CookieSent == 0 {
+		t.Fatalf("secure dial skipped the cookie exchange: %+v", res.Server)
+	}
+	if res.Client.AuthRejects != 0 || res.Server.AuthRejects != 0 {
+		t.Fatalf("impairment alone produced auth rejects: client=%+v server=%+v", res.Client, res.Server)
 	}
 }
 

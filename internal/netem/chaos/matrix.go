@@ -31,6 +31,9 @@ type Case struct {
 	// CCs assigns controllers per flow pair (cycled) in a MuxFlows cell —
 	// different laws coexisting on one link.
 	CCs []string
+	// Secure runs the cell over the sealed AEAD channel with seed-derived
+	// sessions (two-peer cells only).
+	Secure bool
 }
 
 // CaseResult pairs a matrix cell with its outcome.
@@ -75,6 +78,13 @@ func QuickMatrix() []Case {
 		// fabric to the right engine.
 		{Name: "mux-64flows", Link: netem.LinkConfig{Delay: 3000, Jitter: 1000, Loss: 0.005},
 			Payload: 4096, MuxFlows: 64},
+		// Authenticated AEAD flows under loss and duplication: every
+		// duplicated control packet is a literal replay attack (valid tag,
+		// reused sequence number) that the anti-replay window must absorb,
+		// while duplicated data packets still reach the engine — its
+		// duplicate-triggered re-ACKs are part of the protocol.
+		{Name: "secure-aead-replay", Link: netem.LinkConfig{Delay: 3000, Jitter: 1000, Loss: 0.005, Dup: 0.01},
+			Payload: quarterMB, Secure: true},
 	}
 }
 
@@ -136,6 +146,7 @@ func RunMatrix(seed int64, cases []Case) []CaseResult {
 			MaxVirtualTime: cs.MaxVirtualTime,
 			CCA:            cs.CCA,
 			CCB:            cs.CCB,
+			Secure:         cs.Secure,
 		}
 		r := Run(cfg)
 		pass := r.OK

@@ -193,8 +193,8 @@ func RunMux(cfg MuxConfig) MuxResult {
 		isnB := rng.Int31() & seqno.Max
 		idA := mux.MakeID(int32(0x1000_0000 + i))
 		idB := mux.MakeID(int32(0x2000_0000 + i))
-		pa := newPeer(fmt.Sprintf("a%d", i), base, flowCC[i], isnA, isnB, epA, epB.LocalAddr(), payA, payB)
-		pb := newPeer(fmt.Sprintf("b%d", i), base, flowCC[i], isnB, isnA, epB, epA.LocalAddr(), payB, payA)
+		pa := newPeer(fmt.Sprintf("a%d", i), base, flowCC[i], isnA, isnB, epA, epB.LocalAddr(), payA, payB, nil)
+		pb := newPeer(fmt.Sprintf("b%d", i), base, flowCC[i], isnB, isnA, epB, epA.LocalAddr(), payB, payA, nil)
 		pa.out = prefixedWriter(epA, epB.LocalAddr(), idB, cfg.MSS)
 		pb.out = prefixedWriter(epB, epA.LocalAddr(), idA, cfg.MSS)
 		fa := &muxFlowPeer{peer: pa}

@@ -1,0 +1,181 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func secHandshake() Handshake {
+	h := Handshake{
+		Version:    Version,
+		InitSeq:    123456,
+		MSS:        1500,
+		FlowWindow: 25600,
+		ReqType:    HSRequest,
+		ConnID:     999,
+		SockID:     0x40000001,
+		PeerSockID: 0x40000002,
+		SecFlags:   3,
+		Cookie:     0xdeadbeefcafef00d,
+	}
+	for i := range h.Nonce {
+		h.Nonce[i] = byte(i + 1)
+	}
+	for i := range h.MAC {
+		h.MAC[i] = byte(0xA0 + i)
+	}
+	return h
+}
+
+func TestSecureHandshakeRoundTrip(t *testing.T) {
+	h := secHandshake()
+	buf := make([]byte, 256)
+	n, err := EncodeHandshake(buf, &h, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != CtrlHeaderSize+HandshakeSecBody {
+		t.Fatalf("encoded length %d, want %d", n, CtrlHeaderSize+HandshakeSecBody)
+	}
+	c, err := DecodeControl(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHandshake(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+
+	// A secure handshake without the socket-ID extension still pins the
+	// extension words in place (as zeros).
+	h2 := h
+	h2.SockID, h2.PeerSockID = 0, 0
+	n2, err := EncodeHandshake(buf, &h2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != CtrlHeaderSize+HandshakeSecBody {
+		t.Fatalf("no-ext secure length %d", n2)
+	}
+	c2, _ := DecodeControl(buf[:n2])
+	got2, err := DecodeHandshake(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != h2 {
+		t.Fatalf("no-ext round trip mismatch: %+v", got2)
+	}
+}
+
+// A paper-era or socket-ID-only decoder truncating the body must still see
+// the classic fields, and a short body decodes with SecFlags zero — the
+// negotiate-down signal.
+func TestSecureHandshakeNegotiatesDown(t *testing.T) {
+	h := secHandshake()
+	buf := make([]byte, 256)
+	n, err := EncodeHandshake(buf, &h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{HandshakeBody, HandshakeExtBody} {
+		c, err := DecodeControl(buf[:CtrlHeaderSize+cut])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeHandshake(c)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if got.Sec() {
+			t.Fatalf("cut=%d still flags secure", cut)
+		}
+		if got.ConnID != h.ConnID || got.InitSeq != h.InitSeq {
+			t.Fatalf("cut=%d classic fields lost: %+v", cut, got)
+		}
+	}
+	_ = n
+}
+
+func TestHandshakeMACInput(t *testing.T) {
+	h := secHandshake()
+	buf := make([]byte, 256)
+	n, err := EncodeHandshake(buf, &h, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, mac, err := HandshakeMACInput(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != HandshakeSecBody-32 || len(mac) != 32 {
+		t.Fatalf("split sizes %d/%d", len(input), len(mac))
+	}
+	if !bytes.Equal(mac, h.MAC[:]) {
+		t.Fatal("mac slice does not alias the MAC field")
+	}
+	// The covered prefix ends exactly where the MAC begins.
+	if !bytes.Equal(input[len(input)-8:], buf[CtrlHeaderSize+56:CtrlHeaderSize+64]) {
+		t.Fatal("input does not end at the cookie")
+	}
+	if _, _, err := HandshakeMACInput(buf[:CtrlHeaderSize+HandshakeExtBody]); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}
+
+// FuzzDecodeHandshake throws arbitrary bytes at the control + handshake
+// decoders: they must never panic (Go bounds-checks make any over-read a
+// panic, so this also proves no over-read) and anything that decodes as
+// secure must re-encode/re-decode to the same handshake.
+func FuzzDecodeHandshake(f *testing.F) {
+	h := secHandshake()
+	buf := make([]byte, 256)
+	n, _ := EncodeHandshake(buf, &h, 1)
+	f.Add(append([]byte(nil), buf[:n]...))
+	h.SecFlags = 0
+	n, _ = EncodeHandshake(buf, &h, 1)
+	f.Add(append([]byte(nil), buf[:n]...))
+	h.SockID = 0
+	n, _ = EncodeHandshake(buf, &h, 1)
+	f.Add(append([]byte(nil), buf[:n]...))
+	f.Add([]byte{0x80, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xff}, CtrlHeaderSize+HandshakeSecBody))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c, err := DecodeControl(raw)
+		if err != nil {
+			return
+		}
+		if c.Type != TypeHandshake {
+			return
+		}
+		hs, err := DecodeHandshake(c)
+		if err != nil {
+			return
+		}
+		if _, _, err := HandshakeMACInput(raw); err != nil && len(c.Body) >= HandshakeSecBody {
+			t.Fatalf("MACInput refused a body of %d bytes", len(c.Body))
+		}
+		if !hs.Sec() {
+			return
+		}
+		out := make([]byte, CtrlHeaderSize+HandshakeSecBody)
+		n, err := EncodeHandshake(out, &hs, c.Timestamp)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		c2, err := DecodeControl(out[:n])
+		if err != nil {
+			t.Fatalf("re-decode control: %v", err)
+		}
+		hs2, err := DecodeHandshake(c2)
+		if err != nil {
+			t.Fatalf("re-decode handshake: %v", err)
+		}
+		if hs2 != hs {
+			t.Fatalf("re-encode changed the handshake:\n%+v\n%+v", hs, hs2)
+		}
+	})
+}

@@ -127,26 +127,60 @@ func DecodeData(raw []byte) (Data, error) {
 // PeerSockID echoes the destination's, once known. Old peers ignore the
 // extra words and answer with the 28-byte body, which decodes with both IDs
 // zero — the negotiated-down, address-demultiplexed mode.
+//
+// A secure endpoint appends the authentication option after the socket-ID
+// pair: a flags word, a 16-byte nonce for session-key derivation, the
+// 8-byte stateless source-address cookie, and a 32-byte HMAC over
+// everything before it (see internal/secure for the key schedule). Old
+// peers again ignore the extra bytes; a body shorter than HandshakeSecBody
+// decodes with SecFlags zero — the signal the peer is paper-era, handled
+// by the endpoint's negotiate-down policy.
 type Handshake struct {
 	Version    int32 // protocol version; this implementation speaks 4
 	SockType   int32 // 0 = stream (the only mode the paper's UDT supports)
 	InitSeq    int32 // initial packet sequence number
 	MSS        int32 // maximum segment size (total UDP payload bytes)
 	FlowWindow int32 // maximum flow window (packets)
-	ReqType    int32 // 1 = request, -1 = response
+	ReqType    int32 // 1 = request, -1 = response, -2 = cookie challenge
 	ConnID     int32 // connection identifier chosen by the initiator
 	SockID     int32 // sender's socket ID on its shared socket (0 = none)
 	PeerSockID int32 // destination's socket ID as known to the sender (0 = unknown)
+
+	SecFlags uint32   // authentication option flags (0 = option absent)
+	Nonce    [16]byte // this side's key-derivation nonce
+	Cookie   uint64   // source-address cookie (echoed from a challenge)
+	MAC      [32]byte // HMAC-SHA256 over the body bytes before this field
 }
 
 // Ext reports whether the handshake carries the socket-ID extension.
 func (h *Handshake) Ext() bool { return h.SockID != 0 }
 
-// Handshake body sizes in bytes: the paper-era seven words and the
-// socket-ID-extended nine words.
+// Sec reports whether the handshake carries the authentication option.
+func (h *Handshake) Sec() bool { return h.SecFlags != 0 }
+
+// Handshake request types carried in ReqType.
+const (
+	// HSRequest is a connection request.
+	HSRequest = 1
+	// HSResponse answers a request and concludes the handshake.
+	HSResponse = -1
+	// HSCookie is a stateless cookie challenge: the listener's demand
+	// that a secure requester prove its source address by echoing the
+	// enclosed cookie in a fresh request, before the listener allocates
+	// any connection state.
+	HSCookie = -2
+)
+
+// Handshake body sizes in bytes: the paper-era seven words, the
+// socket-ID-extended nine words, and the authentication-extended body.
 const (
 	HandshakeBody    = 28
 	HandshakeExtBody = 36
+	HandshakeSecBody = HandshakeExtBody + 4 + 16 + 8 + 32
+
+	// handshakeMACOff is the offset of the MAC within a secure body; the
+	// authenticator covers everything before it.
+	handshakeMACOff = HandshakeSecBody - 32
 )
 
 // Version is the protocol version this package speaks.
@@ -224,11 +258,18 @@ func putCtrlHeader(dst []byte, t ControlType, extra, ts int32) {
 
 // EncodeHandshake writes a handshake control packet and returns its length.
 // The socket-ID extension words are appended only when h.SockID is nonzero,
-// so non-multiplexed endpoints emit the paper-era 28-byte body unchanged.
+// so non-multiplexed endpoints emit the paper-era 28-byte body unchanged;
+// the authentication option (which fixes the socket-ID words in place even
+// when zero) is appended only when h.SecFlags is nonzero. The MAC field is
+// written as given — compute it afterwards over the slice
+// HandshakeMACInput returns.
 func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 	body := HandshakeBody
 	if h.Ext() {
 		body = HandshakeExtBody
+	}
+	if h.Sec() {
+		body = HandshakeSecBody
 	}
 	n := CtrlHeaderSize + body
 	if len(dst) < n {
@@ -239,11 +280,30 @@ func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 	for i, v := range []int32{h.Version, h.SockType, h.InitSeq, h.MSS, h.FlowWindow, h.ReqType, h.ConnID} {
 		binary.BigEndian.PutUint32(b[i*4:], uint32(v))
 	}
-	if h.Ext() {
+	if body >= HandshakeExtBody {
 		binary.BigEndian.PutUint32(b[28:], uint32(h.SockID))
 		binary.BigEndian.PutUint32(b[32:], uint32(h.PeerSockID))
 	}
+	if h.Sec() {
+		binary.BigEndian.PutUint32(b[36:], h.SecFlags)
+		copy(b[40:56], h.Nonce[:])
+		binary.BigEndian.PutUint64(b[56:64], h.Cookie)
+		copy(b[handshakeMACOff:HandshakeSecBody], h.MAC[:])
+	}
 	return n, nil
+}
+
+// HandshakeMACInput splits an encoded secure handshake packet into the
+// body prefix the authenticator covers and the MAC field itself (both
+// aliasing pkt). The control header — whose timestamp a retransmitting
+// dialer may refresh — is deliberately outside the covered prefix. err is
+// non-nil when pkt is too short to carry the authentication option.
+func HandshakeMACInput(pkt []byte) (input, mac []byte, err error) {
+	if len(pkt) < CtrlHeaderSize+HandshakeSecBody {
+		return nil, nil, ErrShort
+	}
+	b := pkt[CtrlHeaderSize:]
+	return b[:handshakeMACOff], b[handshakeMACOff:HandshakeSecBody], nil
 }
 
 // DecodeHandshake interprets the body of a handshake control packet. A
@@ -270,6 +330,12 @@ func DecodeHandshake(c Control) (Handshake, error) {
 	if len(c.Body) >= HandshakeExtBody {
 		h.SockID = get(7)
 		h.PeerSockID = get(8)
+	}
+	if len(c.Body) >= HandshakeSecBody {
+		h.SecFlags = binary.BigEndian.Uint32(c.Body[36:])
+		copy(h.Nonce[:], c.Body[40:56])
+		h.Cookie = binary.BigEndian.Uint64(c.Body[56:64])
+		copy(h.MAC[:], c.Body[handshakeMACOff:HandshakeSecBody])
 	}
 	return h, nil
 }

@@ -357,18 +357,24 @@ func TestHandshakeSockIDRoundTrip(t *testing.T) {
 		}
 		return got == want
 	}
+	// These directions pin the pre-secure wire shapes; the authentication
+	// option has its own round-trip tests and fuzz target.
+	clearSec := func(h Handshake) Handshake {
+		h.SecFlags, h.Nonce, h.Cookie, h.MAC = 0, [16]byte{}, 0, [32]byte{}
+		return h
+	}
 	// Extended direction: force a nonzero SockID.
 	ext := func(h Handshake, id int32) bool {
 		if id == 0 {
 			id = 1
 		}
 		h.SockID = id
-		return roundTrip(h)
+		return roundTrip(clearSec(h))
 	}
 	// Plain direction: force the extension off.
 	plain := func(h Handshake) bool {
 		h.SockID = 0
-		return roundTrip(h)
+		return roundTrip(clearSec(h))
 	}
 	if err := quick.Check(ext, nil); err != nil {
 		t.Errorf("extended handshake round trip: %v", err)

@@ -1,0 +1,64 @@
+package secure
+
+import (
+	"crypto/subtle"
+	"encoding/binary"
+)
+
+// ChaCha20-Poly1305 AEAD composition (RFC 8439 §2.8): the one-time
+// Poly1305 key is the first 32 bytes of ChaCha20 block 0, the plaintext is
+// XORed with the stream from block 1, and the tag covers
+// aad ‖ pad16 ‖ ciphertext ‖ pad16 ‖ len(aad) ‖ len(ciphertext).
+
+var zeroPad [16]byte
+
+// aeadTag computes the Poly1305 tag over aad and ct under the one-time key
+// derived from (key, nonce).
+func aeadTag(key *[KeyLen]byte, nonce *[12]byte, ct, aad []byte, tag *[16]byte) {
+	var st [16]uint32
+	var block [64]byte
+	chachaInit(&st, key, nonce, 0)
+	chachaBlock(&st, &block)
+	var otk [32]byte
+	copy(otk[:], block[:32])
+
+	var p poly1305
+	p.init(&otk)
+	if len(aad) > 0 {
+		p.update(aad)
+		if pad := len(aad) % 16; pad != 0 {
+			p.update(zeroPad[:16-pad])
+		}
+	}
+	p.update(ct)
+	if pad := len(ct) % 16; pad != 0 {
+		p.update(zeroPad[:16-pad])
+	}
+	var lens [16]byte
+	binary.LittleEndian.PutUint64(lens[0:], uint64(len(aad)))
+	binary.LittleEndian.PutUint64(lens[8:], uint64(len(ct)))
+	p.update(lens[:])
+	p.finish(tag)
+}
+
+// seal encrypts buf in place under (key, nonce), authenticating aad
+// alongside, and writes the 16-byte tag into tag. Allocation-free.
+func seal(key *[KeyLen]byte, nonce *[12]byte, buf, aad, tag []byte) {
+	chachaXOR(key, nonce, 1, buf)
+	var t [16]byte
+	aeadTag(key, nonce, buf, aad, &t)
+	copy(tag, t[:])
+}
+
+// open verifies tag over (aad, buf) and, on success, decrypts buf in
+// place. On failure buf is left untouched (still ciphertext) and open
+// returns false. Allocation-free.
+func open(key *[KeyLen]byte, nonce *[12]byte, buf, aad, tag []byte) bool {
+	var want [16]byte
+	aeadTag(key, nonce, buf, aad, &want)
+	if subtle.ConstantTimeCompare(want[:], tag) != 1 {
+		return false
+	}
+	chachaXOR(key, nonce, 1, buf)
+	return true
+}

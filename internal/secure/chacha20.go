@@ -1,0 +1,76 @@
+package secure
+
+import "encoding/binary"
+
+// ChaCha20 stream cipher (RFC 8439 §2.3): 20 rounds over a 4×4 uint32
+// state of constants ‖ key ‖ counter ‖ nonce. Only what the AEAD needs is
+// implemented — block generation and in-place XOR — with no heap state.
+
+// quarterRound is the ChaCha quarter round on four state words.
+func quarterRound(a, b, c, d uint32) (uint32, uint32, uint32, uint32) {
+	a += b
+	d ^= a
+	d = d<<16 | d>>16
+	c += d
+	b ^= c
+	b = b<<12 | b>>20
+	a += b
+	d ^= a
+	d = d<<8 | d>>24
+	c += d
+	b ^= c
+	b = b<<7 | b>>25
+	return a, b, c, d
+}
+
+// chachaInit fills st with the initial block state for key, nonce and
+// block counter.
+func chachaInit(st *[16]uint32, key *[KeyLen]byte, nonce *[12]byte, counter uint32) {
+	st[0], st[1], st[2], st[3] = 0x61707865, 0x3320646e, 0x79622d32, 0x6b206574
+	for i := 0; i < 8; i++ {
+		st[4+i] = binary.LittleEndian.Uint32(key[4*i:])
+	}
+	st[12] = counter
+	st[13] = binary.LittleEndian.Uint32(nonce[0:])
+	st[14] = binary.LittleEndian.Uint32(nonce[4:])
+	st[15] = binary.LittleEndian.Uint32(nonce[8:])
+}
+
+// chachaBlock serializes one 64-byte keystream block from the initial
+// state st into out.
+func chachaBlock(st *[16]uint32, out *[64]byte) {
+	var x [16]uint32 = *st
+	for i := 0; i < 10; i++ {
+		x[0], x[4], x[8], x[12] = quarterRound(x[0], x[4], x[8], x[12])
+		x[1], x[5], x[9], x[13] = quarterRound(x[1], x[5], x[9], x[13])
+		x[2], x[6], x[10], x[14] = quarterRound(x[2], x[6], x[10], x[14])
+		x[3], x[7], x[11], x[15] = quarterRound(x[3], x[7], x[11], x[15])
+		x[0], x[5], x[10], x[15] = quarterRound(x[0], x[5], x[10], x[15])
+		x[1], x[6], x[11], x[12] = quarterRound(x[1], x[6], x[11], x[12])
+		x[2], x[7], x[8], x[13] = quarterRound(x[2], x[7], x[8], x[13])
+		x[3], x[4], x[9], x[14] = quarterRound(x[3], x[4], x[9], x[14])
+	}
+	for i := 0; i < 16; i++ {
+		binary.LittleEndian.PutUint32(out[4*i:], x[i]+st[i])
+	}
+}
+
+// chachaXOR XORs the ChaCha20 keystream for (key, nonce) starting at block
+// counter into buf in place. Allocation-free.
+func chachaXOR(key *[KeyLen]byte, nonce *[12]byte, counter uint32, buf []byte) {
+	var st [16]uint32
+	var ks [64]byte
+	chachaInit(&st, key, nonce, counter)
+	for len(buf) > 0 {
+		chachaBlock(&st, &ks)
+		st[12]++
+		n := len(buf)
+		if n > 64 {
+			n = 64
+		}
+		for i := 0; i < n; i++ {
+			buf[i] ^= ks[i]
+		}
+		buf = buf[n:]
+	}
+}

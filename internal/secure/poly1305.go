@@ -1,0 +1,153 @@
+package secure
+
+import "encoding/binary"
+
+// Poly1305 one-time authenticator (RFC 8439 §2.5), in the classic 26-bit
+// limb formulation (poly1305-donna-32): five-limb accumulator and radix
+// with 64-bit intermediate products, so the whole MAC runs on the stack.
+
+// poly1305 is the incremental MAC state. The zero value is not usable;
+// call init with the 32-byte one-time key first.
+type poly1305 struct {
+	r   [5]uint32
+	h   [5]uint32
+	pad [4]uint32
+	buf [16]byte
+	n   int
+}
+
+// init loads the clamped r part and the final pad from the one-time key.
+func (p *poly1305) init(key *[32]byte) {
+	p.r[0] = binary.LittleEndian.Uint32(key[0:]) & 0x3ffffff
+	p.r[1] = (binary.LittleEndian.Uint32(key[3:]) >> 2) & 0x3ffff03
+	p.r[2] = (binary.LittleEndian.Uint32(key[6:]) >> 4) & 0x3ffc0ff
+	p.r[3] = (binary.LittleEndian.Uint32(key[9:]) >> 6) & 0x3f03fff
+	p.r[4] = (binary.LittleEndian.Uint32(key[12:]) >> 8) & 0x00fffff
+	for i := 0; i < 4; i++ {
+		p.pad[i] = binary.LittleEndian.Uint32(key[16+4*i:])
+	}
+	p.h = [5]uint32{}
+	p.n = 0
+}
+
+// blocks folds full 16-byte blocks of m into the accumulator; hibit is
+// 1<<24 for full blocks and 0 for the padded final partial block.
+func (p *poly1305) blocks(m []byte, hibit uint32) {
+	r0, r1, r2, r3, r4 := p.r[0], p.r[1], p.r[2], p.r[3], p.r[4]
+	s1, s2, s3, s4 := r1*5, r2*5, r3*5, r4*5
+	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+	for len(m) >= 16 {
+		h0 += binary.LittleEndian.Uint32(m[0:]) & 0x3ffffff
+		h1 += (binary.LittleEndian.Uint32(m[3:]) >> 2) & 0x3ffffff
+		h2 += (binary.LittleEndian.Uint32(m[6:]) >> 4) & 0x3ffffff
+		h3 += (binary.LittleEndian.Uint32(m[9:]) >> 6) & 0x3ffffff
+		h4 += (binary.LittleEndian.Uint32(m[12:]) >> 8) | hibit
+
+		d0 := uint64(h0)*uint64(r0) + uint64(h1)*uint64(s4) + uint64(h2)*uint64(s3) + uint64(h3)*uint64(s2) + uint64(h4)*uint64(s1)
+		d1 := uint64(h0)*uint64(r1) + uint64(h1)*uint64(r0) + uint64(h2)*uint64(s4) + uint64(h3)*uint64(s3) + uint64(h4)*uint64(s2)
+		d2 := uint64(h0)*uint64(r2) + uint64(h1)*uint64(r1) + uint64(h2)*uint64(r0) + uint64(h3)*uint64(s4) + uint64(h4)*uint64(s3)
+		d3 := uint64(h0)*uint64(r3) + uint64(h1)*uint64(r2) + uint64(h2)*uint64(r1) + uint64(h3)*uint64(r0) + uint64(h4)*uint64(s4)
+		d4 := uint64(h0)*uint64(r4) + uint64(h1)*uint64(r3) + uint64(h2)*uint64(r2) + uint64(h3)*uint64(r1) + uint64(h4)*uint64(r0)
+
+		c := d0 >> 26
+		h0 = uint32(d0) & 0x3ffffff
+		d1 += c
+		c = d1 >> 26
+		h1 = uint32(d1) & 0x3ffffff
+		d2 += c
+		c = d2 >> 26
+		h2 = uint32(d2) & 0x3ffffff
+		d3 += c
+		c = d3 >> 26
+		h3 = uint32(d3) & 0x3ffffff
+		d4 += c
+		c = d4 >> 26
+		h4 = uint32(d4) & 0x3ffffff
+		h0 += uint32(c) * 5
+		c2 := h0 >> 26
+		h0 &= 0x3ffffff
+		h1 += c2
+
+		m = m[16:]
+	}
+	p.h[0], p.h[1], p.h[2], p.h[3], p.h[4] = h0, h1, h2, h3, h4
+}
+
+// update feeds m into the MAC, buffering any trailing partial block.
+func (p *poly1305) update(m []byte) {
+	if p.n > 0 {
+		k := copy(p.buf[p.n:], m)
+		p.n += k
+		m = m[k:]
+		if p.n < 16 {
+			return
+		}
+		p.blocks(p.buf[:], 1<<24)
+		p.n = 0
+	}
+	if full := len(m) &^ 15; full > 0 {
+		p.blocks(m[:full], 1<<24)
+		m = m[full:]
+	}
+	p.n = copy(p.buf[:], m)
+}
+
+// finish completes the MAC into tag.
+func (p *poly1305) finish(tag *[16]byte) {
+	if p.n > 0 {
+		p.buf[p.n] = 1
+		for i := p.n + 1; i < 16; i++ {
+			p.buf[i] = 0
+		}
+		p.blocks(p.buf[:], 0)
+	}
+
+	h0, h1, h2, h3, h4 := p.h[0], p.h[1], p.h[2], p.h[3], p.h[4]
+	c := h1 >> 26
+	h1 &= 0x3ffffff
+	h2 += c
+	c = h2 >> 26
+	h2 &= 0x3ffffff
+	h3 += c
+	c = h3 >> 26
+	h3 &= 0x3ffffff
+	h4 += c
+	c = h4 >> 26
+	h4 &= 0x3ffffff
+	h0 += c * 5
+	c = h0 >> 26
+	h0 &= 0x3ffffff
+	h1 += c
+
+	// Compute h + -p and select it when h >= p.
+	g0 := h0 + 5
+	c = g0 >> 26
+	g0 &= 0x3ffffff
+	g1 := h1 + c
+	c = g1 >> 26
+	g1 &= 0x3ffffff
+	g2 := h2 + c
+	c = g2 >> 26
+	g2 &= 0x3ffffff
+	g3 := h3 + c
+	c = g3 >> 26
+	g3 &= 0x3ffffff
+	g4 := h4 + c - (1 << 26)
+
+	mask := (g4 >> 31) - 1 // all ones when h >= p, else zero
+	h0 = h0&^mask | g0&mask
+	h1 = h1&^mask | g1&mask
+	h2 = h2&^mask | g2&mask
+	h3 = h3&^mask | g3&mask
+	h4 = h4&^mask | g4&mask
+
+	// h = h % 2^128, then h += pad with 32-bit carries.
+	f0 := uint64(h0|h1<<26) + uint64(p.pad[0])
+	f1 := uint64(h1>>6|h2<<20) + uint64(p.pad[1]) + f0>>32
+	f2 := uint64(h2>>12|h3<<14) + uint64(p.pad[2]) + f1>>32
+	f3 := uint64(h3>>18|h4<<8) + uint64(p.pad[3]) + f2>>32
+	binary.LittleEndian.PutUint32(tag[0:], uint32(f0))
+	binary.LittleEndian.PutUint32(tag[4:], uint32(f1))
+	binary.LittleEndian.PutUint32(tag[8:], uint32(f2))
+	binary.LittleEndian.PutUint32(tag[12:], uint32(f3))
+}

@@ -1,0 +1,54 @@
+package secure
+
+// Window is a sliding anti-replay bitmap over the 64-bit authenticated
+// control sequence space, in the style of RFC 6479: a ring of words
+// tracking which of the last WindowSize sequence numbers were accepted.
+// Sequences older than the window are refused outright; in-window
+// sequences are refused on their second appearance. The zero value is an
+// empty window that accepts any first sequence.
+type Window struct {
+	max  uint64
+	seen bool
+	bits [windowWords]uint64
+}
+
+const windowWords = 16
+
+// WindowSize is the width of the anti-replay window in packets: control
+// packets reordered further back than this are dropped even on first
+// arrival. It is one ring word short of the bitmap so a just-in-window
+// sequence can never alias the ring word holding the newest one.
+const WindowSize = (windowWords - 1) * 64
+
+// Admit reports whether seq is fresh — never accepted and not older than
+// the window — and records it. Allocation-free.
+func (w *Window) Admit(seq uint64) bool {
+	word := (seq >> 6) % windowWords
+	bit := uint64(1) << (seq & 63)
+	switch {
+	case !w.seen:
+		w.seen = true
+		w.max = seq
+		w.bits[word] = bit
+		return true
+	case seq > w.max:
+		// Advance: clear the ring words between the old and new head.
+		if diff := (seq >> 6) - (w.max >> 6); diff >= windowWords {
+			w.bits = [windowWords]uint64{}
+		} else {
+			for i := (w.max >> 6) + 1; i <= seq>>6; i++ {
+				w.bits[i%windowWords] = 0
+			}
+		}
+		w.max = seq
+		w.bits[word] |= bit
+		return true
+	case w.max-seq >= WindowSize:
+		return false
+	case w.bits[word]&bit != 0:
+		return false
+	default:
+		w.bits[word] |= bit
+		return true
+	}
+}

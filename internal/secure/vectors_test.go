@@ -1,0 +1,171 @@
+package secure
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+func unhex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 8439 §2.4.2: ChaCha20 encryption of the sunscreen plaintext.
+func TestChaCha20RFC8439(t *testing.T) {
+	var key [KeyLen]byte
+	for i := range key {
+		key[i] = byte(i)
+	}
+	nonce := [12]byte{0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0}
+	plain := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	want := unhex(t, "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"+
+		"f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"+
+		"07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"+
+		"5af90bbf74a35be6b40b8eedf2785e42874d")
+	buf := append([]byte(nil), plain...)
+	chachaXOR(&key, &nonce, 1, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", buf, want)
+	}
+	chachaXOR(&key, &nonce, 1, buf)
+	if !bytes.Equal(buf, plain) {
+		t.Fatal("decrypt did not restore plaintext")
+	}
+}
+
+// RFC 8439 §2.5.2: Poly1305 tag over the CFRG message.
+func TestPoly1305RFC8439(t *testing.T) {
+	var key [32]byte
+	copy(key[:], unhex(t, "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b"))
+	msg := []byte("Cryptographic Forum Research Group")
+	want := unhex(t, "a8061dc1305136c6c22b8baf0c0127a9")
+	var p poly1305
+	p.init(&key)
+	p.update(msg)
+	var tag [16]byte
+	p.finish(&tag)
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("tag mismatch: got %x want %x", tag, want)
+	}
+	// Split updates must produce the same tag (partial-block buffering).
+	p.init(&key)
+	p.update(msg[:7])
+	p.update(msg[7:20])
+	p.update(msg[20:])
+	p.finish(&tag)
+	if !bytes.Equal(tag[:], want) {
+		t.Fatalf("split-update tag mismatch: got %x want %x", tag, want)
+	}
+}
+
+// RFC 8439 §2.8.2: the full AEAD seal, ciphertext and tag.
+func TestAEADRFC8439(t *testing.T) {
+	var key [KeyLen]byte
+	for i := range key {
+		key[i] = byte(0x80 + i)
+	}
+	var nonce [12]byte
+	copy(nonce[:], unhex(t, "070000004041424344454647"))
+	aad := unhex(t, "50515253c0c1c2c3c4c5c6c7")
+	plain := []byte("Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.")
+	wantCT := unhex(t, "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"+
+		"3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36"+
+		"92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc"+
+		"3ff4def08e4b7a9de576d26586cec64b6116")
+	wantTag := unhex(t, "1ae10b594f09e26a7e902ecbd0600691")
+
+	buf := append([]byte(nil), plain...)
+	var tag [16]byte
+	seal(&key, &nonce, buf, aad, tag[:])
+	if !bytes.Equal(buf, wantCT) {
+		t.Fatalf("ciphertext mismatch:\n got %x\nwant %x", buf, wantCT)
+	}
+	if !bytes.Equal(tag[:], wantTag) {
+		t.Fatalf("tag mismatch: got %x want %x", tag, wantTag)
+	}
+	if !open(&key, &nonce, buf, aad, tag[:]) {
+		t.Fatal("open rejected its own seal")
+	}
+	if !bytes.Equal(buf, plain) {
+		t.Fatal("open did not restore plaintext")
+	}
+	// Any bit flip — ciphertext, AAD or tag — must be rejected, leaving
+	// the buffer untouched.
+	seal(&key, &nonce, buf, aad, tag[:])
+	buf[3] ^= 1
+	if open(&key, &nonce, buf, aad, tag[:]) {
+		t.Fatal("open accepted corrupted ciphertext")
+	}
+	buf[3] ^= 1
+	tag[0] ^= 1
+	if open(&key, &nonce, buf, aad, tag[:]) {
+		t.Fatal("open accepted corrupted tag")
+	}
+	tag[0] ^= 1
+	aad[0] ^= 1
+	if open(&key, &nonce, buf, aad, tag[:]) {
+		t.Fatal("open accepted corrupted AAD")
+	}
+}
+
+// SipHash-2-4 reference vectors (Aumasson & Bernstein appendix): key
+// 000102…0f over the prefix inputs 00 01 02 ….
+func TestSipHashVectors(t *testing.T) {
+	var in [8]byte
+	for i := range in {
+		in[i] = byte(i)
+	}
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{0, 0x726fdb47dd0e0e31},
+		{1, 0x74f839c593dc67fd},
+		{8, 0x93f5f5799a932462},
+	}
+	const k0, k1 = 0x0706050403020100, 0x0f0e0d0c0b0a0908
+	for _, c := range cases {
+		if got := siphash(k0, k1, in[:c.n]); got != c.want {
+			t.Errorf("siphash(len %d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+// RFC 4231 test case 1 pins the stack HMAC-SHA256.
+func TestHMACSHA256RFC4231(t *testing.T) {
+	key := bytes.Repeat([]byte{0x0b}, 20)
+	want := unhex(t, "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+	got := hmacSHA256(key, []byte("Hi There"), nil)
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("hmac mismatch: got %x want %x", got, want)
+	}
+	// Two-part messages concatenate.
+	got2 := hmacSHA256(key, []byte("Hi "), []byte("There"))
+	if got2 != got {
+		t.Fatal("split message changed the MAC")
+	}
+}
+
+// RFC 5869 test case 1 pins extract and expand.
+func TestHKDFRFC5869(t *testing.T) {
+	ikm := bytes.Repeat([]byte{0x0b}, 22)
+	salt := unhex(t, "000102030405060708090a0b0c")
+	info := unhex(t, "f0f1f2f3f4f5f6f7f8f9")
+	wantPRK := unhex(t, "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+	wantOKM := unhex(t, "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+
+	prk := hkdfExtract(salt, ikm)
+	if !bytes.Equal(prk[:], wantPRK) {
+		t.Fatalf("PRK mismatch: got %x want %x", prk, wantPRK)
+	}
+	okm := make([]byte, len(wantOKM))
+	hkdfExpand(&prk, info, okm)
+	if !bytes.Equal(okm, wantOKM) {
+		t.Fatalf("OKM mismatch: got %x want %x", okm, wantOKM)
+	}
+}

@@ -48,37 +48,16 @@ var (
 	hsAlpha = congestion.HSAlpha
 )
 
-// BIC parameters (the authors' recommended values).
+// The BIC response function and parameters also live in
+// internal/congestion (shared with the real-stack "bic" controller).
 const (
-	bicLowWindow = 14.0 // below this, behave as standard TCP
-	bicSMax      = 32.0 // max increment per RTT
-	bicSMin      = 0.01 // min increment per RTT
-	bicBeta      = 0.875
+	bicLowWindow = congestion.BicLowWindow
+	bicSMax      = congestion.BicSMax
+	bicBeta      = congestion.BicBeta
 )
 
-// bicIncrease returns BIC's per-RTT window increment given the current
-// window and the binary-search target state.
-func bicIncrease(w, bicMin, bicMax float64) float64 {
-	if w < bicLowWindow {
-		return 1 // standard TCP region
-	}
-	var inc float64
-	if w < bicMax {
-		// Binary search towards the midpoint of [bicMin, bicMax].
-		target := (bicMin + bicMax) / 2
-		inc = target - w
-	} else {
-		// Max probing: slow start away from the old maximum.
-		inc = w - bicMax + 1
-	}
-	if inc > bicSMax {
-		inc = bicSMax
-	}
-	if inc < bicSMin {
-		inc = bicSMin
-	}
-	return inc
-}
+// bicIncrease is congestion.BicIncrease under its historical local name.
+var bicIncrease = congestion.BicIncrease
 
 // caIncrease returns the congestion-avoidance window increment for one
 // newly acknowledged packet at window w.

@@ -12,6 +12,7 @@ import (
 
 	"udt/internal/mux"
 	"udt/internal/packet"
+	"udt/internal/secure"
 	"udt/internal/seqno"
 )
 
@@ -38,6 +39,21 @@ type Mux struct {
 	reader batchReader  // platform read path
 	sender batchWriter  // platform batched write path; nil → WriteTo loop
 	ostats offloadStats // GRO state + counters for the shared socket
+
+	// Secure UDT state, nil without a PSK. keys is derived once per Mux;
+	// cookies is the rotating stateless source-address cookie generator.
+	// hsOut is the reusable encode buffer for pre-authentication replies
+	// (cookie challenges) — touched only on the readLoop goroutine, so a
+	// spoofed-source handshake flood is answered without allocating.
+	keys    *secure.Keys
+	cookies *secure.CookieSource
+	hsOut   [hsBufSize]byte
+
+	// authRejects counts handshakes and flows refused by authentication;
+	// cookieSent counts stateless challenges issued. Surfaced in every
+	// flow's Stats like the demultiplexer drop counters.
+	authRejects atomic.Uint64
+	cookieSent  atomic.Uint64
 
 	// batchAt is the arrival stamp of the datagram currently being
 	// demultiplexed: the kernel receive timestamp when available, else
@@ -77,8 +93,8 @@ type pendingDial struct {
 
 	m        *Mux
 	shard    *poolShard
-	buf      []byte // encoded handshake request, resent as-is
-	deadline int64  // µs on the shard clock; after this the dial dies
+	buf      []byte     // encoded handshake request, resent as-is
+	deadline int64      // µs on the shard clock; after this the dial dies
 	dead     chan error // buffered 1; delivers ErrTimeout or a send error
 	schedSt  schedState
 }
@@ -166,6 +182,15 @@ func newMux(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Mux, error) {
 		accepted:  make(map[string]*acceptEntry),
 		conns:     make(map[*Conn]struct{}),
 		done:      make(chan struct{}),
+	}
+	if len(c.PSK) > 0 {
+		m.keys = secure.DeriveKeys(c.PSK)
+		// Cookie seeds come from the handshake randomness source so tests
+		// with a fixed Config.Rand are reproducible end to end.
+		seed := func() uint64 {
+			return uint64(uint32(c.randInt31()))<<32 | uint64(uint32(c.randInt31()))
+		}
+		m.cookies = secure.NewCookieSource(seed(), seed(), secure.DefaultCookieInterval)
 	}
 	m.core = mux.NewCore(m.handleHandshake)
 	m.pool = newConnPool(c.PoolShards, c.Ledger)
@@ -384,6 +409,10 @@ func (f *muxFlow) groCounters() (uint64, uint64) {
 
 func (f *muxFlow) muxCounters() (uint64, uint64) { return f.m.core.Counters() }
 
+func (f *muxFlow) secCounters() (uint64, uint64) {
+	return f.m.authRejects.Load(), f.m.cookieSent.Load()
+}
+
 // release tears one flow out of every table; it is each Conn's closer.
 func (m *Mux) release(f *muxFlow) {
 	if f.id != 0 {
@@ -467,11 +496,18 @@ func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
 		InitSeq:    isn,
 		MSS:        int32(cfg.MSS),
 		FlowWindow: int32(cfg.MaxFlowWindow),
-		ReqType:    1,
+		ReqType:    packet.HSRequest,
 		ConnID:     connID,
 		SockID:     id,
 	}
-	buf := make([]byte, 64)
+	if m.keys != nil {
+		req.SecFlags = cfg.secFlags()
+		fillNonce(&req.Nonce, m.randInt31)
+		if err := signHandshakeHS(m.keys, &req, nil); err != nil {
+			return fail(err)
+		}
+	}
+	buf := make([]byte, hsBufSize)
 	n, err := packet.EncodeHandshake(buf, &req, 0)
 	if err != nil {
 		return fail(err)
@@ -489,17 +525,62 @@ func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
 	pd.buf = buf[:n]
 	shard.attach(pd)
 	shard.sleep(pd, shard.clock.Now()+hsRetryUS)
+	// Wait for an acceptable response. On a secure dial this is a loop: a
+	// cookie challenge restarts the request with the cookie echoed, and a
+	// response that fails authentication is ignored — an off-path forgery
+	// must not be able to kill the dial — while the wheel keeps
+	// retransmitting until the real answer or the deadline.
 	var r hsResp
-	select {
-	case r = <-pd.resp:
-		shard.detach(pd)
-	case err := <-pd.dead:
-		shard.detach(pd)
-		return fail(err)
-	case <-m.done:
-		shard.detach(pd)
-		return fail(ErrClosed)
+	for {
+		select {
+		case r = <-pd.resp:
+		case err := <-pd.dead:
+			shard.detach(pd)
+			return fail(err)
+		case <-m.done:
+			shard.detach(pd)
+			return fail(ErrClosed)
+		}
+		if m.keys == nil {
+			break
+		}
+		hs := r.hs
+		if hs.ReqType == packet.HSCookie {
+			req.Cookie = hs.Cookie
+			if err := signHandshakeHS(m.keys, &req, nil); err != nil {
+				shard.detach(pd)
+				return fail(err)
+			}
+			n, err := packet.EncodeHandshake(buf, &req, 0)
+			if err != nil {
+				shard.detach(pd)
+				return fail(err)
+			}
+			// Swap the retransmission buffer out from under the wheel:
+			// detach guarantees no resend is in flight, then re-arm.
+			shard.detach(pd)
+			pd.buf = buf[:n]
+			if _, err := m.sock.WriteTo(pd.buf, raddr); err != nil {
+				return fail(fmt.Errorf("udt: handshake: %w", err))
+			}
+			shard.attach(pd)
+			shard.sleep(pd, shard.clock.Now()+hsRetryUS)
+			continue
+		}
+		if !hs.Sec() {
+			if m.cfg.AllowUnauth {
+				break // peer is paper-era; negotiate down to clear
+			}
+			shard.detach(pd)
+			return fail(errAuthRequired)
+		}
+		if !verifyHandshakeHS(m.keys, &hs, req.Nonce[:]) {
+			m.authRejects.Add(1)
+			continue // forged or corrupt; keep waiting for the real one
+		}
+		break
 	}
+	shard.detach(pd)
 	m.mu.Lock()
 	delete(m.pending, id)
 	m.mu.Unlock()
@@ -519,7 +600,12 @@ func (m *Mux) Dial(raddr net.Addr) (*Conn, error) {
 		m.core.RegisterAddr(flow.addrKey, flow)
 	}
 	cfg.sockID = id
-	conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard())
+	var sec *secure.Session
+	if m.keys != nil && hs.Sec() {
+		sec = secure.NewSession(m.keys, req.Nonce[:], hs.Nonce[:], true, isn, hs.InitSeq,
+			grantAEAD(req.SecFlags, hs.SecFlags))
+	}
+	conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard(), sec)
 	conn.mu.Lock()
 	conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
 	conn.mu.Unlock()
@@ -614,11 +700,59 @@ func (m *Mux) handleHandshake(raw []byte, from net.Addr) {
 		return
 	}
 	switch hs.ReqType {
-	case -1:
+	case packet.HSResponse:
 		m.completeDial(hs, from)
-	case 1:
-		m.answerRequest(hs, from)
+	case packet.HSCookie:
+		// A listener's stateless challenge to one of our dials; the dialing
+		// goroutine echoes the cookie in a fresh request.
+		m.completeDial(hs, from)
+	case packet.HSRequest:
+		m.answerRequest(hs, from, raw)
 	}
+}
+
+// gateRequest runs the pre-connection Secure UDT checks on an incoming
+// request, cheapest first, before any state is allocated or even a map key
+// formatted: the source-address cookie (one SipHash; missing or stale →
+// a stateless challenge), then the handshake authenticator (HMAC verified
+// against the raw bytes). It reports whether the request may proceed, and
+// whether the sealed data channel was granted. Runs on the readLoop
+// goroutine; the reply buffer is reused, so a spoofed-source flood
+// allocates nothing here.
+func (m *Mux) gateRequest(hs *packet.Handshake, from net.Addr, raw []byte) (ok, aead bool) {
+	if m.keys == nil {
+		return true, false
+	}
+	if !hs.Sec() {
+		if !m.cfg.AllowUnauth {
+			m.authRejects.Add(1)
+			return false, false
+		}
+		return true, false // negotiated down to the clear protocol
+	}
+	var ab [64]byte
+	addr := cookieAddr(ab[:0], from)
+	now := time.Now().UnixMicro()
+	if !m.cookies.Valid(now, addr, hs.Cookie) {
+		m.cookieSent.Add(1)
+		ch := packet.Handshake{
+			Version:    packet.Version,
+			ReqType:    packet.HSCookie,
+			ConnID:     hs.ConnID,
+			PeerSockID: hs.SockID,
+			SecFlags:   secure.FlagAuth,
+			Cookie:     m.cookies.Cookie(now, addr),
+		}
+		if n, err := packet.EncodeHandshake(m.hsOut[:], &ch, 0); err == nil {
+			m.sock.WriteTo(m.hsOut[:n], from) //nolint:errcheck // client re-requests on loss
+		}
+		return false, false
+	}
+	if !verifyHandshakeRaw(m.keys, raw, nil) {
+		m.authRejects.Add(1)
+		return false, false
+	}
+	return true, grantAEAD(m.cfg.secFlags(), hs.SecFlags)
 }
 
 // completeDial routes a handshake response to the dial waiting for it. A
@@ -655,7 +789,12 @@ func (m *Mux) completeDial(hs packet.Handshake, from net.Addr) {
 // client address can carry many multiplexed flows, and a request whose
 // response was lost is answered again with identical parameters — the
 // retry is indistinguishable from the original on the client side.
-func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr) {
+func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr, raw []byte) {
+	ok, aead := m.gateRequest(&hs, from, raw)
+	if !ok {
+		return
+	}
+	secPeer := m.keys != nil && hs.Sec()
 	key := from.String() + "|" + strconv.FormatInt(int64(hs.ConnID), 10) +
 		"|" + strconv.FormatInt(int64(hs.SockID), 10)
 	m.mu.Lock()
@@ -700,23 +839,39 @@ func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr) {
 			m.core.RegisterAddr(flow.addrKey, flow)
 		}
 		cfg.sockID = flow.id
-		conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard())
+		resp := packet.Handshake{
+			Version:    packet.Version,
+			InitSeq:    isn,
+			MSS:        int32(cfg.MSS),
+			FlowWindow: int32(cfg.MaxFlowWindow),
+			ReqType:    packet.HSResponse,
+			ConnID:     hs.ConnID,
+			SockID:     flow.id, // zero for old clients → 28-byte reply
+			PeerSockID: hs.SockID,
+		}
+		var sec *secure.Session
+		if secPeer {
+			resp.SecFlags = secure.FlagAuth
+			if aead {
+				resp.SecFlags |= secure.FlagAEAD
+			}
+			fillNonce(&resp.Nonce, m.randInt31)
+			// The response authenticator binds the requester's nonce, so a
+			// response captured from another connection fails its check. It
+			// is computed once here; re-answers to duplicate requests reuse
+			// it, staying bit-identical to the original.
+			if err := signHandshakeHS(m.keys, &resp, hs.Nonce[:]); err != nil {
+				m.mu.Unlock()
+				m.release(flow) // both demux registrations; no conn yet
+				return
+			}
+			sec = secure.NewSession(m.keys, hs.Nonce[:], resp.Nonce[:], false, isn, hs.InitSeq, aead)
+		}
+		conn := newConn(cfg, flow, func() { m.release(flow) }, m.sock.LocalAddr(), flow.raddr, isn, hs.InitSeq, m.pool.shard(), sec)
 		conn.mu.Lock()
 		conn.udpRcvBuf, conn.udpSndBuf = m.udpRcvBuf, m.udpSndBuf
 		conn.mu.Unlock()
-		e = &acceptEntry{
-			resp: packet.Handshake{
-				Version:    packet.Version,
-				InitSeq:    isn,
-				MSS:        int32(cfg.MSS),
-				FlowWindow: int32(cfg.MaxFlowWindow),
-				ReqType:    -1,
-				ConnID:     hs.ConnID,
-				SockID:     flow.id, // zero for old clients → 28-byte reply
-				PeerSockID: hs.SockID,
-			},
-			conn: conn,
-		}
+		e = &acceptEntry{resp: resp, conn: conn}
 		m.accepted[key] = e
 		m.conns[conn] = struct{}{}
 		flow.conn.Store(conn)
@@ -725,7 +880,7 @@ func (m *Mux) answerRequest(hs packet.Handshake, from net.Addr) {
 	resp := e.resp
 	m.mu.Unlock()
 
-	out := make([]byte, 64)
+	out := make([]byte, hsBufSize)
 	if n, err := packet.EncodeHandshake(out, &resp, 0); err == nil {
 		m.sock.WriteTo(out[:n], from) //nolint:errcheck // client retries on loss
 	}

@@ -26,6 +26,18 @@
 #                                             without offload this converges to
 #                                             loopback_mbps with ~1/batch
 #                                             syscalls per packet
+#   aead_mbps                                 the offloaded transfer again with
+#                                             Secure UDT fully on — PSK
+#                                             handshake + sealed
+#                                             ChaCha20-Poly1305 data channel
+#                                             (BenchmarkLoopbackAEAD); the gap
+#                                             to loopback_gso_mbps is the
+#                                             crypto tax
+#   handshake_auth_us                         listener-side authenticated
+#                                             handshake compute: cookie check,
+#                                             MAC verify + sign, session-key
+#                                             derivation (BenchmarkHandshakeAuth,
+#                                             reported in µs)
 #   reuseport_4shard_mbps                     aggregate goodput of 4 flows into
 #                                             a 4-socket SO_REUSEPORT listener
 #                                             group (BenchmarkLoopbackReusePort4);
@@ -59,6 +71,8 @@ snd=$(go test . -run XXX -bench 'SenderPacket$' -benchtime 2s 2>/dev/null | awk 
 sndtr=$(go test . -run XXX -bench 'SenderPacketTraced$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkSenderPacketTraced/ {print $3, $7}')
 mbps=$(go test . -run XXX -bench 'Fig14CPU$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkFig14CPU/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 gso=$(go test . -run XXX -bench 'LoopbackGSO$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkLoopbackGSO/ {m = s = "null"; for (i = 1; i < NF; i++) { if ($(i+1) == "Mbps") m = $i; if ($(i+1) == "syscalls/pkt") s = $i } print m, s}')
+aead=$(go test . -run XXX -bench 'LoopbackAEAD$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkLoopbackAEAD/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+hsauth=$(go test ./internal/secure -run XXX -bench 'HandshakeAuth$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkHandshakeAuth/ {printf "%.3f\n", $3 / 1000}')
 rp=$(go test . -run XXX -bench 'LoopbackReusePort4$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkLoopbackReusePort4/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 zc=$(go test . -run XXX -bench 'SendFileZC$' -benchtime 1x 2>/dev/null | awk '/^BenchmarkSendFileZC/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 mux=$(go test ./internal/mux -run XXX -bench 'MuxDemux$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemux/ {print $3, $7}')
@@ -84,6 +98,8 @@ cat > "$out" <<EOF
   "loopback_mbps": $mbps,
   "loopback_gso_mbps": $gso_mbps,
   "syscalls_per_packet": $gso_syscalls,
+  "aead_mbps": $aead,
+  "handshake_auth_us": $hsauth,
   "reuseport_4shard_mbps": $rp,
   "sendfile_zc_mbps": $zc,
   "mux_demux_ns_per_packet": $mux_ns,

@@ -14,12 +14,17 @@ GOOS=windows go build ./...
 # including the root package (Conn/Mux/pool scheduler APIs) and the shared
 # timer wheel — must carry a doc comment, and every relative Markdown link
 # must resolve (mdcheck covers DESIGN.md, EXPERIMENTS.md and README.md).
-go run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
+go run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/secure internal/timerwheel internal/timing internal/trace
 go run ./scripts/mdcheck
 # Fast fail on the concurrency-heavy packages first: the demultiplexer and
 # the chaos harness in short mode, before the full (slower) race run.
 go test -race -short ./internal/mux ./internal/netem/chaos
 go test -race ./...
+# Fuzz smoke: the handshake codec — including the security option fields
+# an attacker controls pre-authentication — must never panic or over-read,
+# and must stay canonical (decode∘encode identity). A short run per pass;
+# longer campaigns reuse the accumulated corpus.
+go test ./internal/packet -run XXX -fuzz 'FuzzDecodeHandshake' -fuzztime 10s
 # Offload smoke: proves UDP_SEGMENT trains actually flow on capable
 # kernels and prints the train/syscall verdict; the test skips itself
 # (never fails) where the kernel or container runtime withholds

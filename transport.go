@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"udt/internal/packet"
+	"udt/internal/secure"
 	"udt/internal/seqno"
 )
 
@@ -83,17 +84,35 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 		InitSeq:    isn,
 		MSS:        int32(c.MSS),
 		FlowWindow: int32(c.MaxFlowWindow),
-		ReqType:    1,
+		ReqType:    packet.HSRequest,
 		ConnID:     connID,
 	}
-	buf := make([]byte, 64)
-	n, err := packet.EncodeHandshake(buf, &req, 0)
-	if err != nil {
+	var keys *secure.Keys
+	if len(c.PSK) > 0 {
+		keys = secure.DeriveKeys(c.PSK)
+		req.SecFlags = c.secFlags()
+		fillNonce(&req.Nonce, c.randInt31)
+	}
+	buf := make([]byte, hsBufSize)
+	n := 0
+	encodeReq := func() error {
+		if keys != nil {
+			if err := signHandshakeHS(keys, &req, nil); err != nil {
+				return err
+			}
+		}
+		var err error
+		n, err = packet.EncodeHandshake(buf, &req, 0)
+		return err
+	}
+	if err := encodeReq(); err != nil {
 		pc.Close() //nolint:errcheck
 		return nil, err
 	}
 
 	// Send the request, retrying every 250 ms until the response arrives.
+	// On a secure dial a cookie challenge restarts the request with the
+	// cookie echoed, and a response failing authentication is ignored.
 	deadline := time.Now().Add(c.HandshakeTimeout)
 	rbuf := make([]byte, 65536)
 	var resp packet.Handshake
@@ -123,8 +142,29 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 			continue
 		}
 		hs, err := packet.DecodeHandshake(ctrl)
-		if err != nil || hs.ReqType != -1 || hs.ConnID != connID {
+		if err != nil || hs.ConnID != connID {
 			continue
+		}
+		if keys != nil && hs.ReqType == packet.HSCookie {
+			req.Cookie = hs.Cookie
+			if err := encodeReq(); err != nil {
+				pc.Close() //nolint:errcheck
+				return nil, err
+			}
+			continue // the loop resends the cookie-bearing request
+		}
+		if hs.ReqType != packet.HSResponse {
+			continue
+		}
+		if keys != nil {
+			if !hs.Sec() {
+				if !c.AllowUnauth {
+					pc.Close() //nolint:errcheck
+					return nil, errAuthRequired
+				}
+			} else if !verifyHandshakeHS(keys, &hs, req.Nonce[:]) {
+				continue // forged or corrupt; keep waiting for the real one
+			}
 		}
 		resp = hs
 		break
@@ -139,10 +179,16 @@ func DialOn(pc PacketConn, raddr net.Addr, cfg *Config) (*Conn, error) {
 		c.MaxFlowWindow = int(resp.FlowWindow)
 	}
 
+	var sec *secure.Session
+	if keys != nil && resp.Sec() {
+		sec = secure.NewSession(keys, req.Nonce[:], resp.Nonce[:], true, isn, resp.InitSeq,
+			grantAEAD(req.SecFlags, resp.SecFlags))
+	}
+
 	// A dedicated socket carries exactly one flow, so it gets a degenerate
 	// single-shard scheduler of its own; Conn.Close stops it.
 	pool := newConnPool(1, c.Ledger)
-	conn := newConn(c, newOwnedSock(pc, !c.DisableOffload), func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq, pool.shard())
+	conn := newConn(c, newOwnedSock(pc, !c.DisableOffload), func() { pc.Close() }, pc.LocalAddr(), raddr, isn, resp.InitSeq, pool.shard(), sec)
 	conn.ownPool = pool
 	go dialedReadLoop(pc, conn)
 	return conn, nil

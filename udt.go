@@ -113,6 +113,29 @@ type Config struct {
 	// disabled automatically when the kernel or socket does not support it
 	// (the capability is probed once per socket).
 	DisableOffload bool
+	// PSK, when non-empty, turns on Secure UDT: every handshake this
+	// endpoint sends carries an HMAC-SHA256 authenticator keyed from the
+	// pre-shared key, listeners challenge unknown sources with a stateless
+	// cookie before allocating any connection state, and authenticated
+	// peers get a sealed control channel (sequenced and replay-protected —
+	// a spoofed shutdown or injected ACK is dropped, not obeyed). Both
+	// ends must configure the same key, at least 16 bytes of it. See
+	// DESIGN.md §"Secure UDT" for the key schedule and threat model.
+	PSK []byte
+	// AllowUnauth lets a PSK-configured endpoint negotiate down to the
+	// clear protocol when the peer does not authenticate: a listener
+	// accepts paper-era requests, a dialer accepts paper-era responses.
+	// Off (the default, with PSK set), unauthenticated peers are refused:
+	// listeners drop their requests silently and dials fail.
+	AllowUnauth bool
+	// AEAD additionally seals the data channel (ChaCha20-Poly1305, keys
+	// derived per connection and direction from PSK plus the handshake
+	// nonces): payloads are encrypted in place on the send path's burst
+	// arena and authenticated by a 16-byte tag carved out of each
+	// packet's payload budget, so wire datagrams stay exactly MSS and the
+	// 0 allocs/packet invariant holds with crypto on. Effective only with
+	// PSK set; the channel is sealed when both ends request it.
+	AEAD bool
 
 	// sockID is this endpoint's socket ID on a shared (multiplexed)
 	// socket, filled in by Mux before the connection is wired; zero for a
@@ -168,6 +191,15 @@ func (c *Config) Validate() error {
 	}
 	if c.PoolShards < 0 {
 		return fmt.Errorf("udt: config: PoolShards %d is negative", c.PoolShards)
+	}
+	if len(c.PSK) > 0 && len(c.PSK) < 16 {
+		return fmt.Errorf("udt: config: PSK is %d bytes, below the 16-byte minimum", len(c.PSK))
+	}
+	if c.AEAD && len(c.PSK) == 0 {
+		return fmt.Errorf("udt: config: AEAD requires a PSK")
+	}
+	if c.AllowUnauth && len(c.PSK) == 0 {
+		return fmt.Errorf("udt: config: AllowUnauth is meaningless without a PSK")
 	}
 	return nil
 }
@@ -293,6 +325,22 @@ type Stats struct {
 	// regime's key invariant (see DESIGN.md §"Scaling to 100k flows").
 	Goroutines     int
 	PeakGoroutines int
+	// AuthRejects counts traffic refused by Secure UDT authentication:
+	// handshakes the shared socket dropped pre-connection (missing or bad
+	// authenticator, with AllowUnauth off) plus this connection's sealed
+	// packets that failed to open. The socket-wide part is shared by every
+	// flow on the same Mux, like MuxUnknownDest.
+	AuthRejects uint64
+	// CookieSent counts stateless cookie challenges the shared socket
+	// issued to handshake requests that had not yet proven their source
+	// address — under a spoofed-source flood this grows while no
+	// connection state is allocated. Socket-wide; zero on a private
+	// socket (dialed connections never answer requests).
+	CookieSent uint64
+	// ReplayDrops counts authenticated control packets this connection
+	// dropped because their sequence number was already accepted — e.g.
+	// an off-path attacker re-injecting a captured shutdown.
+	ReplayDrops uint64
 	// CCName names the congestion-control law driving the sender
 	// ("native", "ctcp", "scalable", "hstcp").
 	CCName string
