@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race muxrace vet ci bench smoke docs chaos ccmatrix
+.PHONY: all build test race muxrace fabric vet ci bench smoke docs chaos ccmatrix
 
 all: build
 
@@ -20,6 +20,15 @@ muxrace:
 	$(GO) vet ./internal/mux ./internal/netem/chaos
 	$(GO) test -race -short ./internal/mux ./internal/netem/chaos
 
+# fabric is the transport-adapter + rendezvous + udtfs race gate: the pipe
+# and framed adapters, simultaneous-dial crossings on shared mux sockets
+# (TestRendezvousCrossingStress), and the resumable transfer service, all
+# under the race detector in short mode.
+fabric:
+	$(GO) vet ./fabric ./udtfs .
+	$(GO) test -race -short ./fabric ./udtfs
+	$(GO) test -race -short -run 'TestRendezvous|TestRdvWins' .
+
 vet:
 	$(GO) vet ./...
 
@@ -37,7 +46,7 @@ bench:
 # (including the root package and the timer wheel) and Markdown link
 # integrity.
 docs:
-	$(GO) run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
+	$(GO) run ./scripts/doccheck . fabric udtfs internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
 	$(GO) run ./scripts/mdcheck
 
 # chaos runs the fixed-seed fault-injection matrix: full transfers of

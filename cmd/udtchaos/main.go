@@ -54,13 +54,33 @@ func main() {
 		det := ""
 		if *determinism {
 			identical := reflect.DeepEqual(cr.Result, second[i].Result) &&
-				reflect.DeepEqual(cr.Mux, second[i].Mux)
+				reflect.DeepEqual(cr.Mux, second[i].Mux) &&
+				realIdentical(cr.Real, second[i].Real) &&
+				fsIdentical(cr.FS, second[i].FS)
 			if identical {
 				det = " replay=identical"
 			} else {
 				det = " replay=DIVERGED"
 				failed++
 			}
+		}
+		if cr.Real != nil {
+			r := cr.Real
+			fmt.Printf("%-22s %-4s wall=%8.3fs recv=%d retrans=%d%s\n",
+				cr.Case.Name, status, r.Elapsed.Seconds(), r.RecvBytes, r.Client.PktsRetrans, det)
+			if *verbose {
+				fmt.Printf("    client: %+v\n    server: %+v\n", r.Client, r.Server)
+			}
+			continue
+		}
+		if cr.FS != nil {
+			f := cr.FS
+			fmt.Printf("%-22s %-4s wall=%8.3fs bytes=%d killed=%v resumes=%d%s\n",
+				cr.Case.Name, status, f.Elapsed.Seconds(), f.Bytes, f.Killed, f.Resumes, det)
+			if *verbose {
+				fmt.Printf("    c->s: %+v\n    s->c: %+v\n", f.PathCS, f.PathSC)
+			}
+			continue
 		}
 		if cr.Mux != nil {
 			m := cr.Mux
@@ -145,4 +165,28 @@ func okStr(ok bool) string {
 		return "ok"
 	}
 	return "bad"
+}
+
+// realIdentical and fsIdentical compare only the seed-deterministic
+// outcome of the wall-clock cells: wall time, protocol counters and the
+// exact resume count legitimately vary between runs.
+func realIdentical(a, b *chaos.RealResult) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.OK == b.OK && a.SentHash == b.SentHash && a.RecvHash == b.RecvHash && a.RecvBytes == b.RecvBytes
+}
+
+func fsIdentical(a, b *chaos.FSResult) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.OK == b.OK && a.WantHash == b.WantHash && a.GotHash == b.GotHash &&
+		a.Bytes == b.Bytes && a.Killed == b.Killed && (a.Resumes > 0) == (b.Resumes > 0)
 }

@@ -72,6 +72,7 @@ type Conn struct {
 	shard   *poolShard
 	schedSt schedState
 	ownPool *connPool
+	ownMux  *Mux // non-nil for rendezvous connections with a private socket; guarded by mu
 
 	clock  *timing.SysClock
 	ledger *timing.Ledger
@@ -247,7 +248,15 @@ func (c *Conn) Close() error {
 	c.mu.Lock()
 	mms := c.mmaps
 	c.mmaps = nil
+	om := c.ownMux
+	c.ownMux = nil
 	c.mu.Unlock()
+	if om != nil {
+		// A rendezvous connection owns its whole Mux (udt.Rendezvous built
+		// one just for it). The closer above already released this flow from
+		// the mux tables, so Close here only reaps the socket and read loop.
+		om.Close() //nolint:errcheck
+	}
 	for _, m := range mms {
 		munmapFile(m) //nolint:errcheck // best-effort address-space release
 	}

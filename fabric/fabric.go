@@ -1,0 +1,63 @@
+// Package fabric adapts non-UDP byte and packet planes into the datagram
+// interface UDT endpoints consume (udt.PacketConn), so DialOn, ListenOn and
+// Mux run unmodified over overlays: an in-process channel-backed pipe pair
+// (the flow-scale stress rig's transport, promoted here) and a framed
+// adapter that carries length-prefixed datagrams over any stream — a TCP
+// tunnel, a TLS session, an SSH channel, or a pair of OS pipes.
+//
+// Both adapters keep the endpoint's zero-allocation discipline: datagram
+// buffers recycle through a sync.Pool, the write path reuses one framing
+// buffer, and the read fast path (data already queued) allocates nothing.
+//
+// The package deliberately does not import the udt root package — the
+// PacketConn contract is structural (ReadFrom, WriteTo, Close, LocalAddr,
+// SetReadDeadline, with deadline expiry surfacing as a net.Error whose
+// Timeout method reports true), and keeping the dependency arrow pointing
+// one way lets the root package's tests consume these adapters.
+package fabric
+
+import (
+	"net"
+	"time"
+)
+
+// Addr is a stable in-process transport address: a name on the "fabric"
+// network. Two addresses are the same endpoint exactly when their strings
+// are equal, which is the comparison rule udt applies to non-UDP addresses.
+type Addr string
+
+// Network returns the fabric network name.
+func (a Addr) Network() string { return "fabric" }
+
+// String returns the endpoint name.
+func (a Addr) String() string { return string(a) }
+
+// timeoutError satisfies net.Error with Timeout() true, which is how UDT's
+// read loops distinguish a deadline from a dead transport.
+type timeoutError struct{}
+
+// Error describes the expired deadline.
+func (timeoutError) Error() string { return "fabric: read deadline exceeded" }
+
+// Timeout reports true: the error is a deadline, not a transport failure.
+func (timeoutError) Timeout() bool { return true }
+
+// Temporary reports true: retrying after extending the deadline may succeed.
+func (timeoutError) Temporary() bool { return true }
+
+// ErrTimeout is the net.Error returned when a read deadline expires.
+var ErrTimeout net.Error = timeoutError{}
+
+// deadline is an atomically-updated read deadline shared by both adapters:
+// zero means none, otherwise the unix-microsecond instant.
+func deadlineChan(unixMicro int64) (<-chan time.Time, *time.Timer, bool) {
+	if unixMicro == 0 {
+		return nil, nil, true
+	}
+	d := time.Until(time.UnixMicro(unixMicro))
+	if d <= 0 {
+		return nil, nil, false
+	}
+	tm := time.NewTimer(d)
+	return tm.C, tm, true
+}

@@ -3,125 +3,25 @@ package udt
 import (
 	"bytes"
 	"fmt"
-	"net"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"udt/fabric"
 )
 
 // This file is the flow-scale stress rig: many concurrent connections
-// multiplexed over ONE in-memory socket pair, exercising the shared
-// scheduler (pool.go + internal/timerwheel) in the regime it was built
-// for — goroutine count O(shards), not O(flows). TestFlowScaleSmall is the
+// multiplexed over ONE in-memory socket pair (the fabric package's pipe
+// adapter), exercising the shared scheduler (pool.go + internal/
+// timerwheel) in the regime it was built for — goroutine count O(shards),
+// not O(flows). TestFlowScaleSmall is the
 // tier-1 gate (a few thousand flows, asserts the goroutine bound);
 // BenchmarkFlowScale100k is the headline 100k-flow run behind scripts/
 // bench.sh, reporting goodput, p99 write→acked latency, allocs/packet and
 // peak goroutines. EXPERIMENTS.md walks through running and reading it.
-
-// pipeAddr is a stable in-process transport address.
-type pipeAddr string
-
-func (a pipeAddr) Network() string { return "pipe" }
-func (a pipeAddr) String() string  { return string(a) }
-
-// pipeTimeoutError satisfies net.Error with Timeout() true, which is how
-// the mux read loop distinguishes a deadline from a dead transport.
-type pipeTimeoutError struct{}
-
-func (pipeTimeoutError) Error() string   { return "pipe: read deadline exceeded" }
-func (pipeTimeoutError) Timeout() bool   { return true }
-func (pipeTimeoutError) Temporary() bool { return true }
-
-// pipeEnd is one side of an in-memory datagram pair: a bounded channel of
-// copied datagrams, dropping on overflow exactly like a congested NIC
-// queue (the protocol's loss recovery repairs the drop). Buffers recycle
-// through a shared sync.Pool so a long benchmark run does not allocate per
-// datagram.
-type pipeEnd struct {
-	addr     pipeAddr
-	peerAddr pipeAddr
-	in       chan []byte
-	peer     *pipeEnd
-	pool     *sync.Pool
-	closed   chan struct{}
-	once     sync.Once
-	deadline atomic.Int64 // unix µs; 0 = none
-	drops    atomic.Int64
-}
-
-// newPipePair connects two endpoints with the given queue depth (packets).
-func newPipePair(depth int) (*pipeEnd, *pipeEnd) {
-	pool := &sync.Pool{New: func() any { return make([]byte, 0, 2048) }}
-	a := &pipeEnd{addr: "pipe-a", peerAddr: "pipe-b", in: make(chan []byte, depth), pool: pool, closed: make(chan struct{})}
-	b := &pipeEnd{addr: "pipe-b", peerAddr: "pipe-a", in: make(chan []byte, depth), pool: pool, closed: make(chan struct{})}
-	a.peer, b.peer = b, a
-	return a, b
-}
-
-func (p *pipeEnd) LocalAddr() net.Addr { return p.addr }
-
-func (p *pipeEnd) SetReadDeadline(t time.Time) error {
-	if t.IsZero() {
-		p.deadline.Store(0)
-	} else {
-		p.deadline.Store(t.UnixMicro())
-	}
-	return nil
-}
-
-func (p *pipeEnd) ReadFrom(b []byte) (int, net.Addr, error) {
-	select { // fast path: data already queued
-	case buf := <-p.in:
-		n := copy(b, buf)
-		p.pool.Put(buf[:0]) //nolint:staticcheck // slice recycles by design
-		return n, p.peerAddr, nil
-	default:
-	}
-	var timeout <-chan time.Time
-	if dl := p.deadline.Load(); dl != 0 {
-		d := time.Until(time.UnixMicro(dl))
-		if d <= 0 {
-			return 0, nil, pipeTimeoutError{}
-		}
-		tm := time.NewTimer(d)
-		defer tm.Stop()
-		timeout = tm.C
-	}
-	select {
-	case buf := <-p.in:
-		n := copy(b, buf)
-		p.pool.Put(buf[:0]) //nolint:staticcheck
-		return n, p.peerAddr, nil
-	case <-p.closed:
-		return 0, nil, net.ErrClosed
-	case <-timeout:
-		return 0, nil, pipeTimeoutError{}
-	}
-}
-
-func (p *pipeEnd) WriteTo(b []byte, _ net.Addr) (int, error) {
-	select {
-	case <-p.closed:
-		return 0, net.ErrClosed
-	default:
-	}
-	buf := append(p.pool.Get().([]byte)[:0], b...)
-	select {
-	case p.peer.in <- buf:
-	default: // peer queue full: the datagram is lost, like UDP under load
-		p.drops.Add(1)
-		p.pool.Put(buf[:0]) //nolint:staticcheck
-	}
-	return len(b), nil
-}
-
-func (p *pipeEnd) Close() error {
-	p.once.Do(func() { close(p.closed) })
-	return nil
-}
 
 // flowScaleConfig is the stress rig's endpoint configuration: small
 // packets and buffers so memory stays flat at 100k flows, telemetry off
@@ -161,7 +61,7 @@ type flowScaleResult struct {
 // state machines while new handshakes and transfers still make progress.
 func runFlowScale(t testing.TB, flows, dialers int, minEXP time.Duration) flowScaleResult {
 	cfg := flowScaleConfig(minEXP)
-	cEnd, sEnd := newPipePair(1 << 16)
+	cEnd, sEnd := fabric.NewPipe(fabric.PipeConfig{Depth: 1 << 16})
 	ln, err := ListenOn(sEnd, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -211,7 +111,7 @@ func runFlowScale(t testing.TB, flows, dialers int, minEXP time.Duration) flowSc
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				c, err := m.Dial(pipeAddr("pipe-b"))
+				c, err := m.Dial(fabric.Addr("pipe-b"))
 				if err != nil {
 					setupErr.Store(fmt.Errorf("dial %d: %w", i, err))
 					return
@@ -253,7 +153,7 @@ func runFlowScale(t testing.TB, flows, dialers int, minEXP time.Duration) flowSc
 	if pkts > 0 {
 		res.allocsPerPkt = float64(ms1.Mallocs-ms0.Mallocs) / float64(pkts)
 	}
-	res.drops = cEnd.drops.Load() + sEnd.drops.Load()
+	res.drops = cEnd.Drops() + sEnd.Drops()
 
 	if liveGoroutines > 64+dialers {
 		t.Errorf("flow scale: %d live goroutines with %d flows parked; want O(shards+sockets)",
@@ -311,7 +211,7 @@ func readFull(c *Conn, p []byte) (int, error) {
 // (no per-dial runtime timer or ticker), and a burst of dials to a silent
 // peer must all die with ErrTimeout at the configured deadline.
 func TestMuxDialTimeoutOnWheel(t *testing.T) {
-	cEnd, _ := newPipePair(8) // server end never read: requests vanish
+	cEnd, _ := fabric.NewPipe(fabric.PipeConfig{Depth: 8}) // server end never read: requests vanish
 	cfg := &Config{HandshakeTimeout: 400 * time.Millisecond}
 	m, err := NewMux(cEnd, cfg)
 	if err != nil {
@@ -327,7 +227,7 @@ func TestMuxDialTimeoutOnWheel(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = m.Dial(pipeAddr("pipe-b"))
+			_, errs[i] = m.Dial(fabric.Addr("pipe-b"))
 		}(i)
 	}
 	wg.Wait()
@@ -347,7 +247,7 @@ func TestMuxDialTimeoutOnWheel(t *testing.T) {
 // closes underneath it, even though Close stops the shard workers the
 // pending handshake is scheduled on.
 func TestMuxCloseAbortsPendingDial(t *testing.T) {
-	cEnd, _ := newPipePair(8)
+	cEnd, _ := fabric.NewPipe(fabric.PipeConfig{Depth: 8})
 	cfg := &Config{HandshakeTimeout: 30 * time.Second}
 	m, err := NewMux(cEnd, cfg)
 	if err != nil {
@@ -355,7 +255,7 @@ func TestMuxCloseAbortsPendingDial(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() {
-		_, err := m.Dial(pipeAddr("pipe-b"))
+		_, err := m.Dial(fabric.Addr("pipe-b"))
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond)

@@ -34,6 +34,14 @@ type Case struct {
 	// Secure runs the cell over the sealed AEAD channel with seed-derived
 	// sessions (two-peer cells only).
 	Secure bool
+	// Rendezvous switches the cell to the real-stack rendezvous driver
+	// (RunRendezvous): both sides cross simultaneous dials through the
+	// impairment, then move Payload bytes. Wall-clock timed.
+	Rendezvous bool
+	// FSKillAt switches the cell to the real-stack udtfs driver (RunFS):
+	// a resumable fetch of a Payload-byte file whose serving connection
+	// is killed after this many delivered bytes. Wall-clock timed.
+	FSKillAt int64
 }
 
 // CaseResult pairs a matrix cell with its outcome.
@@ -44,8 +52,13 @@ type CaseResult struct {
 	Result Result
 	// Mux is the multiplexed run outcome (cells with MuxFlows > 0).
 	Mux *MuxResult
+	// Real is the real-stack run outcome (Rendezvous cells).
+	Real *RealResult
+	// FS is the resumable-fetch run outcome (FSKillAt cells).
+	FS *FSResult
 	// Pass applies the cell's success criterion (transfer integrity, or
-	// mutual death detection for ExpectDeath cells).
+	// mutual death detection for ExpectDeath cells; a resume for FSKillAt
+	// cells additionally requires the scripted kill to have been survived).
 	Pass bool
 }
 
@@ -78,6 +91,17 @@ func QuickMatrix() []Case {
 		// fabric to the right engine.
 		{Name: "mux-64flows", Link: netem.LinkConfig{Delay: 3000, Jitter: 1000, Loss: 0.005},
 			Payload: 4096, MuxFlows: 64},
+		// Rendezvous under loss: two simultaneous dials cross through a
+		// lossy path on the full concurrent stack, so a dropped crossing
+		// request must be recovered by retransmission before the payload
+		// moves — wall-clock timed, digest-pinned on outcome only.
+		{Name: "rdv-loss-1pct", Link: netem.LinkConfig{Delay: 2000, Jitter: 1000, Loss: 0.01},
+			Payload: quarterMB, Rendezvous: true},
+		// Killed-and-resumed udtfs fetch: the serving connection dies a
+		// quarter of the way in, and the Fetcher must re-dial through the
+		// impairment and resume from its verified offset, byte-identical.
+		{Name: "fs-kill-resume", Link: netem.LinkConfig{Delay: 2000, Loss: 0.005},
+			Payload: 4 * quarterMB, FSKillAt: quarterMB},
 		// Authenticated AEAD flows under loss and duplication: every
 		// duplicated control packet is a literal replay attack (valid tag,
 		// reused sequence number) that the anti-replay window must absorb,
@@ -120,6 +144,17 @@ func CCMatrix() []Case {
 func RunMatrix(seed int64, cases []Case) []CaseResult {
 	out := make([]CaseResult, 0, len(cases))
 	for _, cs := range cases {
+		if cs.Rendezvous {
+			rr, err := RunRendezvous(RealConfig{Seed: seed, Payload: cs.Payload, Link: cs.Link})
+			out = append(out, CaseResult{Case: cs, Real: &rr, Pass: err == nil && rr.OK})
+			continue
+		}
+		if cs.FSKillAt > 0 {
+			fr, err := RunFS(FSConfig{Seed: seed, Payload: cs.Payload, Link: cs.Link, KillAt: cs.FSKillAt})
+			out = append(out, CaseResult{Case: cs, FS: &fr,
+				Pass: err == nil && fr.OK && fr.Killed && fr.Resumes > 0})
+			continue
+		}
 		if cs.MuxFlows > 0 {
 			mr := RunMux(MuxConfig{
 				Seed:           seed,

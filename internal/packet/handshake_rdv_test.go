@@ -1,0 +1,194 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func rdvHandshake(sec bool) Handshake {
+	h := Handshake{
+		Version:    Version,
+		InitSeq:    777,
+		MSS:        1472,
+		FlowWindow: 25600,
+		ReqType:    HSRequest,
+		ConnID:     4242,
+		SockID:     0x40000007,
+		RdvFlags:   RdvDial,
+		RdvNonce:   0x0123456789abcdef,
+	}
+	if sec {
+		h.SecFlags = 1
+		h.Cookie = 0xfeedfacecafebeef
+		for i := range h.Nonce {
+			h.Nonce[i] = byte(0x10 + i)
+		}
+		for i := range h.MAC {
+			h.MAC[i] = byte(0xC0 + i)
+		}
+	}
+	return h
+}
+
+func TestRendezvousHandshakeRoundTrip(t *testing.T) {
+	buf := make([]byte, 256)
+	for _, sec := range []bool{false, true} {
+		h := rdvHandshake(sec)
+		want := HandshakeRdvBody
+		if sec {
+			want = HandshakeSecRdvBody
+		}
+		n, err := EncodeHandshake(buf, &h, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != CtrlHeaderSize+want {
+			t.Fatalf("sec=%v encoded length %d, want %d", sec, n, CtrlHeaderSize+want)
+		}
+		c, err := DecodeControl(buf[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeHandshake(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != h {
+			t.Fatalf("sec=%v round trip mismatch:\n got %+v\nwant %+v", sec, got, h)
+		}
+	}
+}
+
+// A pre-rendezvous decoder sees a clear rendezvous request as a plain
+// extended request (trailer ignored), and a current decoder sees a plain
+// secure handshake exactly as before — byte layout and MAC offset are
+// unchanged when the rendezvous option is absent.
+func TestRendezvousBackwardCompat(t *testing.T) {
+	h := rdvHandshake(false)
+	buf := make([]byte, 256)
+	n, err := EncodeHandshake(buf, &h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating the rendezvous trailer is what an old peer's re-encode
+	// does: the classic + extension fields must survive.
+	c, err := DecodeControl(buf[:CtrlHeaderSize+HandshakeExtBody])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeHandshake(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rdv() {
+		t.Fatal("truncated body still flags rendezvous")
+	}
+	if got.ConnID != h.ConnID || got.SockID != h.SockID {
+		t.Fatalf("classic/ext fields lost: %+v", got)
+	}
+
+	sec := secHandshake()
+	n, err = EncodeHandshake(buf, &sec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != CtrlHeaderSize+HandshakeSecBody {
+		t.Fatalf("plain secure body grew to %d", n-CtrlHeaderSize)
+	}
+	input, mac, err := HandshakeMACInput(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != handshakeMACOff || !bytes.Equal(mac, sec.MAC[:]) {
+		t.Fatal("plain secure MAC offset moved")
+	}
+}
+
+// The MAC of a secure rendezvous handshake must cover the rendezvous
+// trailer: flipping any trailer bit must change the covered prefix.
+func TestRendezvousMACCoversTrailer(t *testing.T) {
+	h := rdvHandshake(true)
+	buf := make([]byte, 256)
+	n, err := EncodeHandshake(buf, &h, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, mac, err := HandshakeMACInput(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(input) != HandshakeSecRdvBody-32 {
+		t.Fatalf("covered prefix %d bytes, want %d", len(input), HandshakeSecRdvBody-32)
+	}
+	if !bytes.Equal(mac, h.MAC[:]) {
+		t.Fatal("mac slice does not alias the MAC field")
+	}
+	// The covered prefix ends with the rendezvous nonce.
+	if binary.BigEndian.Uint64(input[len(input)-8:]) != h.RdvNonce {
+		t.Fatal("rendezvous nonce not at the end of the covered prefix")
+	}
+}
+
+// FuzzRendezvousTrailer focuses the codec fuzzer on the attacker-controlled
+// rendezvous trailer bytes: starting from valid clear and secure rendezvous
+// requests, arbitrary trailer mutations must never panic the decoder, must
+// keep the MAC split consistent with the decoder's length discrimination,
+// and must keep decode∘encode canonical for anything that still decodes as
+// secure or clear-rendezvous.
+func FuzzRendezvousTrailer(f *testing.F) {
+	buf := make([]byte, 256)
+	for _, sec := range []bool{false, true} {
+		h := rdvHandshake(sec)
+		n, _ := EncodeHandshake(buf, &h, 1)
+		f.Add(append([]byte(nil), buf[:n]...), uint32(0), uint64(0))
+		f.Add(append([]byte(nil), buf[:n]...), uint32(0xffffffff), uint64(0xffffffffffffffff))
+		f.Add(append([]byte(nil), buf[:n]...), RdvDial, uint64(1))
+	}
+
+	f.Fuzz(func(t *testing.T, raw []byte, flags uint32, nonce uint64) {
+		// Mutate the trailer in place when the body is long enough to
+		// carry one, then run the same invariants as FuzzDecodeHandshake.
+		if len(raw) >= CtrlHeaderSize+HandshakeSecRdvBody {
+			binary.BigEndian.PutUint32(raw[CtrlHeaderSize+64:], flags)
+			binary.BigEndian.PutUint64(raw[CtrlHeaderSize+68:], nonce)
+		} else if len(raw) >= CtrlHeaderSize+HandshakeRdvBody {
+			binary.BigEndian.PutUint32(raw[CtrlHeaderSize+36:], flags)
+			binary.BigEndian.PutUint64(raw[CtrlHeaderSize+40:], nonce)
+		}
+		c, err := DecodeControl(raw)
+		if err != nil || c.Type != TypeHandshake {
+			return
+		}
+		hs, err := DecodeHandshake(c)
+		if err != nil {
+			return
+		}
+		if _, mac, err := HandshakeMACInput(raw); err == nil {
+			if hs.Sec() && !bytes.Equal(mac, hs.MAC[:]) {
+				t.Fatalf("MACInput and DecodeHandshake disagree on the MAC location (body %d bytes)", len(c.Body))
+			}
+		} else if len(c.Body) >= HandshakeSecBody {
+			t.Fatalf("MACInput refused a body of %d bytes", len(c.Body))
+		}
+		if !hs.Sec() && !(hs.Rdv() && len(c.Body) < HandshakeSecBody) {
+			return
+		}
+		out := make([]byte, CtrlHeaderSize+HandshakeSecRdvBody)
+		n, err := EncodeHandshake(out, &hs, c.Timestamp)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		c2, err := DecodeControl(out[:n])
+		if err != nil {
+			t.Fatalf("re-decode control: %v", err)
+		}
+		hs2, err := DecodeHandshake(c2)
+		if err != nil {
+			t.Fatalf("re-decode handshake: %v", err)
+		}
+		if hs2 != hs {
+			t.Fatalf("re-encode changed the handshake:\n%+v\n%+v", hs, hs2)
+		}
+	})
+}

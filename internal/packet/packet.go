@@ -135,6 +135,16 @@ func DecodeData(raw []byte) (Data, error) {
 // peers again ignore the extra bytes; a body shorter than HandshakeSecBody
 // decodes with SecFlags zero — the signal the peer is paper-era, handled
 // by the endpoint's negotiate-down policy.
+//
+// A rendezvous dialer (paper §4: both sides dial simultaneously) appends
+// the rendezvous option — a flags word and an 8-byte tie-break nonce —
+// after the socket-ID pair (clear handshakes) or after the authentication
+// cookie (secure handshakes). The MAC always stays the final field and
+// covers the rendezvous option, so a secure rendezvous request cannot have
+// its trailer stripped or altered in flight. Old peers ignore the option:
+// a clear rendezvous request decodes on a pre-rendezvous listener as a
+// plain extended request (useful: rendezvous-to-listener still connects),
+// while a secure one fails MAC verification there and is dropped.
 type Handshake struct {
 	Version    int32 // protocol version; this implementation speaks 4
 	SockType   int32 // 0 = stream (the only mode the paper's UDT supports)
@@ -149,7 +159,11 @@ type Handshake struct {
 	SecFlags uint32   // authentication option flags (0 = option absent)
 	Nonce    [16]byte // this side's key-derivation nonce
 	Cookie   uint64   // source-address cookie (echoed from a challenge)
-	MAC      [32]byte // HMAC-SHA256 over the body bytes before this field
+
+	RdvFlags uint32 // rendezvous option flags (0 = option absent)
+	RdvNonce uint64 // rendezvous tie-break nonce
+
+	MAC [32]byte // HMAC-SHA256 over the body bytes before this field
 }
 
 // Ext reports whether the handshake carries the socket-ID extension.
@@ -157,6 +171,14 @@ func (h *Handshake) Ext() bool { return h.SockID != 0 }
 
 // Sec reports whether the handshake carries the authentication option.
 func (h *Handshake) Sec() bool { return h.SecFlags != 0 }
+
+// Rdv reports whether the handshake carries the rendezvous option.
+func (h *Handshake) Rdv() bool { return h.RdvFlags != 0 }
+
+// RdvDial is the RdvFlags value a rendezvous dialer sets: both sides send
+// requests carrying it, and the deterministic tie-break on (Cookie,
+// RdvNonce, ConnID) picks which side answers.
+const RdvDial uint32 = 1
 
 // Handshake request types carried in ReqType.
 const (
@@ -172,14 +194,29 @@ const (
 )
 
 // Handshake body sizes in bytes: the paper-era seven words, the
-// socket-ID-extended nine words, and the authentication-extended body.
+// socket-ID-extended nine words, the authentication-extended body, and the
+// rendezvous-extended variants of the clear and secure bodies. The decoder
+// discriminates by length, so every size must stay distinct and ordered.
 const (
 	HandshakeBody    = 28
 	HandshakeExtBody = 36
 	HandshakeSecBody = HandshakeExtBody + 4 + 16 + 8 + 32
 
-	// handshakeMACOff is the offset of the MAC within a secure body; the
-	// authenticator covers everything before it.
+	// rdvOptionSize is the rendezvous option: flags word + tie-break nonce.
+	rdvOptionSize = 4 + 8
+
+	// HandshakeRdvBody is a clear rendezvous request: the extended body
+	// plus the rendezvous option (no MAC).
+	HandshakeRdvBody = HandshakeExtBody + rdvOptionSize
+
+	// HandshakeSecRdvBody is a secure rendezvous request: the rendezvous
+	// option sits between the cookie and the (still final) MAC.
+	HandshakeSecRdvBody = HandshakeSecBody + rdvOptionSize
+
+	// handshakeMACOff is the offset of the MAC within a secure body
+	// without the rendezvous option; the authenticator covers everything
+	// before it. With the option the MAC shifts to the end of the body —
+	// HandshakeMACInput discriminates by length.
 	handshakeMACOff = HandshakeSecBody - 32
 )
 
@@ -268,8 +305,14 @@ func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 	if h.Ext() {
 		body = HandshakeExtBody
 	}
+	if h.Rdv() {
+		body = HandshakeRdvBody
+	}
 	if h.Sec() {
 		body = HandshakeSecBody
+		if h.Rdv() {
+			body = HandshakeSecRdvBody
+		}
 	}
 	n := CtrlHeaderSize + body
 	if len(dst) < n {
@@ -284,11 +327,21 @@ func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 		binary.BigEndian.PutUint32(b[28:], uint32(h.SockID))
 		binary.BigEndian.PutUint32(b[32:], uint32(h.PeerSockID))
 	}
-	if h.Sec() {
+	switch {
+	case h.Sec():
 		binary.BigEndian.PutUint32(b[36:], h.SecFlags)
 		copy(b[40:56], h.Nonce[:])
 		binary.BigEndian.PutUint64(b[56:64], h.Cookie)
-		copy(b[handshakeMACOff:HandshakeSecBody], h.MAC[:])
+		macOff := handshakeMACOff
+		if h.Rdv() {
+			binary.BigEndian.PutUint32(b[64:], h.RdvFlags)
+			binary.BigEndian.PutUint64(b[68:76], h.RdvNonce)
+			macOff = HandshakeSecRdvBody - 32
+		}
+		copy(b[macOff:macOff+32], h.MAC[:])
+	case h.Rdv():
+		binary.BigEndian.PutUint32(b[36:], h.RdvFlags)
+		binary.BigEndian.PutUint64(b[40:48], h.RdvNonce)
 	}
 	return n, nil
 }
@@ -296,14 +349,21 @@ func EncodeHandshake(dst []byte, h *Handshake, ts int32) (int, error) {
 // HandshakeMACInput splits an encoded secure handshake packet into the
 // body prefix the authenticator covers and the MAC field itself (both
 // aliasing pkt). The control header — whose timestamp a retransmitting
-// dialer may refresh — is deliberately outside the covered prefix. err is
-// non-nil when pkt is too short to carry the authentication option.
+// dialer may refresh — is deliberately outside the covered prefix. The
+// split point is length-discriminated the same way DecodeHandshake is:
+// a body long enough for the rendezvous option puts the MAC after it, so
+// the authenticator covers the rendezvous trailer too. err is non-nil
+// when pkt is too short to carry the authentication option.
 func HandshakeMACInput(pkt []byte) (input, mac []byte, err error) {
 	if len(pkt) < CtrlHeaderSize+HandshakeSecBody {
 		return nil, nil, ErrShort
 	}
 	b := pkt[CtrlHeaderSize:]
-	return b[:handshakeMACOff], b[handshakeMACOff:HandshakeSecBody], nil
+	macOff := handshakeMACOff
+	if len(b) >= HandshakeSecRdvBody {
+		macOff = HandshakeSecRdvBody - 32
+	}
+	return b[:macOff], b[macOff : macOff+32], nil
 }
 
 // DecodeHandshake interprets the body of a handshake control packet. A
@@ -331,11 +391,30 @@ func DecodeHandshake(c Control) (Handshake, error) {
 		h.SockID = get(7)
 		h.PeerSockID = get(8)
 	}
-	if len(c.Body) >= HandshakeSecBody {
+	switch {
+	case len(c.Body) >= HandshakeSecRdvBody:
+		h.SecFlags = binary.BigEndian.Uint32(c.Body[36:])
+		copy(h.Nonce[:], c.Body[40:56])
+		h.Cookie = binary.BigEndian.Uint64(c.Body[56:64])
+		// The rendezvous nonce is meaningful only when the option is
+		// present (flags nonzero); leaving it zero otherwise keeps
+		// decode∘encode canonical for non-rendezvous handshakes padded
+		// out to this length.
+		if f := binary.BigEndian.Uint32(c.Body[64:]); f != 0 {
+			h.RdvFlags = f
+			h.RdvNonce = binary.BigEndian.Uint64(c.Body[68:76])
+		}
+		copy(h.MAC[:], c.Body[HandshakeSecRdvBody-32:HandshakeSecRdvBody])
+	case len(c.Body) >= HandshakeSecBody:
 		h.SecFlags = binary.BigEndian.Uint32(c.Body[36:])
 		copy(h.Nonce[:], c.Body[40:56])
 		h.Cookie = binary.BigEndian.Uint64(c.Body[56:64])
 		copy(h.MAC[:], c.Body[handshakeMACOff:HandshakeSecBody])
+	case len(c.Body) >= HandshakeRdvBody:
+		if f := binary.BigEndian.Uint32(c.Body[36:]); f != 0 {
+			h.RdvFlags = f
+			h.RdvNonce = binary.BigEndian.Uint64(c.Body[40:48])
+		}
 	}
 	return h, nil
 }

@@ -358,9 +358,11 @@ func TestHandshakeSockIDRoundTrip(t *testing.T) {
 		return got == want
 	}
 	// These directions pin the pre-secure wire shapes; the authentication
-	// option has its own round-trip tests and fuzz target.
+	// and rendezvous options have their own round-trip tests and fuzz
+	// targets.
 	clearSec := func(h Handshake) Handshake {
 		h.SecFlags, h.Nonce, h.Cookie, h.MAC = 0, [16]byte{}, 0, [32]byte{}
+		h.RdvFlags, h.RdvNonce = 0, 0
 		return h
 	}
 	// Extended direction: force a nonzero SockID.

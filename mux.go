@@ -69,6 +69,7 @@ type Mux struct {
 
 	mu       sync.Mutex
 	pending  map[int32]*pendingDial  // our socket ID → dial awaiting response
+	rdv      map[string]*pendingDial // peer address → rendezvous dial awaiting crossing
 	accepted map[string]*acceptEntry // addr|connID|sockID → answered request
 	conns    map[*Conn]struct{}
 	listener *Listener
@@ -97,6 +98,17 @@ type pendingDial struct {
 	deadline int64      // µs on the shard clock; after this the dial dies
 	dead     chan error // buffered 1; delivers ErrTimeout or a send error
 	schedSt  schedState
+
+	// Rendezvous state, zero for ordinary dials (see Mux.Rendezvous). While
+	// the dial is pending it is registered in m.rdv under rdvKey; a crossing
+	// request that loses the tie-break against req is answered by building
+	// the connection directly on flow and delivering it through estab.
+	rdvKey   string
+	rdvNonce uint64
+	isn      int32
+	flow     *muxFlow
+	req      packet.Handshake
+	estab    chan *Conn // buffered 1; a won crossing delivers the conn here
 }
 
 func (pd *pendingDial) sched() *schedState { return &pd.schedSt }
@@ -179,6 +191,7 @@ func newMux(pc PacketConn, cfg *Config, rcvBuf, sndBuf int) (*Mux, error) {
 		udpRcvBuf: rcvBuf,
 		udpSndBuf: sndBuf,
 		pending:   make(map[int32]*pendingDial),
+		rdv:       make(map[string]*pendingDial),
 		accepted:  make(map[string]*acceptEntry),
 		conns:     make(map[*Conn]struct{}),
 		done:      make(chan struct{}),
@@ -707,6 +720,10 @@ func (m *Mux) handleHandshake(raw []byte, from net.Addr) {
 		// goroutine echoes the cookie in a fresh request.
 		m.completeDial(hs, from)
 	case packet.HSRequest:
+		if hs.Rdv() {
+			m.rendezvousCross(hs, from, raw)
+			return
+		}
 		m.answerRequest(hs, from, raw)
 	}
 }

@@ -61,6 +61,18 @@
 #                                             process goroutine count — which
 #                                             must stay O(shards + sockets),
 #                                             not O(flows); see EXPERIMENTS.md
+#   framed_mbps                               full transfers through the
+#                                             fabric.Framed stream adapter over
+#                                             a TCP loopback connection
+#                                             (BenchmarkFramedThroughput)
+#   rdv_handshake_p50_us                      median rendezvous crossing
+#                                             latency — both sides dialing to
+#                                             established connection over an
+#                                             in-process pipe
+#                                             (BenchmarkRendezvousHandshake;
+#                                             median so a rare lost-crossing
+#                                             250 ms retransmit outlier does
+#                                             not swamp the figure)
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-/dev/stdout}"
@@ -78,6 +90,8 @@ zc=$(go test . -run XXX -bench 'SendFileZC$' -benchtime 1x 2>/dev/null | awk '/^
 mux=$(go test ./internal/mux -run XXX -bench 'MuxDemux$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemux/ {print $3, $7}')
 muxwide=$(go test ./internal/mux -run XXX -bench 'MuxDemuxFlows/flows=4096$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkMuxDemuxFlows/ {print $3}')
 scale=$(go test . -run XXX -bench 'FlowScale100k$' -benchtime 1x -timeout 30m 2>/dev/null | awk '/^BenchmarkFlowScale100k/ {g = p = a = k = "null"; for (i = 1; i < NF; i++) { if ($(i+1) == "goodput-Mbps") g = $i; if ($(i+1) == "p99-ack-µs") p = $i; if ($(i+1) == "allocs/pkt") a = $i; if ($(i+1) == "peak-goroutines") k = $i } print g, p, a, k}')
+framed=$(go test ./fabric -run XXX -bench 'FramedThroughput$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkFramedThroughput/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
+rdv=$(go test . -run XXX -bench 'RendezvousHandshake$' -benchtime 50x 2>/dev/null | awk '/^BenchmarkRendezvousHandshake/ {for (i = 1; i < NF; i++) if ($(i+1) == "p50_us") print $i}')
 
 set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
@@ -108,6 +122,8 @@ cat > "$out" <<EOF
   "flowscale_100k_goodput_mbps": $scale_mbps,
   "flowscale_100k_p99_ack_us": $scale_p99,
   "flowscale_100k_allocs_per_packet": $scale_allocs,
-  "flowscale_100k_peak_goroutines": $scale_peak
+  "flowscale_100k_peak_goroutines": $scale_peak,
+  "framed_mbps": $framed,
+  "rdv_handshake_p50_us": $rdv
 }
 EOF

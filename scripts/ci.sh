@@ -14,7 +14,7 @@ GOOS=windows go build ./...
 # including the root package (Conn/Mux/pool scheduler APIs) and the shared
 # timer wheel — must carry a doc comment, and every relative Markdown link
 # must resolve (mdcheck covers DESIGN.md, EXPERIMENTS.md and README.md).
-go run ./scripts/doccheck . internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/secure internal/timerwheel internal/timing internal/trace
+go run ./scripts/doccheck . fabric udtfs internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/secure internal/timerwheel internal/timing internal/trace
 go run ./scripts/mdcheck
 # Fast fail on the concurrency-heavy packages first: the demultiplexer and
 # the chaos harness in short mode, before the full (slower) race run.
@@ -25,6 +25,9 @@ go test -race ./...
 # and must stay canonical (decode∘encode identity). A short run per pass;
 # longer campaigns reuse the accumulated corpus.
 go test ./internal/packet -run XXX -fuzz 'FuzzDecodeHandshake' -fuzztime 10s
+# The rendezvous trailer rides the same attacker-controlled handshake
+# bytes; its codec gets its own smoke run.
+go test ./internal/packet -run XXX -fuzz 'FuzzRendezvousTrailer' -fuzztime 10s
 # Offload smoke: proves UDP_SEGMENT trains actually flow on capable
 # kernels and prints the train/syscall verdict; the test skips itself
 # (never fails) where the kernel or container runtime withholds

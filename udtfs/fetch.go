@@ -1,0 +1,178 @@
+package udtfs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+	"time"
+
+	"udt"
+)
+
+// Fetcher retrieves files from a udtfs server, resuming across dropped
+// connections: every received byte folds into a running SHA-256, and
+// when the connection dies mid-body the fetch re-dials and re-requests
+// from the byte offset already verified into the hash. The caller
+// supplies Dial, so resume works over any way of reaching the server — a
+// plain dial, a shared Mux, or a fresh rendezvous crossing.
+type Fetcher struct {
+	// Dial opens a connection to the server. It is called for the first
+	// attempt and again after each mid-transfer connection death.
+	Dial func() (*udt.Conn, error)
+	// Retries bounds consecutive failed resume attempts (a re-dial or
+	// re-request that moves the transfer forward resets the count).
+	// Default 5.
+	Retries int
+	// Backoff is the delay before each re-dial. Default 200 ms.
+	Backoff time.Duration
+}
+
+// FetchResult describes a completed fetch.
+type FetchResult struct {
+	// Bytes is the number of payload bytes this call wrote.
+	Bytes int64
+	// Size is the file's total size as reported by the server.
+	Size int64
+	// SHA256 digests the fetched range plus any resumed prefix: a fetch
+	// from offset 0 (or a ResumeFetch over the stored prefix) yields the
+	// whole file's digest.
+	SHA256 [sha256.Size]byte
+	// Resumes counts mid-transfer connection deaths survived.
+	Resumes int
+}
+
+// Fetch retrieves the whole named file into w.
+func (f *Fetcher) Fetch(name string, w io.Writer) (FetchResult, error) {
+	return f.fetch(name, w, 0, 0, sha256.New())
+}
+
+// FetchRange retrieves limit bytes starting at offset (limit 0 = to end
+// of file). The result digest covers the fetched range only.
+func (f *Fetcher) FetchRange(name string, w io.Writer, offset, limit int64) (FetchResult, error) {
+	if offset < 0 || limit < 0 {
+		return FetchResult{}, fmt.Errorf("udtfs: negative range offset=%d limit=%d", offset, limit)
+	}
+	return f.fetch(name, w, offset, limit, sha256.New())
+}
+
+// ResumeFetch continues an interrupted whole-file fetch whose first
+// bytes are already stored locally: prefix re-reads them (they are
+// folded into the digest, verifying what is on disk is what the final
+// hash covers), and the server is asked for everything after them. The
+// result digest is the whole file's.
+func (f *Fetcher) ResumeFetch(name string, prefix io.Reader, w io.Writer) (FetchResult, error) {
+	h := sha256.New()
+	off, err := io.Copy(h, prefix)
+	if err != nil {
+		return FetchResult{}, fmt.Errorf("udtfs: hashing stored prefix: %w", err)
+	}
+	return f.fetch(name, w, off, 0, h)
+}
+
+// fetch runs the resume loop: request [offset+got, …) on a fresh
+// connection each round until the advertised range is complete.
+func (f *Fetcher) fetch(name string, w io.Writer, offset, limit int64, h hash.Hash) (FetchResult, error) {
+	if f.Dial == nil {
+		return FetchResult{}, errors.New("udtfs: Fetcher.Dial is nil")
+	}
+	retries := f.Retries
+	if retries <= 0 {
+		retries = 5
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = 200 * time.Millisecond
+	}
+	var res FetchResult
+	var got int64     // payload bytes received so far
+	want := int64(-1) // total bytes this fetch owes; fixed by the first response
+	fails := 0
+	for {
+		var lim int64 // what is left of the caller's limit; 0 = to EOF
+		if limit > 0 {
+			lim = limit - got
+		}
+		n, size, err := f.fetchOnce(name, w, h, offset+got, lim)
+		got += n
+		res.Bytes = got
+		if n > 0 {
+			fails = 0
+		}
+		if size >= 0 {
+			if want < 0 {
+				// The first response fixes the contract: total size, and
+				// from it the range length this fetch owes.
+				want = size - offset
+				if limit > 0 && limit < want {
+					want = limit
+				}
+				if want < 0 {
+					return res, ErrBadRange
+				}
+				res.Size = size
+			} else if size != res.Size {
+				return res, fmt.Errorf("udtfs: file size changed mid-fetch (%d → %d)", res.Size, size)
+			}
+		}
+		if want >= 0 && got >= want {
+			h.Sum(res.SHA256[:0])
+			return res, nil
+		}
+		if err == nil {
+			// Clean response but short range: the file shrank server-side.
+			return res, errShortBody(got, want)
+		}
+		// In-band refusals are final; only transport deaths are retried.
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrBusy) ||
+			errors.Is(err, ErrBadRange) || errors.Is(err, ErrServer) || errors.Is(err, ErrDesync) {
+			return res, err
+		}
+		fails++
+		if fails > retries {
+			return res, fmt.Errorf("udtfs: fetch of %q stalled at byte %d after %d attempts: %w",
+				name, offset+got, fails, err)
+		}
+		res.Resumes++
+		time.Sleep(backoff)
+	}
+}
+
+// fetchOnce runs one connection's worth of transfer: dial, request,
+// stream the body into w and h until it completes or the connection
+// dies. It returns the bytes received, the server-advertised total size
+// (-1 if no response arrived), and the error that stopped it.
+func (f *Fetcher) fetchOnce(name string, w io.Writer, h hash.Hash, offset, limit int64) (int64, int64, error) {
+	c, err := f.Dial()
+	if err != nil {
+		return 0, -1, err
+	}
+	defer c.Close() //nolint:errcheck
+	if err := WriteRequest(c, &Request{Op: OpFetch, Name: name, Offset: offset, Limit: limit}); err != nil {
+		return 0, -1, err
+	}
+	resp, err := ReadResponse(c)
+	if err != nil {
+		return 0, -1, err
+	}
+	if resp.Status != StatusOK {
+		// A refusal's Size (meaningful only for BadRange) must not fix the
+		// fetch contract — report "no size learned" alongside the error.
+		return 0, -1, statusErr(resp.Status)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, resp.Size, err
+	}
+	bodyLen := int64(binary.BigEndian.Uint64(hdr[:]))
+	if bodyLen < 0 {
+		return 0, resp.Size, ErrDesync
+	}
+	n, err := io.CopyN(io.MultiWriter(w, h), c, bodyLen)
+	if err == nil && n < bodyLen {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, resp.Size, err
+}

@@ -1,0 +1,293 @@
+// Package udtfs is a resumable file-transfer service on top of UDT
+// connections. A Server exposes a registry of named files and answers
+// fetch requests with length-framed bodies — whole regular files go
+// through the connection's zero-copy SendFileZC path; ranged requests
+// stream the requested section. A Fetcher retrieves files resumably: it
+// folds every received byte into a running SHA-256 and, when a
+// connection dies mid-transfer, re-dials and re-requests from the byte
+// offset already verified, so an interrupted fetch completes
+// byte-identical over a fresh connection (including one established by
+// rendezvous — the service is transport-agnostic and runs over any
+// fabric a Conn does).
+//
+// Server-side housekeeping follows the repository's no-per-X-timer
+// discipline: connection idle timeouts are intrusive timers on one
+// shared timer wheel advanced by a single housekeeping goroutine, and
+// per-peer concurrent-transfer caps bound the work any one peer can pin.
+package udtfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"udt"
+	"udt/internal/timerwheel"
+	"udt/internal/timing"
+)
+
+// ServerConfig shapes a Server. The zero value is ready to use.
+type ServerConfig struct {
+	// MaxPerPeer caps concurrent transfers per peer address (across all
+	// that peer's connections); excess requests are answered StatusBusy.
+	// Default 4.
+	MaxPerPeer int
+	// IdleTimeout closes connections with no request activity for this
+	// long. Timeouts ride one shared timer wheel — no per-connection
+	// runtime timers. Default 30s.
+	IdleTimeout time.Duration
+}
+
+// Server answers udtfs requests over UDT connections.
+type Server struct {
+	cfg   ServerConfig
+	clock *timing.SysClock // wheel deadlines; origin at server start
+
+	mu      sync.Mutex
+	files   map[string]string // registered name → filesystem path
+	perPeer map[string]int    // peer address → active transfers
+	wheel   *timerwheel.Wheel // idle timers; guarded by mu
+	active  map[*connState]struct{}
+	closed  bool
+	done    chan struct{}
+	wake    chan struct{} // nudges the housekeeper after (re)scheduling
+	wg      sync.WaitGroup
+}
+
+// connState is one served connection's seat on the idle wheel.
+type connState struct {
+	c     *udt.Conn
+	timer timerwheel.Timer
+}
+
+// NewServer builds a Server and starts its housekeeping goroutine.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.MaxPerPeer <= 0 {
+		cfg.MaxPerPeer = 4
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		clock:   timing.NewSysClock(),
+		files:   make(map[string]string),
+		perPeer: make(map[string]int),
+		wheel:   timerwheel.New(),
+		active:  make(map[*connState]struct{}),
+		done:    make(chan struct{}),
+		wake:    make(chan struct{}, 1),
+	}
+	s.wg.Add(1)
+	go s.housekeeper()
+	return s
+}
+
+// Register exposes path under name. Re-registering a name replaces its
+// path. The file is opened per request, so it may appear later — a
+// request meanwhile is answered StatusErr.
+func (s *Server) Register(name, path string) {
+	s.mu.Lock()
+	s.files[name] = path
+	s.mu.Unlock()
+}
+
+// Unregister removes a name from the registry.
+func (s *Server) Unregister(name string) {
+	s.mu.Lock()
+	delete(s.files, name)
+	s.mu.Unlock()
+}
+
+// Serve accepts connections from ln and serves each until it closes or
+// idles out. It returns when the listener closes. Serve may be called on
+// several listeners concurrently; ServeConn serves connections
+// established some other way (e.g. rendezvous).
+func (s *Server) Serve(ln *udt.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(c) //nolint:errcheck
+	}
+}
+
+// ServeConn serves udtfs requests on one established connection until
+// the connection dies, the peer desynchronizes, or the idle timeout
+// fires. It closes c before returning.
+func (s *Server) ServeConn(c *udt.Conn) error {
+	st := &connState{c: c}
+	st.timer.Owner = st
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close() //nolint:errcheck
+		return udt.ErrClosed
+	}
+	s.active[st] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		c.Close() //nolint:errcheck
+		s.mu.Lock()
+		delete(s.active, st)
+		s.wheel.Cancel(&st.timer)
+		s.mu.Unlock()
+	}()
+	peer := c.RemoteAddr().String()
+	for {
+		s.touch(st)
+		req, err := ReadRequest(c)
+		if err != nil {
+			return err
+		}
+		s.touch(st)
+		if err := s.handle(c, peer, req); err != nil {
+			return err
+		}
+	}
+}
+
+// touch re-arms st's idle timer one IdleTimeout from now.
+func (s *Server) touch(st *connState) {
+	s.mu.Lock()
+	if !s.closed {
+		s.wheel.Schedule(&st.timer, s.clock.Now()+s.cfg.IdleTimeout.Microseconds())
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// housekeeper is the single goroutine that advances the idle wheel,
+// closing connections whose timers fire. Closing unblocks the
+// connection's ServeConn goroutine, which does the bookkeeping.
+func (s *Server) housekeeper() {
+	defer s.wg.Done()
+	const maxSleep = 500 * time.Millisecond
+	for {
+		now := s.clock.Now()
+		s.mu.Lock()
+		var idle []*udt.Conn
+		s.wheel.Advance(now, func(t *timerwheel.Timer) {
+			idle = append(idle, t.Owner.(*connState).c)
+		})
+		next := s.wheel.Next()
+		s.mu.Unlock()
+		for _, c := range idle {
+			c.Close() //nolint:errcheck
+		}
+		sleep := maxSleep
+		if next != timerwheel.NoDeadline {
+			if d := time.Duration(next-now) * time.Microsecond; d < sleep {
+				sleep = d
+			}
+			if sleep < time.Millisecond {
+				sleep = time.Millisecond
+			}
+		}
+		t := time.NewTimer(sleep)
+		select {
+		case <-s.done:
+			t.Stop()
+			return
+		case <-s.wake:
+			t.Stop()
+		case <-t.C:
+		}
+	}
+}
+
+// handle answers one request on c. A returned error means the
+// connection is unusable (send failure mid-frame); protocol-level
+// refusals are answered in-band and return nil.
+func (s *Server) handle(c *udt.Conn, peer string, req *Request) error {
+	if req.Op != OpFetch {
+		return WriteResponse(c, &Response{Status: StatusErr})
+	}
+	s.mu.Lock()
+	path, known := s.files[req.Name]
+	if known && s.perPeer[peer] >= s.cfg.MaxPerPeer {
+		s.mu.Unlock()
+		return WriteResponse(c, &Response{Status: StatusBusy})
+	}
+	if known {
+		s.perPeer[peer]++
+	}
+	s.mu.Unlock()
+	if !known {
+		return WriteResponse(c, &Response{Status: StatusNotFound})
+	}
+	defer func() {
+		s.mu.Lock()
+		if s.perPeer[peer]--; s.perPeer[peer] == 0 {
+			delete(s.perPeer, peer)
+		}
+		s.mu.Unlock()
+	}()
+	return s.sendFile(c, path, req)
+}
+
+// sendFile streams the requested range. A whole regular file takes the
+// zero-copy SendFileZC path (its wire framing is identical to
+// SendFile's); a range streams through a section reader.
+func (s *Server) sendFile(c *udt.Conn, path string, req *Request) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return WriteResponse(c, &Response{Status: StatusErr})
+	}
+	defer f.Close() //nolint:errcheck
+	fi, err := f.Stat()
+	if err != nil {
+		return WriteResponse(c, &Response{Status: StatusErr})
+	}
+	size := fi.Size()
+	if req.Offset > size {
+		return WriteResponse(c, &Response{Status: StatusBadRange, Size: size})
+	}
+	want := size - req.Offset
+	if req.Limit > 0 && req.Limit < want {
+		want = req.Limit
+	}
+	if err := WriteResponse(c, &Response{Status: StatusOK, Size: size}); err != nil {
+		return err
+	}
+	if req.Offset == 0 && want == size && fi.Mode().IsRegular() {
+		_, err = c.SendFileZC(f)
+		return err
+	}
+	_, err = c.SendFile(io.NewSectionReader(f, req.Offset, want), want)
+	return err
+}
+
+// Close stops the housekeeper and closes every connection the server is
+// serving. In-flight ServeConn calls return as their connections die.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*udt.Conn, 0, len(s.active))
+	for st := range s.active {
+		conns = append(conns, st.c)
+	}
+	s.mu.Unlock()
+	close(s.done)
+	for _, c := range conns {
+		c.Close() //nolint:errcheck
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// errShortBody reports a body that ended before the advertised length —
+// the signature of a connection dying mid-transfer.
+func errShortBody(got, want int64) error {
+	return fmt.Errorf("udtfs: body truncated at %d of %d bytes: %w", got, want, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,160 @@
+package udtfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire protocol. Every transfer is one request/response exchange on an
+// established UDT connection, followed on success by one length-framed
+// body bit-identical to Conn.SendFile's framing — which is what lets the
+// server push whole files through the zero-copy SendFileZC path.
+//
+//	request:  magic(4) | op(1) | nameLen(2, BE) | name | offset(8, BE) | limit(8, BE)
+//	response: magic(4) | status(1) | size(8, BE)
+//	body:     length(8, BE) | payload   (StatusOK only)
+//
+// size is always the file's total size, whatever the requested range —
+// it is how a resuming client knows how much remains.
+
+// Magic opens every udtfs frame; a mismatch means the peer is not
+// speaking udtfs and the connection is torn down rather than resynced.
+var Magic = [4]byte{'U', 'F', 'S', '1'}
+
+// Request operations.
+const (
+	// OpFetch asks for limit bytes of the named file starting at offset;
+	// limit 0 means "to end of file".
+	OpFetch = 1
+)
+
+// Response statuses.
+const (
+	StatusOK       = 0 // body follows
+	StatusNotFound = 1 // name not registered
+	StatusBusy     = 2 // per-peer concurrent-transfer cap reached
+	StatusBadRange = 3 // offset beyond end of file
+	StatusErr      = 4 // server-side I/O failure
+)
+
+// maxNameLen bounds the file identifier; longer names are an encode-time
+// error, and a decoded header claiming more is treated as a desync.
+const maxNameLen = 4096
+
+// Request is one client→server transfer request.
+type Request struct {
+	Op     byte
+	Name   string
+	Offset int64
+	Limit  int64 // 0 = to end of file
+}
+
+// Response is the server's header answering one request. Size is the
+// file's total size (not the range length) so a partial fetch knows the
+// whole, and is 0 on any non-OK status.
+type Response struct {
+	Status byte
+	Size   int64
+}
+
+// ErrDesync reports bytes on the connection that are not a udtfs frame.
+var ErrDesync = errors.New("udtfs: connection desynchronized (bad magic)")
+
+// WriteRequest encodes and sends one request.
+func WriteRequest(w io.Writer, req *Request) error {
+	if len(req.Name) == 0 || len(req.Name) > maxNameLen {
+		return fmt.Errorf("udtfs: file name length %d out of range [1,%d]", len(req.Name), maxNameLen)
+	}
+	if req.Offset < 0 || req.Limit < 0 {
+		return fmt.Errorf("udtfs: negative range offset=%d limit=%d", req.Offset, req.Limit)
+	}
+	buf := make([]byte, 0, 4+1+2+len(req.Name)+16)
+	buf = append(buf, Magic[:]...)
+	buf = append(buf, req.Op)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(req.Name)))
+	buf = append(buf, req.Name...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Offset))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(req.Limit))
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadRequest decodes one request from the stream.
+func ReadRequest(r io.Reader) (*Request, error) {
+	var hdr [7]byte // magic + op + nameLen
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return nil, ErrDesync
+	}
+	nameLen := int(binary.BigEndian.Uint16(hdr[5:7]))
+	if nameLen == 0 || nameLen > maxNameLen {
+		return nil, ErrDesync
+	}
+	rest := make([]byte, nameLen+16)
+	if _, err := io.ReadFull(r, rest); err != nil {
+		return nil, err
+	}
+	req := &Request{
+		Op:     hdr[4],
+		Name:   string(rest[:nameLen]),
+		Offset: int64(binary.BigEndian.Uint64(rest[nameLen:])),
+		Limit:  int64(binary.BigEndian.Uint64(rest[nameLen+8:])),
+	}
+	if req.Offset < 0 || req.Limit < 0 {
+		return nil, ErrDesync
+	}
+	return req, nil
+}
+
+// WriteResponse encodes and sends one response header.
+func WriteResponse(w io.Writer, resp *Response) error {
+	var buf [13]byte
+	copy(buf[:4], Magic[:])
+	buf[4] = resp.Status
+	binary.BigEndian.PutUint64(buf[5:], uint64(resp.Size))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadResponse decodes one response header from the stream.
+func ReadResponse(r io.Reader) (*Response, error) {
+	var buf [13]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return nil, err
+	}
+	if [4]byte(buf[:4]) != Magic {
+		return nil, ErrDesync
+	}
+	resp := &Response{Status: buf[4], Size: int64(binary.BigEndian.Uint64(buf[5:]))}
+	if resp.Size < 0 {
+		return nil, ErrDesync
+	}
+	return resp, nil
+}
+
+// statusErr turns a non-OK response status into the sentinel error the
+// client API surfaces.
+func statusErr(status byte) error {
+	switch status {
+	case StatusNotFound:
+		return ErrNotFound
+	case StatusBusy:
+		return ErrBusy
+	case StatusBadRange:
+		return ErrBadRange
+	default:
+		return ErrServer
+	}
+}
+
+// Sentinel errors mapping the wire statuses.
+var (
+	ErrNotFound = errors.New("udtfs: file not registered on server")
+	ErrBusy     = errors.New("udtfs: per-peer transfer limit reached")
+	ErrBadRange = errors.New("udtfs: requested offset beyond end of file")
+	ErrServer   = errors.New("udtfs: server-side I/O failure")
+)
