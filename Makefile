@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race muxrace fabric vet ci bench smoke docs chaos ccmatrix
+.PHONY: all build test race muxrace fabric vet ci bench smoke docs chaos ccmatrix campaign
 
 all: build
 
@@ -46,7 +46,7 @@ bench:
 # (including the root package and the timer wheel) and Markdown link
 # integrity.
 docs:
-	$(GO) run ./scripts/doccheck . fabric udtfs internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
+	$(GO) run ./scripts/doccheck . fabric udtfs internal/campaign internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/timerwheel internal/timing internal/trace
 	$(GO) run ./scripts/mdcheck
 
 # chaos runs the fixed-seed fault-injection matrix: full transfers of
@@ -64,6 +64,15 @@ chaos:
 # control".
 ccmatrix:
 	$(GO) run ./cmd/udtchaos -ccmatrix -determinism
+
+# campaign runs the CI topology campaigns: the 100-flow mixed-law dumbbell
+# and the 32-flow flash-crowd star over multi-hop netem fabrics, each
+# replayed twice and required to hash identically, then diffed against the
+# pinned perf baseline. Seconds of wall time; see DESIGN.md §4.12 and
+# EXPERIMENTS.md.
+campaign:
+	$(GO) run ./cmd/udtchaos -campaign -determinism -metrics BENCH_campaign.json -v
+	$(GO) run ./scripts/benchdiff -baseline BENCH_baseline.json -current BENCH_campaign.json
 
 # smoke is the fast correctness pass: the allocation gates plus the simulator
 # determinism suite.

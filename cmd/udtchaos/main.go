@@ -5,24 +5,33 @@
 //
 // Usage:
 //
-//	udtchaos [-seed N] [-determinism] [-ccmatrix] [-real] [-v]
+//	udtchaos [-seed N] [-determinism] [-ccmatrix] [-campaign] [-real] [-v]
+//	         [-kv] [-metrics FILE] [-report DIR]
 //
 // Exit status is non-zero if any matrix cell fails. With -determinism each
 // cell runs twice and the two results must be bit-identical — the replay
 // guarantee the virtual clock provides. With -ccmatrix the congestion-control
 // matrix runs instead of the impairment matrix: every pluggable law carries
 // a transfer through loss, and fairness cells race two laws over one shared
-// rate-capped link. With -real a smoke subset also runs over the production
-// Dial/Listen stack — one transfer per congestion controller.
+// rate-capped link. With -campaign the CI campaign set runs instead: the
+// 100-flow mixed-law dumbbell and the 32-flow flash-crowd star over multi-hop
+// netem topologies (-kv prints flat benchdiff metric lines, -metrics writes
+// them as JSON, -report writes per-campaign JSONL reports). With -real a
+// smoke subset also runs over the production Dial/Listen stack — one
+// transfer per congestion controller.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 
 	"udt"
+	"udt/internal/campaign"
 	"udt/internal/netem"
 	"udt/internal/netem/chaos"
 )
@@ -31,9 +40,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "PRNG seed for payloads, handshakes and impairments")
 	determinism := flag.Bool("determinism", false, "run every cell twice and require bit-identical results")
 	ccmatrix := flag.Bool("ccmatrix", false, "run the congestion-control matrix instead of the impairment matrix")
+	camp := flag.Bool("campaign", false, "run the CI campaign set (multi-flow topologies) instead of the impairment matrix")
 	real := flag.Bool("real", false, "also run a smoke subset over the concurrent udt stack")
+	kv := flag.Bool("kv", false, "with -campaign: print flat 'key value' metric lines for the bench history")
+	metricsFile := flag.String("metrics", "", "with -campaign: write flat metrics JSON to this file")
+	reportDir := flag.String("report", "", "with -campaign: write per-campaign JSONL reports into this directory")
 	verbose := flag.Bool("v", false, "print per-cell protocol counters")
 	flag.Parse()
+
+	if *camp {
+		os.Exit(runCampaigns(*determinism, *kv, *metricsFile, *reportDir, *verbose))
+	}
 
 	failed := 0
 	cases := chaos.QuickMatrix()
@@ -158,6 +175,98 @@ func main() {
 		fmt.Printf("udtchaos: %d failure(s)\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runCampaigns executes the CI campaign set and returns the process exit
+// code. With determinism each campaign runs twice and the two reports must
+// hash identically — the replay guarantee, now over whole topologies.
+func runCampaigns(determinism, kv bool, metricsFile, reportDir string, verbose bool) int {
+	failed := 0
+	metrics := make(map[string]float64)
+	for _, spec := range campaign.CISet() {
+		rep, _, err := campaign.Run(spec)
+		if err != nil {
+			fmt.Printf("%-12s FAIL error=%v\n", spec.Name, err)
+			failed++
+			continue
+		}
+		det := ""
+		if determinism {
+			rep2, _, err := campaign.Run(spec)
+			switch {
+			case err != nil:
+				det = " replay=ERROR"
+				failed++
+			case rep.Digest() != rep2.Digest():
+				det = " replay=DIVERGED"
+				failed++
+			default:
+				det = " replay=identical"
+			}
+		}
+		if !rep.OK {
+			failed++
+		}
+		fmt.Printf("%s%s\n", rep, det)
+		if verbose {
+			for _, l := range rep.Links {
+				if l.DroppedQueue > 0 || l.Lost > 0 {
+					fmt.Printf("    link %s→%s offered=%d delivered=%d dropq=%d maxq=%d\n",
+						l.From, l.To, l.Offered, l.Delivered, l.DroppedQueue, l.MaxQueuePkts)
+				}
+			}
+		}
+		for k, v := range rep.Metrics() {
+			metrics[k] = v
+		}
+		if reportDir != "" {
+			if err := writeReport(reportDir, spec.Name, rep); err != nil {
+				fmt.Printf("%-12s FAIL report: %v\n", spec.Name, err)
+				failed++
+			}
+		}
+	}
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if kv {
+		for _, k := range keys {
+			fmt.Printf("%s %g\n", k, metrics[k])
+		}
+	}
+	if metricsFile != "" {
+		b, err := json.MarshalIndent(metrics, "", "  ")
+		if err == nil {
+			err = os.WriteFile(metricsFile, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Printf("udtchaos: write metrics: %v\n", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("udtchaos: %d failure(s)\n", failed)
+		return 1
+	}
+	return 0
+}
+
+// writeReport writes one campaign's JSONL report to dir/<name>.jsonl.
+func writeReport(dir, name string, rep *campaign.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSONL(f); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	return f.Close()
 }
 
 func okStr(ok bool) string {

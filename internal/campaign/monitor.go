@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"udt/internal/netem"
+	"udt/internal/trace"
+)
+
+// LinkSample is one point of a per-direction link series: the rate-cap
+// queue occupancy and the cumulative drop counters at virtual time T.
+type LinkSample struct {
+	T                int64 `json:"t_us"`
+	QueuePkts        int   `json:"queue_pkts"`
+	DroppedQueue     int64 `json:"dropped_queue"`
+	DroppedInboxFull int64 `json:"dropped_inbox"`
+	Delivered        int64 `json:"delivered"`
+}
+
+// linkSeries accumulates one direction's samples.
+type linkSeries struct {
+	from, to string
+	samples  []LinkSample
+	maxQueue int
+}
+
+// Monitor collects a campaign's measurements: per-flow telemetry records
+// through the engines' trace sinks (it implements trace.Sink) and per-link
+// queue/drop series sampled by the driver at the Spec's cadence. Attaching
+// it never perturbs the run — engine sampling adds no events and consumes
+// no randomness, and link sampling only reads counters.
+type Monitor struct {
+	flowRecs [][]trace.PerfRecord // indexed by PerfRecord.Flow
+	links    []linkSeries
+}
+
+// newMonitor sizes the monitor for nflows flows and one series per link
+// direction, in deterministic sorted-link order.
+func newMonitor(nflows int, topo *Topology) *Monitor {
+	m := &Monitor{flowRecs: make([][]trace.PerfRecord, nflows)}
+	for _, dir := range linkDirs(topo) {
+		m.links = append(m.links, linkSeries{from: dir[0], to: dir[1]})
+	}
+	return m
+}
+
+// linkDirs enumerates both directions of every topology link, sorted by
+// (from, to) so series order — and therefore report bytes — never depends
+// on construction order.
+func linkDirs(topo *Topology) [][2]string {
+	dirs := make([][2]string, 0, 2*len(topo.links))
+	for _, l := range topo.links {
+		dirs = append(dirs, [2]string{l.a, l.b}, [2]string{l.b, l.a})
+	}
+	sortDirs(dirs)
+	return dirs
+}
+
+func sortDirs(dirs [][2]string) {
+	for i := 1; i < len(dirs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := dirs[j-1], dirs[j]
+			if a[0] < b[0] || (a[0] == b[0] && a[1] <= b[1]) {
+				break
+			}
+			dirs[j-1], dirs[j] = b, a
+		}
+	}
+}
+
+// Record implements trace.Sink: one engine telemetry sample, copied (the
+// emitter reuses the record) into the flow's series.
+func (m *Monitor) Record(r *trace.PerfRecord) {
+	if int(r.Flow) < 0 || int(r.Flow) >= len(m.flowRecs) {
+		return
+	}
+	m.flowRecs[r.Flow] = append(m.flowRecs[r.Flow], *r)
+}
+
+// FlowSeries returns flow i's telemetry records in emission order (sender
+// and receiver samples interleaved; filter with trace.SenderSeries or
+// trace.GoodputSeries).
+func (m *Monitor) FlowSeries(i int) []trace.PerfRecord {
+	if i < 0 || i >= len(m.flowRecs) {
+		return nil
+	}
+	return m.flowRecs[i]
+}
+
+// LinkSeries returns the sampled series for one link direction (nil if the
+// direction is not part of the topology).
+func (m *Monitor) LinkSeries(from, to string) []LinkSample {
+	for i := range m.links {
+		if m.links[i].from == from && m.links[i].to == to {
+			return m.links[i].samples
+		}
+	}
+	return nil
+}
+
+// sampleLinks appends one sample per link direction at virtual time now.
+func (m *Monitor) sampleLinks(now int64, nw *netem.Net) {
+	for i := range m.links {
+		ls := &m.links[i]
+		st := nw.PathStats(ls.from, ls.to)
+		q := nw.QueueLen(ls.from, ls.to)
+		if q > ls.maxQueue {
+			ls.maxQueue = q
+		}
+		ls.samples = append(ls.samples, LinkSample{
+			T:                now,
+			QueuePkts:        q,
+			DroppedQueue:     st.DroppedQueue,
+			DroppedInboxFull: st.DroppedInboxFull,
+			Delivered:        st.Delivered,
+		})
+	}
+}

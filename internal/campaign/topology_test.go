@@ -1,0 +1,141 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"udt/internal/netem"
+)
+
+func TestRoutesPickShortestDeterministicPaths(t *testing.T) {
+	topo, flows := Dumbbell(2, netem.LinkConfig{}, netem.LinkConfig{})
+	path, err := topo.pathNodes("s0", "d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"s0", "l", "r", "d1"}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if err := topo.validate(flows); err != nil {
+		t.Fatalf("dumbbell flows must validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFlows(t *testing.T) {
+	topo, flows := Dumbbell(2, netem.LinkConfig{}, netem.LinkConfig{})
+	cases := []struct {
+		name  string
+		flows []FlowSpec
+		want  string
+	}{
+		{"unknown node", []FlowSpec{{Src: "s0", Dst: "nowhere"}}, "not in topology"},
+		{"self flow", []FlowSpec{{Src: "s0", Dst: "s0"}}, "sends to itself"},
+		{"reused endpoint", []FlowSpec{{Src: "s0", Dst: "d0"}, {Src: "s1", Dst: "d0"}}, "endpoint of both"},
+		{"no flows", nil, "no flows"},
+		{"routes through endpoint", nil, "routes through"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fl := tc.flows
+			if tc.name == "routes through endpoint" {
+				// A flow terminating at router "l" makes "l" a leaf that the
+				// s1→d1 flow must still route through.
+				fl = []FlowSpec{{Src: "s0", Dst: "l"}, {Src: "s1", Dst: "d1"}}
+			}
+			err := topo.validate(fl)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate(%v) = %v, want error containing %q", fl, err, tc.want)
+			}
+		})
+	}
+	if err := topo.validate(flows); err != nil {
+		t.Fatalf("good flows must still validate: %v", err)
+	}
+}
+
+func TestNoRouteIsAnError(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode("island")
+	topo.AddLink("a", "b", netem.LinkConfig{})
+	if _, err := topo.pathNodes("a", "island"); err == nil {
+		t.Fatal("disconnected destination must be a routing error")
+	}
+	err := topo.validate([]FlowSpec{{Src: "a", Dst: "island"}})
+	if err == nil || !strings.Contains(err.Error(), "no route") {
+		t.Fatalf("validate = %v, want no-route error", err)
+	}
+}
+
+func TestShapesHaveExpectedStructure(t *testing.T) {
+	topo, flows := Star(3, netem.LinkConfig{})
+	if len(flows) != 3 || len(topo.Nodes()) != 7 {
+		t.Fatalf("star(3): %d flows, %d nodes", len(flows), len(topo.Nodes()))
+	}
+	for _, f := range flows {
+		p, err := topo.pathNodes(f.Src, f.Dst)
+		if err != nil || len(p) != 3 || p[1] != "hub" {
+			t.Fatalf("star flow %v path %v err %v", f, p, err)
+		}
+	}
+
+	topo, flows = ParkingLot(3, netem.LinkConfig{}, netem.LinkConfig{})
+	if len(flows) != 4 { // one long + three short
+		t.Fatalf("parking-lot(3): %d flows", len(flows))
+	}
+	long, err := topo.pathNodes(flows[0].Src, flows[0].Dst)
+	if err != nil || len(long) != 6 { // L0 r0 r1 r2 r3 L1
+		t.Fatalf("long path %v err %v", long, err)
+	}
+	short, err := topo.pathNodes(flows[1].Src, flows[1].Dst)
+	if err != nil || len(short) != 4 { // s0 r0 r1 d0
+		t.Fatalf("short path %v err %v", short, err)
+	}
+	if err := topo.validate(flows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrivalSchedules(t *testing.T) {
+	flows := make([]FlowSpec, 4)
+	FlashCrowd(flows, 77)
+	for i := range flows {
+		if flows[i].StartAt != 77 {
+			t.Fatalf("flash crowd start %d = %d", i, flows[i].StartAt)
+		}
+	}
+	Staggered(flows, 100, 50)
+	for i := range flows {
+		if want := int64(100 + 50*i); flows[i].StartAt != want {
+			t.Fatalf("staggered start %d = %d, want %d", i, flows[i].StartAt, want)
+		}
+	}
+	PoissonArrivals(flows, 7, 1000, 500)
+	prev := int64(0)
+	for i := range flows {
+		if flows[i].StartAt < 1000 || flows[i].StartAt < prev {
+			t.Fatalf("poisson arrivals must be ≥ start and non-decreasing: %v", flows)
+		}
+		prev = flows[i].StartAt
+	}
+	again := make([]FlowSpec, 4)
+	PoissonArrivals(again, 7, 1000, 500)
+	for i := range flows {
+		if again[i].StartAt != flows[i].StartAt {
+			t.Fatal("same-seed Poisson arrivals must replay identically")
+		}
+	}
+	AssignCC(flows, "native", "bbrlite")
+	if flows[0].CC != "native" || flows[1].CC != "bbrlite" || flows[2].CC != "native" {
+		t.Fatalf("AssignCC cycle broken: %+v", flows)
+	}
+	AssignPayload(flows, 4096)
+	if flows[3].Payload != 4096 {
+		t.Fatalf("AssignPayload: %+v", flows[3])
+	}
+}

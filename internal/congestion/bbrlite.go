@@ -1,0 +1,270 @@
+package congestion
+
+import "udt/internal/seqno"
+
+// bbrLite is a BBR-flavored rate controller on UDT's rate-based engine: it
+// paces from a bottleneck-bandwidth estimate instead of reacting to loss as
+// a congestion signal. The receiver's arrival-speed feedback (the same AS
+// measurement the native law smooths, §3.2) stands in for BBR's delivery
+// rate: a windowed max over the last bbrBwWindow rate ticks is the
+// bottleneck estimate btlBw, and the sending period is 1e6/(gain·btlBw).
+//
+// Three phases, each driven from OnRateTick (one step per SYN):
+//
+//   - startup: unpaced, window-limited growth off the ack clock (like every
+//     other law's slow start) until the bandwidth estimate stops growing by
+//     ≥25% for bbrFullBwTicks consecutive ticks — the pipe is full.
+//   - drain: pace at bbrDrainGain·btlBw for bbrDrainTicks ticks to empty the
+//     queue startup built.
+//   - cruise: cycle through bbrCycleGains — one probing tick above the
+//     estimate, one compensating tick below, six at the estimate.
+//
+// Loss is not ignored entirely: a fresh loss event (deduplicated per
+// congestion event exactly like the native law) ends startup early, and in
+// drain/cruise shaves the bandwidth estimate by bbrLossBeta and skips the
+// next probe, so bbrlite coexists with loss-based laws on a shared queue
+// instead of starving them. A timeout halves the estimate and re-enters
+// startup.
+type bbrLite struct {
+	Base
+
+	syn     float64
+	maxCwnd float64
+
+	phase  int
+	period float64
+	cwnd   float64 // startup window, packets
+
+	bwSamples [bbrBwWindow]float64 // per-tick arrival-speed maxima, pkts/s
+	bwIdx     int
+	btlBw     float64 // max of bwSamples
+
+	minRtt float64 // lowest receiver-reported RTT seen, µs (0 = none yet)
+
+	fullBw      float64 // startup plateau detection
+	fullBwCount int
+
+	drainLeft int
+	cycleIdx  int
+
+	lastDecSeq     int32
+	ackedSinceTick bool
+}
+
+const (
+	bbrStartup = iota
+	bbrDrain
+	bbrCruise
+)
+
+const (
+	// bbrBwWindow is the max-filter length in rate ticks (SYN intervals).
+	bbrBwWindow = 10
+	// bbrStartupGrowth is the per-plateau-check growth startup must sustain.
+	bbrStartupGrowth = 1.25
+	// bbrFullBwTicks is how many growth-free ticks end startup.
+	bbrFullBwTicks = 3
+	// bbrDrainGain paces below the estimate to drain the startup queue.
+	bbrDrainGain = 0.35
+	// bbrDrainTicks is how long the drain phase lasts.
+	bbrDrainTicks = 3
+	// bbrLossBeta shaves the bandwidth estimate on a fresh loss event.
+	bbrLossBeta = 0.95
+)
+
+// bbrCycleGains is the cruise pacing-gain cycle: probe, compensate, cruise.
+var bbrCycleGains = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
+
+// NewBBRLite returns the BBR-flavored probe/drain controller; the engine
+// completes construction through Init.
+func NewBBRLite() Controller { return &bbrLite{} }
+
+// Init implements Controller, resetting the law to its pre-handshake state.
+func (c *bbrLite) Init(p Params) {
+	*c = bbrLite{
+		syn:        float64(p.SYN),
+		maxCwnd:    float64(p.MaxWindow),
+		phase:      bbrStartup,
+		cwnd:       SlowStartCwnd,
+		lastDecSeq: -1,
+	}
+	c.initBase()
+}
+
+// Name identifies the law for telemetry.
+func (c *bbrLite) Name() string { return "bbrlite" }
+
+// Period returns the pacing period in µs; 0 (unpaced) during startup.
+func (c *bbrLite) Period() float64 { return c.period }
+
+// Window returns the startup window while the ack clock is growing it, and
+// twice the estimated bandwidth-delay product afterwards — enough in-flight
+// data to keep the bottleneck busy through a probe, bounded well below the
+// unbounded post-slow-start windows of the loss-based laws so queues stay
+// short.
+func (c *bbrLite) Window() float64 {
+	if c.phase == bbrStartup {
+		return c.cwnd
+	}
+	rtt := c.minRtt
+	if rtt <= 0 {
+		rtt = c.rttUs
+	}
+	w := 2 * c.btlBw * rtt / 1e6
+	if w < 4 {
+		w = 4
+	}
+	if w > c.maxCwnd {
+		w = c.maxCwnd
+	}
+	return w
+}
+
+// OnACK folds in receiver feedback, tracks the RTT floor, and grows the
+// startup window off the ack clock.
+func (c *bbrLite) OnACK(newlyAcked int, recvRate, capacity, rttUs int32) {
+	c.ackedSinceTick = true
+	c.onFeedback(recvRate, capacity, rttUs)
+	if rttUs > 0 && (c.minRtt == 0 || float64(rttUs) < c.minRtt) {
+		c.minRtt = float64(rttUs)
+	}
+	if c.phase == bbrStartup {
+		c.cwnd += float64(newlyAcked)
+		if c.cwnd >= c.maxCwnd {
+			c.cwnd = c.maxCwnd
+			c.exitStartup()
+		}
+	}
+}
+
+// OnRateTick advances the phase machine one SYN step: sample the arrival
+// speed into the max filter, check the startup plateau, count down drain,
+// and rotate the cruise gain cycle.
+func (c *bbrLite) OnRateTick() {
+	acked := c.ackedSinceTick
+	c.ackedSinceTick = false
+	if acked && c.recvRate > 0 {
+		c.bwSamples[c.bwIdx] = c.recvRate
+		c.bwIdx = (c.bwIdx + 1) % bbrBwWindow
+		c.refreshBtlBw()
+	}
+	switch c.phase {
+	case bbrStartup:
+		if !acked || c.btlBw <= 0 {
+			return // no fresh evidence: stay in startup
+		}
+		if c.btlBw >= c.fullBw*bbrStartupGrowth {
+			c.fullBw = c.btlBw
+			c.fullBwCount = 0
+		} else {
+			c.fullBwCount++
+			if c.fullBwCount >= bbrFullBwTicks {
+				c.exitStartup()
+			}
+		}
+	case bbrDrain:
+		c.drainLeft--
+		if c.drainLeft <= 0 {
+			c.phase = bbrCruise
+			c.cycleIdx = 0
+		}
+		c.retune()
+	case bbrCruise:
+		c.cycleIdx = (c.cycleIdx + 1) % len(bbrCycleGains)
+		c.retune()
+	}
+}
+
+// OnNAK reacts once per congestion event (the §3.3 deduplication rule): end
+// startup early, or shave the bandwidth estimate and skip the next probe.
+func (c *bbrLite) OnNAK(now int64, largestLoss, sentSeq int32) {
+	if c.lastDecSeq >= 0 && seqno.Cmp(largestLoss, c.lastDecSeq) <= 0 {
+		return // re-report within an already-handled event
+	}
+	c.lastDecSeq = sentSeq
+	if c.phase == bbrStartup {
+		c.exitStartup()
+		return
+	}
+	for i := range c.bwSamples {
+		c.bwSamples[i] *= bbrLossBeta
+	}
+	c.refreshBtlBw()
+	if c.phase == bbrCruise {
+		c.cycleIdx = 1 // the compensating 0.75 slot: drain before probing again
+	}
+	c.retune()
+}
+
+// OnTimeout halves the bandwidth estimate and re-enters startup: feedback
+// stopped entirely, so the estimate cannot be trusted.
+func (c *bbrLite) OnTimeout(now int64, sentSeq int32) {
+	for i := range c.bwSamples {
+		c.bwSamples[i] *= 0.5
+	}
+	c.refreshBtlBw()
+	c.phase = bbrStartup
+	c.cwnd = SlowStartCwnd
+	c.fullBw = 0
+	c.fullBwCount = 0
+	c.lastDecSeq = sentSeq
+	c.period = 0
+}
+
+// exitStartup moves to the drain phase, seeding the bandwidth estimate from
+// the window the ack clock reached when no arrival-speed feedback has been
+// measured yet.
+func (c *bbrLite) exitStartup() {
+	if c.phase != bbrStartup {
+		return
+	}
+	c.phase = bbrDrain
+	c.drainLeft = bbrDrainTicks
+	if c.btlBw <= 0 {
+		rtt := c.rttUs
+		if rtt <= 0 {
+			rtt = 100_000
+		}
+		c.bwSamples[c.bwIdx] = c.cwnd * 1e6 / (rtt + c.syn)
+		c.bwIdx = (c.bwIdx + 1) % bbrBwWindow
+		c.refreshBtlBw()
+	}
+	c.retune()
+}
+
+// refreshBtlBw recomputes the windowed max.
+func (c *bbrLite) refreshBtlBw() {
+	m := 0.0
+	for _, s := range c.bwSamples {
+		if s > m {
+			m = s
+		}
+	}
+	c.btlBw = m
+}
+
+// retune re-derives the pacing period from the estimate and the phase gain.
+func (c *bbrLite) retune() {
+	if c.phase == bbrStartup {
+		c.period = 0
+		return
+	}
+	gain := bbrDrainGain
+	if c.phase == bbrCruise {
+		gain = bbrCycleGains[c.cycleIdx]
+	}
+	if bw := c.btlBw * gain; bw > 0 {
+		c.period = 1e6 / bw
+	} else {
+		c.period = (c.rttUs + c.syn) / c.Window()
+	}
+	if c.period < c.minPeriod {
+		c.period = c.minPeriod
+	}
+	if c.period < 1 {
+		c.period = 1
+	}
+	if c.period > 1e6 {
+		c.period = 1e6 // floor of 1 packet/s keeps the connection alive
+	}
+}

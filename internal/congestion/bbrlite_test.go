@@ -1,0 +1,166 @@
+package congestion
+
+import (
+	"math"
+	"testing"
+)
+
+func newBBR(t *testing.T) *bbrLite {
+	t.Helper()
+	cc := NewBBRLite().(*bbrLite)
+	cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 25600})
+	return cc
+}
+
+// feed delivers one ACK carrying an arrival-speed sample and runs one rate
+// tick — one SYN interval of steady feedback at rate pkts/s.
+func feed(cc *bbrLite, rate int32, rttUs int32) {
+	cc.OnACK(10, rate, 0, rttUs)
+	cc.OnRateTick()
+}
+
+func TestBBRLiteStartupExitsOnBandwidthPlateau(t *testing.T) {
+	cc := newBBR(t)
+	if cc.Period() != 0 {
+		t.Fatalf("startup must be unpaced, period = %v", cc.Period())
+	}
+	if cc.Window() != SlowStartCwnd {
+		t.Fatalf("initial window = %v, want %v", cc.Window(), SlowStartCwnd)
+	}
+	// Growing bandwidth keeps startup alive.
+	feed(cc, 1000, 50_000)
+	feed(cc, 2000, 50_000)
+	feed(cc, 4000, 50_000)
+	if cc.phase != bbrStartup {
+		t.Fatalf("phase after growth = %d, want startup", cc.phase)
+	}
+	// A sustained plateau ends startup once the smoothed estimate stops
+	// growing by 25% for bbrFullBwTicks consecutive ticks. The 7/8 EWMA
+	// needs a handful of ticks to converge, so allow a generous bound.
+	ticks := 0
+	for cc.phase == bbrStartup {
+		feed(cc, 4000, 50_000)
+		if ticks++; ticks > 50 {
+			t.Fatal("startup never exited on a constant-rate plateau")
+		}
+	}
+	if cc.phase != bbrDrain {
+		t.Fatalf("phase after plateau = %d, want drain", cc.phase)
+	}
+	// Drain paces below the converged estimate to empty the startup queue.
+	wantPeriod := 1e6 / (cc.btlBw * bbrDrainGain)
+	if math.Abs(cc.Period()-wantPeriod) > 1e-6 {
+		t.Fatalf("drain period = %v, want %v", cc.Period(), wantPeriod)
+	}
+}
+
+func TestBBRLiteDrainReachesCruiseGainCycle(t *testing.T) {
+	cc := newBBR(t)
+	toPlateau(cc, 4000)
+	for i := 0; i < bbrDrainTicks; i++ {
+		if cc.phase != bbrDrain {
+			t.Fatalf("left drain after %d ticks, want %d", i, bbrDrainTicks)
+		}
+		feed(cc, 4000, 50_000)
+	}
+	if cc.phase != bbrCruise {
+		t.Fatalf("phase after drain = %d, want cruise", cc.phase)
+	}
+	// One full cruise cycle: the period must follow the gain table.
+	for i := 0; i < len(bbrCycleGains); i++ {
+		want := 1e6 / (4000 * bbrCycleGains[cc.cycleIdx])
+		if math.Abs(cc.Period()-want) > 1e-6 {
+			t.Fatalf("cruise period at slot %d = %v, want %v", cc.cycleIdx, cc.Period(), want)
+		}
+		feed(cc, 4000, 50_000)
+	}
+}
+
+func TestBBRLiteWindowIsTwiceBDP(t *testing.T) {
+	cc := newBBR(t)
+	toPlateau(cc, 4000) // 4000 pkts/s at minRtt 50 ms → BDP = 200 pkts
+	if got, want := cc.Window(), 2*4000*50_000/1e6; got != want {
+		t.Fatalf("post-startup window = %v, want 2·BDP = %v", got, want)
+	}
+	// The RTT floor, not the latest (possibly queue-inflated) RTT, sets it.
+	feed(cc, 4000, 200_000)
+	if got, want := cc.Window(), 2*4000*50_000/1e6; got != want {
+		t.Fatalf("window after RTT inflation = %v, want %v", got, want)
+	}
+}
+
+func TestBBRLiteNAKEndsStartupAndIsDeduplicated(t *testing.T) {
+	cc := newBBR(t)
+	feed(cc, 1000, 50_000)
+	cc.OnNAK(1_000_000, 100, 120)
+	if cc.phase != bbrDrain {
+		t.Fatalf("phase after startup loss = %d, want drain", cc.phase)
+	}
+	cc.phase = bbrCruise
+	cc.cycleIdx = 0
+	pre := cc.btlBw
+	// Re-report of the same congestion event: no reaction.
+	cc.OnNAK(1_100_000, 110, 120)
+	if cc.btlBw != pre {
+		t.Fatalf("re-reported NAK changed btlBw %v → %v", pre, cc.btlBw)
+	}
+	// Fresh event: estimate shaved, next probe skipped.
+	cc.OnNAK(1_200_000, 130, 150)
+	if want := pre * bbrLossBeta; math.Abs(cc.btlBw-want) > 1e-9 {
+		t.Fatalf("fresh NAK: btlBw = %v, want %v", cc.btlBw, want)
+	}
+	if cc.cycleIdx != 1 {
+		t.Fatalf("fresh NAK in cruise: cycleIdx = %d, want 1 (compensate slot)", cc.cycleIdx)
+	}
+}
+
+func TestBBRLiteTimeoutHalvesEstimateAndRestartsStartup(t *testing.T) {
+	cc := newBBR(t)
+	toPlateau(cc, 4000)
+	pre := cc.btlBw
+	cc.OnTimeout(5_000_000, 500)
+	if want := pre * 0.5; math.Abs(cc.btlBw-want) > 1e-9 {
+		t.Fatalf("btlBw after timeout = %v, want %v", cc.btlBw, want)
+	}
+	if cc.phase != bbrStartup || cc.Period() != 0 || cc.Window() != SlowStartCwnd {
+		t.Fatalf("timeout must re-enter unpaced startup: phase=%d period=%v window=%v",
+			cc.phase, cc.Period(), cc.Window())
+	}
+}
+
+func TestBBRLitePeriodClamps(t *testing.T) {
+	cc := newBBR(t)
+	cc.SetMinPeriod(100)
+	toPlateau(cc, 1_000_000) // would want a sub-µs period
+	feed(cc, 1_000_000, 1000)
+	if cc.Period() < 100 {
+		t.Fatalf("period %v below the §4.4 minimum-period clamp", cc.Period())
+	}
+	// Collapse the estimate: period must cap at 1 s per packet.
+	for i := 0; i < 60; i++ {
+		cc.OnTimeout(int64(i)*1_000_000, int32(600+i))
+		cc.exitStartup()
+	}
+	if cc.Period() > 1e6 {
+		t.Fatalf("period %v above the 1 pkt/s liveness floor", cc.Period())
+	}
+}
+
+func TestBBRLiteRegistered(t *testing.T) {
+	f, err := New("bbrlite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := f()
+	cc.Init(Params{SYN: DefaultSYN, MSS: 1500, MaxWindow: 25600})
+	if cc.Name() != "bbrlite" {
+		t.Fatalf("Name() = %q", cc.Name())
+	}
+}
+
+// toPlateau drives a fresh controller out of startup at the given rate.
+func toPlateau(cc *bbrLite, rate int32) {
+	for cc.phase == bbrStartup {
+		feed(cc, rate, 50_000)
+	}
+}

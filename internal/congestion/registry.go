@@ -13,6 +13,7 @@ var factories = map[string]Factory{
 	"scalable": NewScalable,
 	"hstcp":    NewHSTCP,
 	"bic":      NewBIC,
+	"bbrlite":  NewBBRLite,
 }
 
 // New returns the factory for the named controller. The empty string

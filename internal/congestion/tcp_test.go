@@ -194,7 +194,7 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("New must reject unknown controller names")
 	}
 	names := Names()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("Names() = %v", names)
 	}
 }

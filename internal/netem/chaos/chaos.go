@@ -11,19 +11,18 @@
 // RunReal executes the full concurrent udt stack (Dial/Listen, goroutines,
 // wall clock) over the same fabric, trading replayability for coverage of
 // the production code path.
+//
+// The endpoint machinery itself — the exported Peer — is shared with
+// internal/campaign, which schedules many Peers across multi-node
+// topologies under the same virtual clock.
 package chaos
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math/rand"
-	"net"
 	"sort"
 
-	"udt/internal/congestion"
 	"udt/internal/core"
 	"udt/internal/netem"
-	"udt/internal/packet"
 	"udt/internal/secure"
 	"udt/internal/seqno"
 )
@@ -72,15 +71,6 @@ type Config struct {
 	// channel, which the anti-replay window must absorb without breaking
 	// the transfer.
 	Secure bool
-}
-
-// ccFactory resolves a controller name for the engine config; the empty
-// name maps to nil so default runs take the engine's own native path.
-func ccFactory(name string) congestion.Factory {
-	if name == "" {
-		return nil
-	}
-	return congestion.MustNew(name)
 }
 
 func (c *Config) fill() {
@@ -136,61 +126,6 @@ type Result struct {
 	PathAB, PathBA netem.PathStats
 }
 
-// peer is one single-threaded protocol endpoint: the real core engine and
-// buffers, pumped by the driver loop — the deterministic counterpart of
-// udt.Conn's goroutines.
-type peer struct {
-	name     string
-	eng      *core.Conn
-	snd      *core.SndBuffer
-	rcv      *core.RcvBuffer
-	ep       *netem.Endpoint
-	peerAddr net.Addr
-	out      func(b []byte)  // transmit one datagram (RunMux stamps a socket-ID prefix)
-	sec      *secure.Session // nil = cleartext; else every packet seals/opens
-
-	payload  []byte // stream this peer sends
-	sendOff  int
-	wantLen  int // bytes expected from the other side
-	wantHash uint64
-
-	recvBytes int
-	recvHash  hashState
-
-	lastDecision core.SendDecision
-	brokenAt     int64
-
-	scratch []byte
-	rbuf    []byte
-}
-
-// hashState is an incremental FNV-64a.
-type hashState uint64
-
-func newHash() hashState { return hashState(14695981039346656037) }
-
-func (h *hashState) write(p []byte) {
-	x := uint64(*h)
-	for _, b := range p {
-		x ^= uint64(b)
-		x *= 1099511628211
-	}
-	*h = hashState(x)
-}
-
-func hashOf(p []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(p) //nolint:errcheck
-	return h.Sum64()
-}
-
-// finished reports this peer has nothing left to do: everything it wrote
-// is acknowledged and everything it expected has arrived.
-func (p *peer) finished() bool {
-	sentAll := p.sendOff == len(p.payload) && p.snd.Pending() == 0 && p.eng.Unacked() == 0
-	return sentAll && p.recvBytes >= p.wantLen
-}
-
 // Run executes one chaos transfer under a virtual clock and returns its
 // outcome. It is fully deterministic: same Config, same Result.
 func Run(cfg Config) Result {
@@ -232,11 +167,11 @@ func Run(cfg Config) Result {
 	events := append([]Event(nil), cfg.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
-	a.eng.Start(vc.Now())
-	b.eng.Start(vc.Now())
+	a.Start(vc.Now())
+	b.Start(vc.Now())
 
 	res := Result{}
-	peers := [2]*peer{a, b}
+	peers := [2]*Peer{a, b}
 	for {
 		now := vc.Now()
 		progress := false
@@ -246,19 +181,16 @@ func Run(cfg Config) Result {
 			progress = true
 		}
 		for _, p := range peers {
-			if p.pump(now) {
+			if p.Pump(now) {
 				progress = true
 			}
 		}
 		done := true
 		for _, p := range peers {
-			if p.eng.Broken() {
-				if p.brokenAt == 0 {
-					p.brokenAt = now
-				}
+			if p.NoteBroken(now) {
 				continue
 			}
-			if !p.finished() {
+			if !p.Finished() {
 				done = false
 			}
 		}
@@ -277,17 +209,7 @@ func Run(cfg Config) Result {
 			wake = events[0].At
 		}
 		for _, p := range peers {
-			if p.eng.Broken() {
-				continue
-			}
-			if t := p.eng.NextTimer(); t < wake {
-				wake = t
-			}
-			if p.lastDecision == core.WaitPacing {
-				if t := p.eng.NextSendTime(); t < wake {
-					wake = t
-				}
-			}
+			wake = p.NextWake(wake)
 		}
 		if t, ok := vc.NextEvent(); ok && t < wake {
 			wake = t
@@ -299,233 +221,12 @@ func Run(cfg Config) Result {
 	}
 
 	res.Elapsed = vc.Now()
-	res.A = a.result()
-	res.B = b.result()
-	res.OK = !res.TimedOut && a.finished() && b.finished() && res.A.RecvOK && res.B.RecvOK
+	res.A = a.Result()
+	res.B = b.Result()
+	res.OK = !res.TimedOut && a.Finished() && b.Finished() && res.A.RecvOK && res.B.RecvOK
 	res.PathAB = nw.PathStats("a", "b")
 	res.PathBA = nw.PathStats("b", "a")
 	epA.Close() //nolint:errcheck
 	epB.Close() //nolint:errcheck
 	return res
-}
-
-func newPeer(name string, cfg Config, cc string, isn, peerISN int32, ep *netem.Endpoint, peerAddr net.Addr, payload, expect []byte, sec *secure.Session) *peer {
-	ccfg := core.Config{
-		MSS:           cfg.MSS,
-		ISN:           isn,
-		RecvBufPkts:   int32(cfg.RcvBufPkts),
-		MinEXP:        cfg.MinEXP,
-		PeerDeathTime: cfg.PeerDeathTime,
-		CC:            ccFactory(cc),
-	}
-	scratch := cfg.MSS
-	if sec != nil {
-		// Control packets grow by CtrlOverhead when sealed; give the encode
-		// buffer that slack so sealing never truncates an emission.
-		scratch += secure.CtrlOverhead
-	}
-	p := &peer{
-		name:     name,
-		eng:      core.NewConn(ccfg, peerISN),
-		ep:       ep,
-		peerAddr: peerAddr,
-		sec:      sec,
-		payload:  payload,
-		wantLen:  len(expect),
-		wantHash: hashOf(expect),
-		recvHash: newHash(),
-		scratch:  make([]byte, scratch),
-		rbuf:     make([]byte, 65536),
-	}
-	pl := cfg.MSS - packet.DataHeaderSize
-	if sec != nil {
-		// The Poly1305 tag rides inside the packet budget, exactly like the
-		// real stack: a sealed data packet is still one MSS on the wire.
-		pl -= secure.Overhead
-	}
-	p.snd = core.NewSndBuffer(cfg.SndBufPkts, pl, isn)
-	p.rcv = core.NewRcvBuffer(cfg.RcvBufPkts, pl, peerISN)
-	p.eng.AvailBuf = p.rcv.Free
-	p.out = func(b []byte) { p.ep.WriteTo(b, p.peerAddr) } //nolint:errcheck // losses are the point
-	return p
-}
-
-// pump runs one scheduling round for the peer at virtual time now:
-// deliver queued datagrams, service timers, flush control emissions, send
-// data as pacing allows, and move application bytes in and out of the
-// buffers. It reports whether anything happened.
-func (p *peer) pump(now int64) (progress bool) {
-	if p.eng.Broken() {
-		return false
-	}
-	for {
-		n, _, ok := p.ep.TryReadFrom(p.rbuf)
-		if !ok {
-			break
-		}
-		p.handleDatagram(now, p.rbuf[:n])
-		progress = true
-	}
-	return p.service(now) || progress
-}
-
-// service runs the non-I/O half of a scheduling round: timers, control
-// emissions, pacing-gated data sends, and buffer movement. RunMux calls it
-// directly — there the datagrams arrive through the demultiplexer, not
-// from the peer's own endpoint.
-func (p *peer) service(now int64) (progress bool) {
-	if p.eng.Broken() {
-		return false
-	}
-	p.eng.Advance(now)
-	if p.flushOutbox(now) {
-		progress = true
-	}
-	// Feed the send buffer.
-	if p.sendOff < len(p.payload) {
-		if n := p.snd.Write(p.payload[p.sendOff:]); n > 0 {
-			p.sendOff += n
-			progress = true
-		}
-	}
-	// Data path: lost packets first, then new data, as pacing allows.
-	for {
-		newAvail := seqno.Cmp(p.snd.NextWriteSeq(), seqno.Inc(p.eng.CurSeq())) > 0
-		seq, d := p.eng.NextSend(now, newAvail)
-		p.lastDecision = d
-		if d != core.SendData && d != core.SendRetrans {
-			break
-		}
-		pl, ok := p.snd.Packet(seq)
-		if !ok {
-			break
-		}
-		n, err := packet.EncodeData(p.scratch, &packet.Data{Seq: seq, Timestamp: int32(now), Payload: pl})
-		if err != nil {
-			panic(fmt.Sprintf("chaos: encode data: %v", err))
-		}
-		p.transmit(p.scratch[:n])
-		progress = true
-	}
-	// Drain received stream bytes into the running checksum.
-	for p.rcv.Available() > 0 {
-		n := p.rcv.Read(p.rbuf)
-		if n == 0 {
-			break
-		}
-		p.recvHash.write(p.rbuf[:n])
-		p.recvBytes += n
-		progress = true
-	}
-	return progress
-}
-
-// transmit seals the packet when the run is secure, then hands it to the
-// fabric. The scratch slices passed in carry the extra capacity sealing
-// needs; RunMux's prefixed writers prepend the socket-ID after sealing,
-// the same layering as the real mux send path.
-func (p *peer) transmit(b []byte) {
-	if p.sec != nil {
-		if packet.IsControl(b) {
-			b = p.sec.SealCtrl(b)
-		} else {
-			b = p.sec.SealData(b)
-		}
-	}
-	p.out(b)
-}
-
-// handleDatagram is conn.Conn.handleDatagram without the locks: one
-// arriving datagram through the real engine.
-func (p *peer) handleDatagram(now int64, raw []byte) {
-	if p.sec != nil {
-		var ok bool
-		if packet.IsControl(raw) {
-			raw, ok = p.sec.OpenCtrl(raw)
-		} else {
-			raw, ok = p.sec.OpenData(raw)
-		}
-		if !ok {
-			return // forged, corrupt, or a control replay: dropped
-		}
-	}
-	if !packet.IsControl(raw) {
-		d, err := packet.DecodeData(raw)
-		if err != nil {
-			return
-		}
-		if p.rcv.Free() == 0 {
-			return // flow-control overrun: treat as a wire loss
-		}
-		if p.eng.HandleData(now, d.Seq) {
-			p.rcv.Store(d.Seq, d.Payload)
-		}
-		return
-	}
-	ctrl, err := packet.DecodeControl(raw)
-	if err != nil {
-		return
-	}
-	switch ctrl.Type {
-	case packet.TypeACK:
-		if a, err := packet.DecodeACK(ctrl); err == nil {
-			if p.eng.HandleACK(now, a) > 0 {
-				p.snd.Release(p.eng.SndLastAck())
-			}
-		}
-	case packet.TypeNAK:
-		if nak, err := packet.DecodeNAK(ctrl); err == nil {
-			p.eng.HandleNAK(now, nak.Losses)
-		}
-	case packet.TypeACK2:
-		p.eng.HandleACK2(now, ctrl.Extra)
-	case packet.TypeKeepAlive:
-		p.eng.HandleKeepAlive(now)
-	case packet.TypeShutdown:
-		p.eng.HandleShutdown(now)
-	}
-}
-
-// flushOutbox serializes and transmits every queued control emission.
-func (p *peer) flushOutbox(now int64) (sent bool) {
-	for {
-		o, ok := p.eng.PopOut()
-		if !ok {
-			return sent
-		}
-		var n int
-		var err error
-		switch o.Kind {
-		case core.OutACK:
-			n, err = packet.EncodeACK(p.scratch, &o.ACK, int32(now))
-		case core.OutNAK:
-			n, err = packet.EncodeNAK(p.scratch, o.Losses, int32(now))
-		case core.OutACK2:
-			n, err = packet.EncodeACK2(p.scratch, o.AckID, int32(now))
-		case core.OutKeepAlive:
-			n, err = packet.EncodeSimple(p.scratch, packet.TypeKeepAlive, int32(now))
-		case core.OutShutdown:
-			n, err = packet.EncodeSimple(p.scratch, packet.TypeShutdown, int32(now))
-		}
-		if err == nil && n > 0 {
-			p.transmit(p.scratch[:n])
-			sent = true
-		}
-	}
-}
-
-func (p *peer) result() PeerResult {
-	r := PeerResult{
-		SentBytes: p.sendOff,
-		RecvBytes: p.recvBytes,
-		RecvOK:    p.recvBytes == p.wantLen && uint64(p.recvHash) == p.wantHash,
-		RecvHash:  uint64(p.recvHash),
-		Broken:    p.eng.Broken(),
-		BrokenAt:  p.brokenAt,
-		Stats:     p.eng.Stats,
-	}
-	if p.sec != nil {
-		r.AuthFails, r.ReplayDrops = p.sec.Drops()
-	}
-	return r
 }

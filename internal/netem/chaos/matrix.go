@@ -127,6 +127,7 @@ func CCMatrix() []Case {
 		{Name: "cc-ctcp", Link: impaired, Payload: quarterMB, CCA: "ctcp", CCB: "ctcp"},
 		{Name: "cc-scalable", Link: impaired, Payload: quarterMB, CCA: "scalable", CCB: "scalable"},
 		{Name: "cc-hstcp", Link: impaired, Payload: quarterMB, CCA: "hstcp", CCB: "hstcp"},
+		{Name: "cc-bbrlite", Link: impaired, Payload: quarterMB, CCA: "bbrlite", CCB: "bbrlite"},
 		// Asymmetric pair: the two ends of one connection run different laws.
 		{Name: "cc-native-vs-ctcp", Link: impaired, Payload: quarterMB, CCA: "native", CCB: "ctcp"},
 		// Fairness: two flow pairs, one per law, multiplexed onto one
@@ -136,6 +137,11 @@ func CCMatrix() []Case {
 			MuxFlows: 2, CCs: []string{"native", "ctcp"}, MaxVirtualTime: 300_000_000},
 		{Name: "cc-fair-ctcp-hstcp", Link: shared, Payload: 2 * quarterMB,
 			MuxFlows: 2, CCs: []string{"ctcp", "hstcp"}, MaxVirtualTime: 300_000_000},
+		// Rate-based probing vs. loss-based AIMD on one queue: bbrlite must
+		// neither starve (its loss reaction keeps it backing off the shared
+		// queue) nor be starved by native's bandwidth-indexed increase.
+		{Name: "cc-fair-native-bbrlite", Link: shared, Payload: 2 * quarterMB,
+			MuxFlows: 2, CCs: []string{"native", "bbrlite"}, MaxVirtualTime: 300_000_000},
 	}
 }
 

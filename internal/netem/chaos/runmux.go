@@ -6,7 +6,6 @@ import (
 	"net"
 	"sort"
 
-	"udt/internal/core"
 	"udt/internal/mux"
 	"udt/internal/netem"
 	"udt/internal/seqno"
@@ -108,7 +107,7 @@ type MuxResult struct {
 // datagrams are queued (copied — Dispatch's buffer is reused) and drained
 // on the flow's next scheduling round.
 type muxFlowPeer struct {
-	*peer
+	*Peer
 	inbox [][]byte
 }
 
@@ -125,7 +124,7 @@ func (f *muxFlowPeer) drain(now int64) (progress bool) {
 	}
 	if !f.eng.Broken() {
 		for _, m := range f.inbox {
-			f.handleDatagram(now, m)
+			f.Deliver(now, m)
 		}
 		progress = true
 	}
@@ -195,10 +194,10 @@ func RunMux(cfg MuxConfig) MuxResult {
 		idB := mux.MakeID(int32(0x2000_0000 + i))
 		pa := newPeer(fmt.Sprintf("a%d", i), base, flowCC[i], isnA, isnB, epA, epB.LocalAddr(), payA, payB, nil)
 		pb := newPeer(fmt.Sprintf("b%d", i), base, flowCC[i], isnB, isnA, epB, epA.LocalAddr(), payB, payA, nil)
-		pa.out = prefixedWriter(epA, epB.LocalAddr(), idB, cfg.MSS)
-		pb.out = prefixedWriter(epB, epA.LocalAddr(), idA, cfg.MSS)
-		fa := &muxFlowPeer{peer: pa}
-		fb := &muxFlowPeer{peer: pb}
+		pa.SetOut(prefixedWriter(epA, epB.LocalAddr(), idB, cfg.MSS))
+		pb.SetOut(prefixedWriter(epB, epA.LocalAddr(), idA, cfg.MSS))
+		fa := &muxFlowPeer{Peer: pa}
+		fb := &muxFlowPeer{Peer: pb}
 		if !coreA.Register(idA, fa) || !coreB.Register(idB, fb) {
 			panic(fmt.Sprintf("chaos: socket ID collision at flow %d", i))
 		}
@@ -209,8 +208,8 @@ func RunMux(cfg MuxConfig) MuxResult {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 
 	for i := range flowsA {
-		flowsA[i].eng.Start(vc.Now())
-		flowsB[i].eng.Start(vc.Now())
+		flowsA[i].Start(vc.Now())
+		flowsB[i].Start(vc.Now())
 	}
 
 	res := MuxResult{Flows: make([]FlowResult, cfg.Flows)}
@@ -244,7 +243,7 @@ func RunMux(cfg MuxConfig) MuxResult {
 				if f.drain(now) {
 					progress = true
 				}
-				if f.service(now) {
+				if f.Service(now) {
 					progress = true
 				}
 			}
@@ -252,13 +251,10 @@ func RunMux(cfg MuxConfig) MuxResult {
 		done := true
 		for _, s := range sides {
 			for _, f := range s.flows {
-				if f.eng.Broken() {
-					if f.brokenAt == 0 {
-						f.brokenAt = now
-					}
+				if f.NoteBroken(now) {
 					continue
 				}
-				if !f.finished() {
+				if !f.Finished() {
 					done = false
 				}
 			}
@@ -279,17 +275,7 @@ func RunMux(cfg MuxConfig) MuxResult {
 		}
 		for _, s := range sides {
 			for _, f := range s.flows {
-				if f.eng.Broken() {
-					continue
-				}
-				if t := f.eng.NextTimer(); t < wake {
-					wake = t
-				}
-				if f.lastDecision == core.WaitPacing {
-					if t := f.eng.NextSendTime(); t < wake {
-						wake = t
-					}
-				}
+				wake = f.NextWake(wake)
 			}
 		}
 		if t, ok := vc.NextEvent(); ok && t < wake {
@@ -304,13 +290,13 @@ func RunMux(cfg MuxConfig) MuxResult {
 	res.Elapsed = vc.Now()
 	res.OK = !res.TimedOut
 	for i := range res.Flows {
-		fr := FlowResult{A: flowsA[i].result(), B: flowsB[i].result(), CC: flowCC[i]}
+		fr := FlowResult{A: flowsA[i].Result(), B: flowsB[i].Result(), CC: flowCC[i]}
 		if res.Elapsed > 0 {
 			fr.GoodputAMbps = float64(fr.A.RecvBytes) * 8 / float64(res.Elapsed)
 			fr.GoodputBMbps = float64(fr.B.RecvBytes) * 8 / float64(res.Elapsed)
 		}
 		res.Flows[i] = fr
-		flowOK := flowsA[i].finished() && flowsB[i].finished() && fr.A.RecvOK && fr.B.RecvOK
+		flowOK := flowsA[i].Finished() && flowsB[i].Finished() && fr.A.RecvOK && fr.B.RecvOK
 		if flowOK {
 			res.FlowsOK++
 		} else {

@@ -222,6 +222,17 @@ func (n *Net) Clock() Clock { return n.clock }
 
 // Endpoint creates and attaches a new endpoint with the given name.
 func (n *Net) Endpoint(name string) (*Endpoint, error) {
+	return n.EndpointBuf(name, inboxCap)
+}
+
+// EndpointBuf creates an endpoint with an explicit receive-queue capacity in
+// datagrams (≤ 0 selects the default). Router nodes in multi-hop topologies
+// use larger inboxes so the forwarding driver, not the socket emulation,
+// decides where queueing happens.
+func (n *Net) EndpointBuf(name string, pkts int) (*Endpoint, error) {
+	if pkts <= 0 {
+		pkts = inboxCap
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, dup := n.eps[name]; dup {
@@ -230,7 +241,7 @@ func (n *Net) Endpoint(name string) (*Endpoint, error) {
 	e := &Endpoint{
 		net:    n,
 		addr:   &Addr{name: name},
-		inbox:  make(chan dgram, inboxCap),
+		inbox:  make(chan dgram, pkts),
 		closed: make(chan struct{}),
 	}
 	n.eps[name] = e
@@ -307,6 +318,15 @@ func (n *Net) PathStats(from, to string) PathStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.pathLocked(from, to).stats
+}
+
+// QueueLen reports how many datagrams are currently serialized in one
+// direction's rate-cap queue (always 0 on uncapped paths). Campaign monitors
+// sample it to produce per-link queue-occupancy series.
+func (n *Net) QueueLen(from, to string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pathLocked(from, to).queued
 }
 
 // send runs the impairment pipeline for one offered datagram and schedules

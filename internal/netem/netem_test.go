@@ -274,3 +274,55 @@ func TestVirtualClockOrderAndReentrancy(t *testing.T) {
 		t.Fatalf("now = %d", vc.Now())
 	}
 }
+
+func TestQueueLenTracksRateCapOccupancy(t *testing.T) {
+	// 1 Mb/s, 100-byte packets → 800 µs serialization each; queue of 8.
+	nw, vc, a, b := testPair(t, 11, LinkConfig{RateMbps: 1, QueuePkts: 8})
+	if got := nw.QueueLen("a", "b"); got != 0 {
+		t.Fatalf("idle QueueLen = %d, want 0", got)
+	}
+	for i := 0; i < 6; i++ {
+		a.WriteTo(make([]byte, 100), b.LocalAddr()) //nolint:errcheck
+	}
+	if got := nw.QueueLen("a", "b"); got != 6 {
+		t.Fatalf("QueueLen after 6-packet burst = %d, want 6", got)
+	}
+	vc.Advance(800) // one serialization time: exactly one departure
+	if got := nw.QueueLen("a", "b"); got != 5 {
+		t.Fatalf("QueueLen after one departure = %d, want 5", got)
+	}
+	vc.Advance(60000)
+	if got := nw.QueueLen("a", "b"); got != 0 {
+		t.Fatalf("drained QueueLen = %d, want 0", got)
+	}
+	if got := nw.QueueLen("b", "a"); got != 0 {
+		t.Fatalf("reverse-path QueueLen = %d, want 0", got)
+	}
+}
+
+func TestEndpointBufCapacityIsHonored(t *testing.T) {
+	vc := NewVirtualClock(0)
+	nw := New(3, vc)
+	a, err := nw.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.EndpointBuf("b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.SetLink("a", "b", LinkConfig{})
+	for i := 0; i < 5; i++ {
+		a.WriteTo([]byte{byte(i)}, b.LocalAddr()) //nolint:errcheck
+	}
+	vc.Advance(1)
+	if got := len(drain(b)); got != 2 {
+		t.Fatalf("2-slot inbox delivered %d datagrams, want 2", got)
+	}
+	if st := nw.PathStats("a", "b"); st.DroppedInboxFull != 3 {
+		t.Fatalf("DroppedInboxFull = %d, want 3", st.DroppedInboxFull)
+	}
+	if _, err := nw.EndpointBuf("b", 4); err == nil {
+		t.Fatal("duplicate EndpointBuf name should fail")
+	}
+}

@@ -1,6 +1,9 @@
 #!/bin/sh
 # bench.sh — run the performance-regression benchmark suite and emit a JSON
-# snapshot comparable against BENCH_baseline.json.
+# snapshot comparable against BENCH_baseline.json (via scripts/benchdiff).
+# Every run is also appended as a {"ts": ..., "metrics": {...}} row to
+# BENCH_history.jsonl, so regressions can be bisected against the timeline,
+# not just the pinned baseline.
 #
 # Tracked numbers:
 #   sim_ns_per_event / sim_allocs_per_event   concrete-heap simulator, full
@@ -73,6 +76,15 @@
 #                                             median so a rare lost-crossing
 #                                             250 ms retransmit outlier does
 #                                             not swamp the figure)
+#   campaign_<name>_*                         the CI topology campaigns
+#                                             (udtchaos -campaign -kv): per-
+#                                             campaign aggregate/min goodput,
+#                                             Jain fairness index, pooled p99
+#                                             write→acked latency and completed
+#                                             flow count. Virtual-clock
+#                                             deterministic — identical on
+#                                             every machine for a given seed,
+#                                             so benchdiff holds them to 0.1%.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-/dev/stdout}"
@@ -92,6 +104,9 @@ muxwide=$(go test ./internal/mux -run XXX -bench 'MuxDemuxFlows/flows=4096$' -be
 scale=$(go test . -run XXX -bench 'FlowScale100k$' -benchtime 1x -timeout 30m 2>/dev/null | awk '/^BenchmarkFlowScale100k/ {g = p = a = k = "null"; for (i = 1; i < NF; i++) { if ($(i+1) == "goodput-Mbps") g = $i; if ($(i+1) == "p99-ack-µs") p = $i; if ($(i+1) == "allocs/pkt") a = $i; if ($(i+1) == "peak-goroutines") k = $i } print g, p, a, k}')
 framed=$(go test ./fabric -run XXX -bench 'FramedThroughput$' -benchtime 2s 2>/dev/null | awk '/^BenchmarkFramedThroughput/ {for (i = 1; i < NF; i++) if ($(i+1) == "Mbps") print $i}')
 rdv=$(go test . -run XXX -bench 'RendezvousHandshake$' -benchtime 50x 2>/dev/null | awk '/^BenchmarkRendezvousHandshake/ {for (i = 1; i < NF; i++) if ($(i+1) == "p50_us") print $i}')
+# The topology campaigns: key/value lines, rendered straight into the JSON
+# object below (deterministic under the virtual clock, so fast and exact).
+camp=$(go run ./cmd/udtchaos -campaign -kv | awk '/^campaign_/ {printf "  \"%s\": %s,\n", $1, $2}')
 
 set -- $sim; sim_ns=$1; sim_allocs=$2
 set -- $snd; snd_ns=$1; snd_allocs=$2
@@ -100,8 +115,12 @@ set -- $mux; mux_ns=$1; mux_allocs=$2
 set -- $gso; gso_mbps=$1; gso_syscalls=$2
 set -- $scale; scale_mbps=$1; scale_p99=$2; scale_allocs=$3; scale_peak=$4
 
-cat > "$out" <<EOF
+snap=$(mktemp)
+trap 'rm -f "$snap"' EXIT
+
+cat > "$snap" <<EOF
 {
+$camp
   "sim_ns_per_event": $sim_ns,
   "sim_allocs_per_event": $sim_allocs,
   "sim_heap_baseline_ns_per_event": $old,
@@ -127,3 +146,8 @@ cat > "$out" <<EOF
   "rdv_handshake_p50_us": $rdv
 }
 EOF
+
+# Emit the snapshot, then append it (one line, timestamped) to the history.
+cat "$snap" > "$out"
+ts=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+printf '{"ts":"%s","metrics":%s}\n' "$ts" "$(tr -d ' \n' < "$snap")" >> BENCH_history.jsonl

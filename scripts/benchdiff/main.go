@@ -1,0 +1,207 @@
+// Command benchdiff is the CI performance-regression gate: it compares a
+// current metrics snapshot against a pinned baseline and exits non-zero when
+// any tracked number regresses beyond its tolerance.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff -baseline BENCH_baseline.json -current FILE [-v]
+//
+// Both files hold flat JSON objects mapping metric name → number (null
+// values are skipped — a kernel without offload reports null for the GSO
+// figures). The current file may instead be a BENCH_history.jsonl stream of
+// {"ts": ..., "metrics": {...}} lines, in which case the newest line is
+// compared.
+//
+// Per-key policy, derived from the key name:
+//
+//   - keys containing "allocs" are lower-is-better with zero tolerance:
+//     the repository's alloc gates are exact, any increase fails;
+//   - campaign_* keys come from the deterministic virtual-clock campaigns
+//     (same seed ⇒ identical numbers on every machine), so they carry a
+//     0.1% tolerance — direction by suffix: p99/latency keys lower-better,
+//     goodput/jain/flows_ok higher-better;
+//   - throughput keys (…mbps) and fairness (…jain…) are higher-is-better
+//     with 30% tolerance — wall-clock numbers are machine-dependent, the
+//     gate only catches collapses;
+//   - time/count keys (…ns…, …us…, …p99…, …goroutines, …syscalls…) are
+//     lower-is-better with the same 30% tolerance;
+//   - keys matching no rule, or missing from either side, are reported
+//     (with -v) but never fail the gate: adding a new metric must not
+//     break CI before the baseline learns it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "pinned baseline metrics JSON")
+	current := flag.String("current", "", "current metrics JSON (or history JSONL; newest line used)")
+	verbose := flag.Bool("v", false, "print every comparison, not just regressions")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current FILE is required")
+		os.Exit(2)
+	}
+	base, err := loadMetrics(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := loadMetrics(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	regressions := 0
+	for _, k := range sortedKeys(base) {
+		b := base[k]
+		c, ok := cur[k]
+		if !ok {
+			if *verbose {
+				fmt.Printf("skip  %-42s baseline=%-12g (not in current)\n", k, b)
+			}
+			continue
+		}
+		verdict := compare(k, b, c)
+		if verdict.regressed {
+			regressions++
+			fmt.Printf("FAIL  %-42s baseline=%-12g current=%-12g (%s)\n", k, b, c, verdict.rule)
+		} else if *verbose {
+			fmt.Printf("ok    %-42s baseline=%-12g current=%-12g (%s)\n", k, b, c, verdict.rule)
+		}
+	}
+	if *verbose {
+		for _, k := range sortedKeys(cur) {
+			if _, ok := base[k]; !ok {
+				fmt.Printf("new   %-42s current=%-12g (not in baseline)\n", k, cur[k])
+			}
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) vs %s\n", regressions, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d metric(s) within tolerance of %s\n", len(cur), *baseline)
+}
+
+// verdict is one metric comparison's outcome and the policy that decided it.
+type verdict struct {
+	regressed bool
+	rule      string
+}
+
+// compare applies the key-derived policy to one (baseline, current) pair.
+func compare(key string, base, cur float64) verdict {
+	lowerBetter, tol, rule, known := policy(key)
+	if !known {
+		return verdict{false, "no policy"}
+	}
+	var bad bool
+	switch {
+	case base == 0:
+		// Relative tolerance is meaningless at zero; compare absolutely.
+		if lowerBetter {
+			bad = cur > tol
+		} else {
+			bad = cur < -tol
+		}
+	case lowerBetter:
+		bad = cur > base*(1+tol)
+	default:
+		bad = cur < base*(1-tol)
+	}
+	return verdict{bad, rule}
+}
+
+// policy maps a metric key to its regression rule: direction, relative
+// tolerance and a human-readable rule name.
+func policy(key string) (lowerBetter bool, tol float64, rule string, known bool) {
+	switch {
+	case strings.Contains(key, "allocs"):
+		return true, 0, "allocs: exact, lower", true
+	case strings.HasPrefix(key, "campaign_"):
+		if strings.Contains(key, "p99") || strings.HasSuffix(key, "_us") {
+			return true, 0.001, "campaign latency: ±0.1%, lower", true
+		}
+		return false, 0.001, "campaign: ±0.1%, higher", true
+	case strings.Contains(key, "mbps"), strings.Contains(key, "jain"):
+		return false, 0.30, "throughput: ±30%, higher", true
+	case strings.Contains(key, "_ns"), strings.Contains(key, "_us"),
+		strings.Contains(key, "p99"), strings.Contains(key, "goroutines"),
+		strings.Contains(key, "syscalls"):
+		return true, 0.30, "latency/count: ±30%, lower", true
+	}
+	return false, 0, "", false
+}
+
+// loadMetrics reads a flat metrics object, or the newest metrics line of a
+// {"ts":...,"metrics":{...}} history stream. Null and non-numeric values are
+// dropped.
+func loadMetrics(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(raw)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("%s: empty", path)
+	}
+	// Plain snapshot object (possibly pretty-printed across lines), or a
+	// single history row.
+	var obj map[string]any
+	if err := json.Unmarshal(trimmed, &obj); err == nil {
+		if m, ok := obj["metrics"].(map[string]any); ok {
+			return numeric(m), nil
+		}
+		return numeric(obj), nil
+	}
+	// History stream: keep the last decodable line's metrics.
+	var last map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(trimmed))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row struct {
+			Metrics map[string]any `json:"metrics"`
+		}
+		if err := json.Unmarshal(line, &row); err == nil && row.Metrics != nil {
+			last = row.Metrics
+		}
+	}
+	if last == nil {
+		return nil, fmt.Errorf("%s: neither a metrics object nor a metrics history", path)
+	}
+	return numeric(last), nil
+}
+
+// numeric keeps the float-valued entries of a decoded JSON object.
+func numeric(m map[string]any) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
+	}
+	return out
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPolicyDirectionAndTolerance(t *testing.T) {
+	cases := []struct {
+		key         string
+		lowerBetter bool
+		tol         float64
+	}{
+		{"send_allocs_per_packet", true, 0},
+		{"flowscale_100k_allocs_per_packet", true, 0},
+		{"campaign_dumbbell100_agg_goodput_mbps", false, 0.001},
+		{"campaign_dumbbell100_jain_index", false, 0.001},
+		{"campaign_dumbbell100_flows_ok", false, 0.001},
+		{"campaign_star32_p99_ack_us", true, 0.001},
+		{"loopback_gso_mbps", false, 0.30},
+		{"sim_ns_per_event", true, 0.30},
+		{"handshake_auth_us", true, 0.30},
+		{"flowscale_100k_p99_ack_us", true, 0.30},
+		{"flowscale_100k_peak_goroutines", true, 0.30},
+		{"syscalls_per_packet", true, 0.30},
+	}
+	for _, tc := range cases {
+		lower, tol, _, known := policy(tc.key)
+		if !known {
+			t.Fatalf("policy(%q) unknown", tc.key)
+		}
+		if lower != tc.lowerBetter || tol != tc.tol {
+			t.Fatalf("policy(%q) = lower=%v tol=%v, want lower=%v tol=%v",
+				tc.key, lower, tol, tc.lowerBetter, tc.tol)
+		}
+	}
+	if _, _, _, known := policy("mystery_metric"); known {
+		t.Fatal("unknown keys must have no policy (never fail the gate)")
+	}
+}
+
+func TestCompareCatchesInjectedCampaignGoodputRegression(t *testing.T) {
+	// The acceptance scenario: a 10% goodput drop on a deterministic
+	// campaign metric must fail; the identical value must pass.
+	key := "campaign_dumbbell100_agg_goodput_mbps"
+	if !compare(key, 161.2, 145.0).regressed {
+		t.Fatal("10% campaign goodput drop must regress")
+	}
+	if compare(key, 161.2, 161.2).regressed {
+		t.Fatal("identical campaign goodput must pass")
+	}
+	if compare(key, 161.2, 180.0).regressed {
+		t.Fatal("improvement must pass")
+	}
+	// Campaign tolerance is tight: even a 1% drop fails.
+	if !compare(key, 161.2, 159.0).regressed {
+		t.Fatal("1% campaign goodput drop must regress (deterministic metric)")
+	}
+}
+
+func TestCompareAllocsAreExact(t *testing.T) {
+	if !compare("send_allocs_per_packet", 0, 1).regressed {
+		t.Fatal("any alloc increase from zero must regress")
+	}
+	if compare("send_allocs_per_packet", 0, 0).regressed {
+		t.Fatal("zero allocs must pass")
+	}
+	if !compare("flowscale_100k_allocs_per_packet", 26.16, 26.17).regressed {
+		t.Fatal("alloc counts have zero tolerance")
+	}
+}
+
+func TestCompareWallClockTolerance(t *testing.T) {
+	// Machine-dependent numbers only fail on collapses beyond 30%.
+	if compare("loopback_mbps", 837.4, 700).regressed {
+		t.Fatal("16% throughput dip is within wall-clock tolerance")
+	}
+	if !compare("loopback_mbps", 837.4, 500).regressed {
+		t.Fatal("40% throughput collapse must regress")
+	}
+	if compare("sim_ns_per_event", 62.9, 75).regressed {
+		t.Fatal("19% latency rise is within wall-clock tolerance")
+	}
+	if !compare("sim_ns_per_event", 62.9, 100).regressed {
+		t.Fatal("59% latency rise must regress")
+	}
+}
+
+func TestLoadMetricsSnapshotAndHistory(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(snap, []byte(`{
+		"loopback_mbps": 800,
+		"loopback_gso_mbps": null,
+		"campaign_dumbbell100_flows_ok": 100
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadMetrics(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["loopback_mbps"] != 800 || m["campaign_dumbbell100_flows_ok"] != 100 {
+		t.Fatalf("snapshot metrics = %v", m)
+	}
+	if _, ok := m["loopback_gso_mbps"]; ok {
+		t.Fatal("null metrics must be dropped, not compared")
+	}
+
+	hist := filepath.Join(dir, "hist.jsonl")
+	if err := os.WriteFile(hist, []byte(
+		`{"ts":"2026-08-01T00:00:00Z","metrics":{"loopback_mbps":700}}`+"\n"+
+			`{"ts":"2026-08-09T00:00:00Z","metrics":{"loopback_mbps":810,"campaign_star32_jain_index":1}}`+"\n",
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err = loadMetrics(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["loopback_mbps"] != 810 || m["campaign_star32_jain_index"] != 1 {
+		t.Fatalf("history must yield the newest line, got %v", m)
+	}
+}

@@ -14,7 +14,7 @@ GOOS=windows go build ./...
 # including the root package (Conn/Mux/pool scheduler APIs) and the shared
 # timer wheel — must carry a doc comment, and every relative Markdown link
 # must resolve (mdcheck covers DESIGN.md, EXPERIMENTS.md and README.md).
-go run ./scripts/doccheck . fabric udtfs internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/secure internal/timerwheel internal/timing internal/trace
+go run ./scripts/doccheck . fabric udtfs internal/campaign internal/congestion internal/core internal/metrics internal/mux internal/netem internal/netem/chaos internal/secure internal/timerwheel internal/timing internal/trace
 go run ./scripts/mdcheck
 # Fast fail on the concurrency-heavy packages first: the demultiplexer and
 # the chaos harness in short mode, before the full (slower) race run.
@@ -39,3 +39,22 @@ go run ./cmd/udtchaos -determinism -real
 # Congestion-control gate: every pluggable law through loss plus the
 # two-law fairness cells, bit-identical on replay.
 go run ./cmd/udtchaos -ccmatrix -determinism
+# Campaign gate: the CI topology campaigns — the 100-flow mixed-law dumbbell
+# and the 32-flow flash-crowd star — run twice each and must replay
+# bit-identically; their headline metrics land in a snapshot for the
+# regression gate below.
+campmetrics=$(mktemp)
+trap 'rm -f "$campmetrics" "$campmetrics.bad"' EXIT
+go run ./cmd/udtchaos -campaign -determinism -metrics "$campmetrics"
+# Perf-regression gate: benchdiff must pass the fresh campaign metrics
+# against the pinned baseline (campaign numbers are virtual-clock
+# deterministic, held to 0.1%) ...
+go run ./scripts/benchdiff -baseline BENCH_baseline.json -current "$campmetrics"
+# ... and must demonstrably FAIL when a goodput regression is injected —
+# the gate itself is under test, a benchdiff that passes everything is a
+# silent hole in CI.
+sed 's/"campaign_dumbbell100_agg_goodput_mbps": [0-9eE.+-]*/"campaign_dumbbell100_agg_goodput_mbps": 1/' "$campmetrics" > "$campmetrics.bad"
+if go run ./scripts/benchdiff -baseline BENCH_baseline.json -current "$campmetrics.bad"; then
+	echo "ci.sh: benchdiff accepted an injected goodput regression" >&2
+	exit 1
+fi
